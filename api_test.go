@@ -1,0 +1,83 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeLists(t *testing.T) {
+	if got := repro.Models(); len(got) != 5 || got[0] != "GPT4" {
+		t.Errorf("Models = %v", got)
+	}
+	if got := repro.Datasets(); len(got) != 3 {
+		t.Errorf("Datasets = %v", got)
+	}
+	exps := repro.Experiments()
+	if len(exps) < 20 {
+		t.Errorf("Experiments = %d, want >= 20", len(exps))
+	}
+	title, ok := repro.ExperimentTitle("table3")
+	if !ok || !strings.Contains(title, "syntax_error") {
+		t.Errorf("ExperimentTitle(table3) = %q, %v", title, ok)
+	}
+	if _, ok := repro.ExperimentTitle("nosuch"); ok {
+		t.Error("ExperimentTitle(nosuch) should fail")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	bench, err := repro.BuildBenchmark(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := repro.NewSimRegistry(bench)
+	client, err := reg.Get("MistralAI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	syn, err := repro.RunSyntaxTask(ctx, client, bench, "SQLShare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syn) != len(bench.Syntax["SQLShare"]) {
+		t.Errorf("syntax results = %d", len(syn))
+	}
+	if _, err := repro.RunSyntaxTask(ctx, client, bench, "NoSuch"); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	tok, err := repro.RunTokenTask(ctx, client, bench, "SDSS")
+	if err != nil || len(tok) == 0 {
+		t.Fatalf("token task: %v", err)
+	}
+	eq, err := repro.RunEquivTask(ctx, client, bench, "Join-Order")
+	if err != nil || len(eq) == 0 {
+		t.Fatalf("equiv task: %v", err)
+	}
+	pf, err := repro.RunPerfTask(ctx, client, bench)
+	if err != nil || len(pf) != 285 {
+		t.Fatalf("perf task: %v (%d)", err, len(pf))
+	}
+	ex, err := repro.RunExplainTask(ctx, client, bench)
+	if err != nil || len(ex) != 200 {
+		t.Fatalf("explain task: %v (%d)", err, len(ex))
+	}
+}
+
+func TestFacadeRunExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := repro.RunExperiment("table1", &buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Recognition") {
+		t.Errorf("table1 output = %q", buf.String())
+	}
+	if err := repro.RunExperiment("nosuch", &buf, 1); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

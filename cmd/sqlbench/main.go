@@ -1,0 +1,64 @@
+// Command sqlbench regenerates the paper's tables and figures from the
+// benchmark.
+//
+// Usage:
+//
+//	sqlbench -list
+//	sqlbench -exp table3
+//	sqlbench -exp table3,table4 -seed 2
+//	sqlbench -exp all -noverify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		seed     = flag.Int64("seed", 1, "benchmark seed")
+		noVerify = flag.Bool("noverify", false, "skip engine verification of equivalence pairs (faster)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	env, err := experiments.NewEnv(*seed, !*noVerify)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlbench: building benchmark:", err)
+		os.Exit(1)
+	}
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sqlbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		if err := e.Run(env, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "sqlbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command sqlcheck lints a SQL statement with the benchmark's oracle: it
+// parses, runs the semantic checker against a chosen schema, reports
+// syntactic properties, and suggests a repair when a token seems missing.
+//
+// Usage:
+//
+//	sqlcheck -schema sdss "SELECT plate , COUNT(*) FROM SpecObj"
+//	echo "SELECT plate FROM SpecObj WHERE z 0.5" | sqlcheck -schema sdss
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analyze"
+	"repro/internal/catalog"
+	"repro/internal/repair"
+	"repro/internal/semcheck"
+	"repro/internal/sqlparse"
+)
+
+func schemaByName(name string) (*catalog.Schema, error) {
+	switch strings.ToLower(name) {
+	case "sdss":
+		return catalog.SDSS(), nil
+	case "imdb", "joborder", "job":
+		return catalog.IMDB(), nil
+	case "sqlshare":
+		return catalog.Merged("sqlshare", catalog.SQLShareSchemas()...), nil
+	case "spider":
+		return catalog.Merged("spider", catalog.SpiderSchemas()...), nil
+	case "all":
+		schemas := []*catalog.Schema{catalog.SDSS(), catalog.IMDB()}
+		schemas = append(schemas, catalog.SQLShareSchemas()...)
+		schemas = append(schemas, catalog.SpiderSchemas()...)
+		return catalog.Merged("all", schemas...), nil
+	default:
+		return nil, fmt.Errorf("unknown schema %q (sdss|imdb|sqlshare|spider|all)", name)
+	}
+}
+
+func main() {
+	schemaFlag := flag.String("schema", "all", "schema to resolve against: sdss|imdb|sqlshare|spider|all")
+	flag.Parse()
+
+	sql := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(sql) == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlcheck: reading stdin:", err)
+			os.Exit(1)
+		}
+		sql = string(data)
+	}
+	sql = strings.TrimSpace(sql)
+	if sql == "" {
+		fmt.Fprintln(os.Stderr, "sqlcheck: no SQL given (argument or stdin)")
+		os.Exit(2)
+	}
+
+	schema, err := schemaByName(*schemaFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcheck:", err)
+		os.Exit(2)
+	}
+
+	exitCode := 0
+	if _, perr := sqlparse.ParseStatement(sql); perr != nil {
+		fmt.Printf("parse:      FAIL  %v\n", perr)
+		exitCode = 1
+		res := repair.Detect(sql, schema)
+		if res.Found {
+			fmt.Printf("repair:     a %s seems to be missing near word %d", res.Kind, res.WordIndex+1)
+			if res.Inserted != "" {
+				fmt.Printf(" (inserting %q fixes the parse)", res.Inserted)
+			}
+			fmt.Println()
+		}
+	} else {
+		fmt.Println("parse:      OK")
+		diags := semcheck.New(schema).CheckSQL(sql)
+		if len(diags) == 0 {
+			fmt.Println("semantics:  OK")
+		} else {
+			exitCode = 1
+			for _, d := range diags {
+				fmt.Printf("semantics:  %s\n", d)
+			}
+		}
+	}
+
+	p := analyze.Compute(sql)
+	fmt.Printf("properties: type=%s words=%d tables=%d joins=%d columns=%d functions=%d predicates=%d nestedness=%d aggregate=%v\n",
+		p.QueryType, p.WordCount, p.TableCount, p.JoinCount, p.ColumnCount,
+		p.FunctionCount, p.PredicateCount, p.Nestedness, p.Aggregate)
+	os.Exit(exitCode)
+}

@@ -1,0 +1,314 @@
+package catalog
+
+// SDSS returns a replica of the Sloan Digital Sky Survey schema fragment that
+// the workload queries touch: photometric and spectroscopic object tables,
+// plate bookkeeping, and neighbor links.
+func SDSS() *Schema {
+	s := NewSchema("sdss")
+	s.Add(T("PhotoObj",
+		"objid", TypeInt,
+		"ra", TypeFloat,
+		"dec", TypeFloat,
+		"type", TypeInt,
+		"mode", TypeInt,
+		"flags", TypeInt,
+		"u", TypeFloat,
+		"g", TypeFloat,
+		"r", TypeFloat,
+		"i", TypeFloat,
+		"psfmag_r", TypeFloat,
+		"petror90_r", TypeFloat,
+		"run", TypeInt,
+		"rerun", TypeInt,
+		"camcol", TypeInt,
+		"field", TypeInt,
+		"clean", TypeInt,
+	))
+	s.Add(T("SpecObj",
+		"specobjid", TypeInt,
+		"bestobjid", TypeInt,
+		"plate", TypeInt,
+		"mjd", TypeInt,
+		"fiberid", TypeInt,
+		"z", TypeFloat,
+		"zerr", TypeFloat,
+		"zwarning", TypeInt,
+		"class", TypeText,
+		"subclass", TypeText,
+		"ra", TypeFloat,
+		"dec", TypeFloat,
+		"sn_median", TypeFloat,
+	))
+	s.Add(T("PhotoTag",
+		"objid", TypeInt,
+		"ra", TypeFloat,
+		"dec", TypeFloat,
+		"type", TypeInt,
+		"modelmag_u", TypeFloat,
+		"modelmag_g", TypeFloat,
+		"modelmag_r", TypeFloat,
+	))
+	s.Add(T("PlateX",
+		"plate", TypeInt,
+		"mjd", TypeInt,
+		"plateid", TypeInt,
+		"tile", TypeInt,
+		"programname", TypeText,
+		"ra", TypeFloat,
+		"dec", TypeFloat,
+	))
+	s.Add(T("Field",
+		"fieldid", TypeInt,
+		"run", TypeInt,
+		"camcol", TypeInt,
+		"field", TypeInt,
+		"quality", TypeInt,
+		"mjd", TypeInt,
+	))
+	s.Add(T("Neighbors",
+		"objid", TypeInt,
+		"neighborobjid", TypeInt,
+		"distance", TypeFloat,
+		"neighbortype", TypeInt,
+	))
+	s.Add(T("galSpecLine",
+		"specobjid", TypeInt,
+		"h_alpha_flux", TypeFloat,
+		"h_beta_flux", TypeFloat,
+		"oiii_5007_flux", TypeFloat,
+		"nii_6584_flux", TypeFloat,
+	))
+	s.Add(T("SpecPhotoAll",
+		"specobjid", TypeInt,
+		"objid", TypeInt,
+		"z", TypeFloat,
+		"ra", TypeFloat,
+		"dec", TypeFloat,
+		"modelmag_r", TypeFloat,
+		"class", TypeText,
+	))
+	return s
+}
+
+// IMDB returns the Join-Order Benchmark's IMDB schema (the 21 relations used
+// by JOB queries).
+func IMDB() *Schema {
+	s := NewSchema("imdb")
+	s.Add(T("title",
+		"id", TypeInt, "title", TypeText, "imdb_index", TypeText,
+		"kind_id", TypeInt, "production_year", TypeInt, "phonetic_code", TypeText,
+		"episode_of_id", TypeInt, "season_nr", TypeInt, "episode_nr", TypeInt,
+	))
+	s.Add(T("kind_type", "id", TypeInt, "kind", TypeText))
+	s.Add(T("movie_companies",
+		"id", TypeInt, "movie_id", TypeInt, "company_id", TypeInt,
+		"company_type_id", TypeInt, "note", TypeText,
+	))
+	s.Add(T("company_name",
+		"id", TypeInt, "name", TypeText, "country_code", TypeText,
+		"imdb_id", TypeInt, "name_pcode_nf", TypeText,
+	))
+	s.Add(T("company_type", "id", TypeInt, "kind", TypeText))
+	s.Add(T("cast_info",
+		"id", TypeInt, "person_id", TypeInt, "movie_id", TypeInt,
+		"person_role_id", TypeInt, "note", TypeText, "nr_order", TypeInt,
+		"role_id", TypeInt,
+	))
+	s.Add(T("char_name",
+		"id", TypeInt, "name", TypeText, "imdb_index", TypeText, "imdb_id", TypeInt,
+	))
+	s.Add(T("role_type", "id", TypeInt, "role", TypeText))
+	s.Add(T("name",
+		"id", TypeInt, "name", TypeText, "imdb_index", TypeText,
+		"gender", TypeText, "name_pcode_cf", TypeText,
+	))
+	s.Add(T("aka_name",
+		"id", TypeInt, "person_id", TypeInt, "name", TypeText,
+	))
+	s.Add(T("movie_info",
+		"id", TypeInt, "movie_id", TypeInt, "info_type_id", TypeInt,
+		"info", TypeText, "note", TypeText,
+	))
+	s.Add(T("movie_info_idx",
+		"id", TypeInt, "movie_id", TypeInt, "info_type_id", TypeInt, "info", TypeText,
+	))
+	s.Add(T("info_type", "id", TypeInt, "info", TypeText))
+	s.Add(T("movie_keyword",
+		"id", TypeInt, "movie_id", TypeInt, "keyword_id", TypeInt,
+	))
+	s.Add(T("keyword",
+		"id", TypeInt, "keyword", TypeText, "phonetic_code", TypeText,
+	))
+	s.Add(T("person_info",
+		"id", TypeInt, "person_id", TypeInt, "info_type_id", TypeInt, "info", TypeText,
+	))
+	s.Add(T("movie_link",
+		"id", TypeInt, "movie_id", TypeInt, "linked_movie_id", TypeInt, "link_type_id", TypeInt,
+	))
+	s.Add(T("link_type", "id", TypeInt, "link", TypeText))
+	s.Add(T("complete_cast",
+		"id", TypeInt, "movie_id", TypeInt, "subject_id", TypeInt, "status_id", TypeInt,
+	))
+	s.Add(T("comp_cast_type", "id", TypeInt, "kind", TypeText))
+	s.Add(T("aka_title",
+		"id", TypeInt, "movie_id", TypeInt, "title", TypeText, "kind_id", TypeInt,
+	))
+	return s
+}
+
+// SQLShareSchemas returns the family of small per-tenant schemas standing in
+// for SQLShare's many user databases. Each generated SQLShare query targets
+// one of these.
+func SQLShareSchemas() []*Schema {
+	ocean := NewSchema("ocean")
+	ocean.Add(T("stations",
+		"station_id", TypeInt, "name", TypeText, "lat", TypeFloat,
+		"lon", TypeFloat, "depth", TypeFloat,
+	))
+	ocean.Add(T("samples",
+		"sample_id", TypeInt, "station_id", TypeInt, "cruise", TypeText,
+		"collected", TypeText, "temperature", TypeFloat, "salinity", TypeFloat,
+		"oxygen", TypeFloat, "depth", TypeFloat,
+	))
+	ocean.Add(T("taxa",
+		"taxon_id", TypeInt, "sample_id", TypeInt, "genus", TypeText,
+		"species", TypeText, "abundance", TypeFloat,
+	))
+
+	genomics := NewSchema("genomics")
+	genomics.Add(T("genes",
+		"gene_id", TypeInt, "symbol", TypeText, "chromosome", TypeText,
+		"start_pos", TypeInt, "end_pos", TypeInt, "strand", TypeText,
+	))
+	genomics.Add(T("expressions",
+		"expr_id", TypeInt, "gene_id", TypeInt, "tissue", TypeText,
+		"level", TypeFloat, "pvalue", TypeFloat,
+	))
+	genomics.Add(T("proteins",
+		"protein_id", TypeInt, "gene_id", TypeInt, "name", TypeText,
+		"mass", TypeFloat, "length", TypeInt,
+	))
+
+	sales := NewSchema("sales")
+	sales.Add(T("customers",
+		"customer_id", TypeInt, "name", TypeText, "region", TypeText,
+		"segment", TypeText, "signup_year", TypeInt,
+	))
+	sales.Add(T("orders",
+		"order_id", TypeInt, "customer_id", TypeInt, "order_date", TypeText,
+		"total", TypeFloat, "status", TypeText,
+	))
+	sales.Add(T("order_items",
+		"item_id", TypeInt, "order_id", TypeInt, "product_id", TypeInt,
+		"quantity", TypeInt, "price", TypeFloat,
+	))
+	sales.Add(T("products",
+		"product_id", TypeInt, "name", TypeText, "category", TypeText,
+		"unit_cost", TypeFloat,
+	))
+
+	sensors := NewSchema("sensors")
+	sensors.Add(T("devices",
+		"device_id", TypeInt, "model", TypeText, "site", TypeText,
+		"installed", TypeText,
+	))
+	sensors.Add(T("readings",
+		"reading_id", TypeInt, "device_id", TypeInt, "ts", TypeText,
+		"value", TypeFloat, "unit", TypeText, "quality", TypeInt,
+	))
+
+	return []*Schema{ocean, genomics, sales, sensors}
+}
+
+// SpiderSchemas returns Spider-style cross-domain schemas, including the
+// domains whose queries appear in the paper's case study (tryout, transcripts,
+// concerts, cars).
+func SpiderSchemas() []*Schema {
+	concert := NewSchema("concert_singer")
+	concert.Add(T("stadium",
+		"stadium_id", TypeInt, "name", TypeText, "loc", TypeText,
+		"capacity", TypeInt, "highest", TypeInt, "average", TypeInt,
+	))
+	concert.Add(T("concert",
+		"concert_id", TypeInt, "concert_name", TypeText, "theme", TypeText,
+		"stadium_id", TypeInt, "Year", TypeInt,
+	))
+	concert.Add(T("singer",
+		"singer_id", TypeInt, "name", TypeText, "country", TypeText,
+		"age", TypeInt, "is_male", TypeBool,
+	))
+	concert.Add(T("singer_in_concert",
+		"concert_id", TypeInt, "singer_id", TypeInt,
+	))
+
+	cars := NewSchema("car_1")
+	cars.Add(T("CONTINENTS", "ContId", TypeInt, "Continent", TypeText))
+	cars.Add(T("COUNTRIES", "CountryId", TypeInt, "CountryName", TypeText, "Continent", TypeInt))
+	cars.Add(T("CAR_MAKERS", "Id", TypeInt, "Maker", TypeText, "FullName", TypeText, "Country", TypeInt))
+	cars.Add(T("MODEL_LIST", "ModelId", TypeInt, "Maker", TypeInt, "Model", TypeText))
+	cars.Add(T("CAR_NAMES", "MakeId", TypeInt, "Model", TypeText, "Make", TypeText))
+	cars.Add(T("CARS_DATA",
+		"Id", TypeInt, "MPG", TypeFloat, "cylinders", TypeInt, "Edispl", TypeFloat,
+		"Horsepower", TypeInt, "Weight", TypeInt, "accelerate", TypeFloat, "Year", TypeInt,
+	))
+
+	soccer := NewSchema("soccer_2")
+	soccer.Add(T("college", "cName", TypeText, "state", TypeText, "enr", TypeInt))
+	soccer.Add(T("player", "pID", TypeInt, "pName", TypeText, "yCard", TypeText, "HS", TypeInt))
+	soccer.Add(T("tryout", "pID", TypeInt, "cName", TypeText, "pPos", TypeText, "decision", TypeText))
+
+	transcripts := NewSchema("student_transcripts")
+	transcripts.Add(T("Students",
+		"student_id", TypeInt, "first_name", TypeText, "last_name", TypeText,
+		"date_first_registered", TypeText,
+	))
+	transcripts.Add(T("Courses", "course_id", TypeInt, "course_name", TypeText, "credits", TypeInt))
+	transcripts.Add(T("Student_Enrolment",
+		"student_enrolment_id", TypeInt, "student_id", TypeInt, "semester_id", TypeInt,
+	))
+	transcripts.Add(T("Student_Enrolment_Courses",
+		"student_course_id", TypeInt, "course_id", TypeInt, "student_enrolment_id", TypeInt,
+	))
+	transcripts.Add(T("Transcripts", "transcript_id", TypeInt, "transcript_date", TypeText))
+	transcripts.Add(T("Transcript_Cnt",
+		"transcript_id", TypeInt, "student_course_id", TypeInt,
+	))
+
+	world := NewSchema("world_1")
+	world.Add(T("city",
+		"ID", TypeInt, "Name", TypeText, "CountryCode", TypeText,
+		"District", TypeText, "Population", TypeInt,
+	))
+	world.Add(T("country",
+		"Code", TypeText, "Name", TypeText, "Continent", TypeText,
+		"Region", TypeText, "Population", TypeInt, "SurfaceArea", TypeFloat,
+		"LifeExpectancy", TypeFloat, "GNP", TypeFloat,
+	))
+	world.Add(T("countrylanguage",
+		"CountryCode", TypeText, "Language", TypeText, "IsOfficial", TypeText,
+		"Percentage", TypeFloat,
+	))
+
+	pets := NewSchema("pets_1")
+	pets.Add(T("Student",
+		"StuID", TypeInt, "LName", TypeText, "Fname", TypeText, "Age", TypeInt,
+		"Sex", TypeText, "Major", TypeInt, "city_code", TypeText,
+	))
+	pets.Add(T("Pets", "PetID", TypeInt, "PetType", TypeText, "pet_age", TypeInt, "weight", TypeFloat))
+	pets.Add(T("Has_Pet", "StuID", TypeInt, "PetID", TypeInt))
+
+	return []*Schema{concert, cars, soccer, transcripts, world, pets}
+}
+
+// Merged combines several schemas into one namespace; later tables win on
+// name collisions. The SQLShare oracle uses this to resolve queries without
+// knowing which tenant schema a query targets.
+func Merged(name string, schemas ...*Schema) *Schema {
+	out := NewSchema(name)
+	for _, s := range schemas {
+		for _, t := range s.Tables() {
+			out.Add(t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/llm"
+	"repro/internal/metrics"
+	"repro/internal/nlgen"
+	"repro/internal/prompt"
+	"repro/internal/respparse"
+)
+
+// SyntaxResult is one model prediction on a SyntaxExample.
+type SyntaxResult struct {
+	Example  SyntaxExample
+	PredHas  bool
+	PredType string
+	Response string
+}
+
+// RunSyntax drives one model over a syntax dataset.
+func RunSyntax(ctx context.Context, client llm.Client, tpl prompt.Template, ds []SyntaxExample) ([]SyntaxResult, error) {
+	out := make([]SyntaxResult, 0, len(ds))
+	for _, ex := range ds {
+		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
+		if err != nil {
+			return out, fmt.Errorf("completing %s: %w", ex.ID, err)
+		}
+		verdict, perr := respparse.ParseSyntax(resp)
+		if perr != nil {
+			// Unparseable output counts as "no error claimed", mirroring the
+			// paper's conservative manual post-processing.
+			verdict = respparse.SyntaxVerdict{}
+		}
+		out = append(out, SyntaxResult{
+			Example:  ex,
+			PredHas:  verdict.HasError,
+			PredType: verdict.ErrorType,
+			Response: resp,
+		})
+	}
+	return out, nil
+}
+
+// RunSyntaxFewShot is RunSyntax with worked examples prepended to every
+// prompt — the few-shot mitigation the paper's conclusion anticipates.
+func RunSyntaxFewShot(ctx context.Context, client llm.Client, tpl prompt.Template, shots []prompt.Shot, ds []SyntaxExample) ([]SyntaxResult, error) {
+	out := make([]SyntaxResult, 0, len(ds))
+	for _, ex := range ds {
+		resp, err := client.Complete(ctx, tpl.RenderFewShot(ex.SQL, shots))
+		if err != nil {
+			return out, fmt.Errorf("completing %s: %w", ex.ID, err)
+		}
+		verdict, perr := respparse.ParseSyntax(resp)
+		if perr != nil {
+			verdict = respparse.SyntaxVerdict{}
+		}
+		out = append(out, SyntaxResult{
+			Example:  ex,
+			PredHas:  verdict.HasError,
+			PredType: verdict.ErrorType,
+			Response: resp,
+		})
+	}
+	return out, nil
+}
+
+// TokenResult is one model prediction on a TokenExample.
+type TokenResult struct {
+	Example  TokenExample
+	PredMiss bool
+	PredKind string
+	PredPos  int // 0-based; -1 when absent
+	Response string
+}
+
+// RunTokens drives one model over a miss_token dataset.
+func RunTokens(ctx context.Context, client llm.Client, tpl prompt.Template, ds []TokenExample) ([]TokenResult, error) {
+	out := make([]TokenResult, 0, len(ds))
+	for _, ex := range ds {
+		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
+		if err != nil {
+			return out, fmt.Errorf("completing %s: %w", ex.ID, err)
+		}
+		verdict, perr := respparse.ParseMissToken(resp)
+		if perr != nil {
+			verdict = respparse.MissTokenVerdict{Position: -1}
+		}
+		out = append(out, TokenResult{
+			Example:  ex,
+			PredMiss: verdict.Missing,
+			PredKind: verdict.Kind,
+			PredPos:  verdict.Position,
+			Response: resp,
+		})
+	}
+	return out, nil
+}
+
+// EquivResult is one model prediction on an EquivExample.
+type EquivResult struct {
+	Example   EquivExample
+	PredEquiv bool
+	PredType  string
+	Response  string
+}
+
+// RunEquiv drives one model over a query_equiv dataset.
+func RunEquiv(ctx context.Context, client llm.Client, tpl prompt.Template, ds []EquivExample) ([]EquivResult, error) {
+	out := make([]EquivResult, 0, len(ds))
+	for _, ex := range ds {
+		resp, err := client.Complete(ctx, tpl.RenderPair(ex.SQL1, ex.SQL2))
+		if err != nil {
+			return out, fmt.Errorf("completing %s: %w", ex.ID, err)
+		}
+		verdict, perr := respparse.ParseEquiv(resp)
+		if perr != nil {
+			verdict = respparse.EquivVerdict{}
+		}
+		out = append(out, EquivResult{
+			Example:   ex,
+			PredEquiv: verdict.Equivalent,
+			PredType:  verdict.Type,
+			Response:  resp,
+		})
+	}
+	return out, nil
+}
+
+// PerfResult is one model prediction on a PerfExample.
+type PerfResult struct {
+	Example    PerfExample
+	PredCostly bool
+	Response   string
+}
+
+// RunPerf drives one model over the performance_pred dataset.
+func RunPerf(ctx context.Context, client llm.Client, tpl prompt.Template, ds []PerfExample) ([]PerfResult, error) {
+	out := make([]PerfResult, 0, len(ds))
+	for _, ex := range ds {
+		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
+		if err != nil {
+			return out, fmt.Errorf("completing %s: %w", ex.ID, err)
+		}
+		costly, perr := respparse.ParsePerf(resp)
+		if perr != nil {
+			costly = false
+		}
+		out = append(out, PerfResult{Example: ex, PredCostly: costly, Response: resp})
+	}
+	return out, nil
+}
+
+// ExplainResult is one model explanation with its coverage score.
+type ExplainResult struct {
+	Example     ExplainExample
+	Explanation string
+	Coverage    float64 // fraction of reference facts mentioned
+}
+
+// RunExplain drives one model over the query_exp dataset.
+func RunExplain(ctx context.Context, client llm.Client, tpl prompt.Template, ds []ExplainExample) ([]ExplainResult, error) {
+	out := make([]ExplainResult, 0, len(ds))
+	for _, ex := range ds {
+		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
+		if err != nil {
+			return out, fmt.Errorf("completing %s: %w", ex.ID, err)
+		}
+		expl := respparse.ParseExplanation(resp)
+		out = append(out, ExplainResult{
+			Example:     ex,
+			Explanation: expl,
+			Coverage:    nlgen.Coverage(expl, ex.Facts),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation aggregations
+
+// EvalSyntaxBinary computes the syntax_error confusion.
+func EvalSyntaxBinary(results []SyntaxResult) metrics.Binary {
+	var b metrics.Binary
+	for _, r := range results {
+		b.Add(r.Example.HasError, r.PredHas)
+	}
+	return b
+}
+
+// EvalSyntaxType computes the multi-class syntax_error_type scores over
+// true positives with a stated type (the paper scores type identification
+// on detected errors).
+func EvalSyntaxType(results []SyntaxResult) *metrics.MultiClass {
+	mc := metrics.NewMultiClass()
+	for _, r := range results {
+		if !r.Example.HasError {
+			continue
+		}
+		pred := r.PredType
+		if !r.PredHas || pred == "" {
+			pred = "(none)"
+		}
+		mc.Add(string(r.Example.Type), pred)
+	}
+	return mc
+}
+
+// SyntaxFNRateByType returns, per injected error type, the fraction of
+// positives the model missed (Figure 7's bars).
+func SyntaxFNRateByType(results []SyntaxResult) map[string]float64 {
+	pos := map[string]int{}
+	fn := map[string]int{}
+	for _, r := range results {
+		if !r.Example.HasError {
+			continue
+		}
+		t := string(r.Example.Type)
+		pos[t]++
+		if !r.PredHas {
+			fn[t]++
+		}
+	}
+	out := map[string]float64{}
+	for t, n := range pos {
+		out[t] = float64(fn[t]) / float64(n)
+	}
+	return out
+}
+
+// SyntaxBreakdown collects a property per outcome (Figure 6 panels).
+func SyntaxBreakdown(results []SyntaxResult, property func(SyntaxExample) float64) *metrics.Breakdown {
+	bd := metrics.NewBreakdown()
+	for _, r := range results {
+		bd.Add(r.Example.HasError, r.PredHas, property(r.Example))
+	}
+	return bd
+}
+
+// EvalTokenBinary computes the miss_token confusion.
+func EvalTokenBinary(results []TokenResult) metrics.Binary {
+	var b metrics.Binary
+	for _, r := range results {
+		b.Add(r.Example.Missing, r.PredMiss)
+	}
+	return b
+}
+
+// EvalTokenType computes miss_token_type multi-class scores over positives.
+func EvalTokenType(results []TokenResult) *metrics.MultiClass {
+	mc := metrics.NewMultiClass()
+	for _, r := range results {
+		if !r.Example.Missing {
+			continue
+		}
+		pred := r.PredKind
+		if !r.PredMiss || pred == "" {
+			pred = "(none)"
+		}
+		mc.Add(string(r.Example.Kind), pred)
+	}
+	return mc
+}
+
+// EvalTokenLocation computes MAE and hit rate over detected positives.
+func EvalTokenLocation(results []TokenResult) metrics.Location {
+	var loc metrics.Location
+	for _, r := range results {
+		if !r.Example.Missing || !r.PredMiss || r.PredPos < 0 {
+			continue
+		}
+		loc.Add(r.Example.Position, r.PredPos)
+	}
+	return loc
+}
+
+// TokenFNRateByKind returns the miss rate per removed-token kind (Figure 9).
+func TokenFNRateByKind(results []TokenResult) map[string]float64 {
+	pos := map[string]int{}
+	fn := map[string]int{}
+	for _, r := range results {
+		if !r.Example.Missing {
+			continue
+		}
+		k := string(r.Example.Kind)
+		pos[k]++
+		if !r.PredMiss {
+			fn[k]++
+		}
+	}
+	out := map[string]float64{}
+	for k, n := range pos {
+		out[k] = float64(fn[k]) / float64(n)
+	}
+	return out
+}
+
+// TokenBreakdown collects a property per outcome (Figure 8 panels).
+func TokenBreakdown(results []TokenResult, property func(TokenExample) float64) *metrics.Breakdown {
+	bd := metrics.NewBreakdown()
+	for _, r := range results {
+		bd.Add(r.Example.Missing, r.PredMiss, property(r.Example))
+	}
+	return bd
+}
+
+// EvalEquivBinary computes the query_equiv confusion.
+func EvalEquivBinary(results []EquivResult) metrics.Binary {
+	var b metrics.Binary
+	for _, r := range results {
+		b.Add(r.Example.Equivalent, r.PredEquiv)
+	}
+	return b
+}
+
+// EvalEquivType computes query_equiv_type multi-class scores over all pairs.
+func EvalEquivType(results []EquivResult) *metrics.MultiClass {
+	mc := metrics.NewMultiClass()
+	for _, r := range results {
+		pred := r.PredType
+		if pred == "" {
+			pred = "(none)"
+		}
+		mc.Add(string(r.Example.Type), pred)
+	}
+	return mc
+}
+
+// EquivBreakdown collects a property per outcome (Figures 11 and 12).
+func EquivBreakdown(results []EquivResult, property func(EquivExample) float64) *metrics.Breakdown {
+	bd := metrics.NewBreakdown()
+	for _, r := range results {
+		bd.Add(r.Example.Equivalent, r.PredEquiv, property(r.Example))
+	}
+	return bd
+}
+
+// EvalPerf computes the performance_pred confusion.
+func EvalPerf(results []PerfResult) metrics.Binary {
+	var b metrics.Binary
+	for _, r := range results {
+		b.Add(r.Example.Costly, r.PredCostly)
+	}
+	return b
+}
+
+// PerfBreakdown collects a property per outcome (Figure 10 panels).
+func PerfBreakdown(results []PerfResult, property func(PerfExample) float64) *metrics.Breakdown {
+	bd := metrics.NewBreakdown()
+	for _, r := range results {
+		bd.Add(r.Example.Costly, r.PredCostly, property(r.Example))
+	}
+	return bd
+}
+
+// MeanCoverage averages explanation fact coverage.
+func MeanCoverage(results []ExplainResult) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.Coverage
+	}
+	return sum / float64(len(results))
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/llm"
+	"repro/internal/prompt"
+)
+
+// Skill names the four understanding skills from the paper's Section 1.
+type Skill string
+
+// Skills.
+const (
+	Recognition Skill = "Recognition"
+	Semantics   Skill = "Semantics"
+	Context     Skill = "Context"
+	Coherence   Skill = "Coherence"
+)
+
+// Skills lists the four in the paper's Table 1 row order.
+var Skills = []Skill{Recognition, Semantics, Context, Coherence}
+
+// TaskInfo describes one SQL task and the skills it probes, with emphasis
+// levels matching Table 1 (0 = not probed, 1 = probed, 2 = strongly probed).
+type TaskInfo struct {
+	Name   string
+	Skills map[Skill]int
+}
+
+// TaskCatalog reproduces Table 1's skill-to-task mapping.
+var TaskCatalog = []TaskInfo{
+	{Name: "syntax error", Skills: map[Skill]int{Recognition: 2, Semantics: 0, Context: 0, Coherence: 1}},
+	{Name: "missing token", Skills: map[Skill]int{Recognition: 1, Semantics: 1, Context: 2, Coherence: 0}},
+	{Name: "Q. perf. estimate", Skills: map[Skill]int{Recognition: 0, Semantics: 0, Context: 1, Coherence: 2}},
+	{Name: "Q. equiv.", Skills: map[Skill]int{Recognition: 0, Semantics: 2, Context: 0, Coherence: 2}},
+	{Name: "Q. explain.", Skills: map[Skill]int{Recognition: 1, Semantics: 2, Context: 2, Coherence: 0}},
+}
+
+// TuneResult records the accuracy of one prompt variant during tuning.
+type TuneResult struct {
+	Template prompt.Template
+	Accuracy float64
+}
+
+// TunePrompt reproduces the paper's prompt-tuning mock experiments: each
+// variant runs on a small trial subset and the most accurate one wins.
+// Currently implemented for the syntax_error task, whose binary accuracy is
+// the tuning criterion the paper describes.
+func TunePrompt(ctx context.Context, client llm.Client, trial []SyntaxExample) ([]TuneResult, prompt.Template, error) {
+	var results []TuneResult
+	best := prompt.Default(prompt.SyntaxError)
+	bestAcc := -1.0
+	for _, tpl := range prompt.Variants(prompt.SyntaxError) {
+		res, err := RunSyntax(ctx, client, tpl, trial)
+		if err != nil {
+			return nil, best, fmt.Errorf("tuning with %s: %w", tpl.ID, err)
+		}
+		acc := EvalSyntaxBinary(res).Accuracy()
+		results = append(results, TuneResult{Template: tpl, Accuracy: acc})
+		if acc > bestAcc {
+			bestAcc = acc
+			best = tpl
+		}
+	}
+	return results, best, nil
+}

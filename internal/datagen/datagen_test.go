@@ -1,0 +1,106 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+)
+
+func TestInstanceDeterministic(t *testing.T) {
+	schema := catalog.SDSS()
+	a := Instance(schema, Config{Seed: 1, Rows: 30})
+	b := Instance(schema, Config{Seed: 1, Rows: 30})
+	for name := range a.Tables {
+		ra, rb := a.Tables[name], b.Tables[name]
+		if !engine.EqualRelations(ra, rb, true) {
+			t.Errorf("table %s differs across identical seeds", name)
+		}
+	}
+	c := Instance(schema, Config{Seed: 2, Rows: 30})
+	same := true
+	for name := range a.Tables {
+		if !engine.EqualRelations(a.Tables[name], c.Tables[name], true) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+func TestInstanceShape(t *testing.T) {
+	schema := catalog.SDSS()
+	db := Instance(schema, Config{Seed: 7, Rows: 25})
+	if len(db.Tables) != len(schema.Tables()) {
+		t.Fatalf("tables = %d, want %d", len(db.Tables), len(schema.Tables()))
+	}
+	rel, ok := db.Table("SpecObj")
+	if !ok {
+		t.Fatal("SpecObj missing")
+	}
+	if len(rel.Rows) != 25 {
+		t.Errorf("rows = %d, want 25", len(rel.Rows))
+	}
+	tab, _ := schema.Table("SpecObj")
+	if rel.Width() != len(tab.Columns) {
+		t.Errorf("width = %d, want %d", rel.Width(), len(tab.Columns))
+	}
+}
+
+func TestKeysNeverNullAndJoinable(t *testing.T) {
+	db := Instance(catalog.SDSS(), Config{Seed: 3, Rows: 50})
+	spec, _ := db.Table("SpecObj")
+	for _, row := range spec.Rows {
+		if row[0].Null { // specobjid
+			t.Fatal("key column generated NULL")
+		}
+	}
+	// Joins on id columns must produce rows.
+	e := engine.New(db)
+	rel, err := e.QuerySQL("SELECT s.plate FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) == 0 {
+		t.Error("generated keys never join")
+	}
+}
+
+func TestTypedColumns(t *testing.T) {
+	db := Instance(catalog.SDSS(), Config{Seed: 5, Rows: 40})
+	spec, _ := db.Table("SpecObj")
+	zIdx := -1
+	for i, c := range spec.Cols {
+		if c.Name == "z" {
+			zIdx = i
+		}
+	}
+	if zIdx < 0 {
+		t.Fatal("z column missing")
+	}
+	for _, row := range spec.Rows {
+		v := row[zIdx]
+		if v.Null {
+			continue
+		}
+		if v.Kind != catalog.TypeFloat || v.F < 0 || v.F > 3 {
+			t.Fatalf("z = %v, want float in [0,3]", v)
+		}
+	}
+}
+
+func TestQueriesRunOverGeneratedData(t *testing.T) {
+	db := Instance(catalog.SDSS(), Config{Seed: 11, Rows: 60})
+	e := engine.New(db)
+	for _, sql := range []string{
+		"SELECT plate , mjd FROM SpecObj WHERE z > 0.5",
+		"SELECT class , COUNT(*) FROM SpecObj GROUP BY class",
+		"SELECT s.plate FROM SpecObj AS s WHERE s.bestobjid IN ( SELECT objid FROM PhotoObj WHERE ra > 180 )",
+		"SELECT plate FROM SpecObj ORDER BY z DESC LIMIT 5",
+	} {
+		if _, err := e.QuerySQL(sql); err != nil {
+			t.Errorf("QuerySQL(%q): %v", sql, err)
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package engine
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlast"
+)
+
+// execGrouped evaluates a SELECT with GROUP BY and/or aggregate functions.
+// Sort keys for ORDER BY are computed per output group so ORDER BY may
+// reference aggregates or projection aliases.
+func (e *Engine) execGrouped(sel *sqlast.SelectStmt, src *Relation, scanEnv *env) (*Relation, [][]Value, error) {
+	type group struct {
+		rows [][]Value
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	if len(sel.GroupBy) == 0 {
+		// Global aggregate: one group over everything (even zero rows).
+		groups[""] = &group{rows: src.Rows}
+		order = append(order, "")
+	} else {
+		for _, row := range src.Rows {
+			e.ops++
+			scanEnv.row = row
+			keyVals := make([]Value, len(sel.GroupBy))
+			for i, g := range sel.GroupBy {
+				v, err := e.evalExpr(g, scanEnv)
+				if err != nil {
+					return nil, nil, err
+				}
+				keyVals[i] = v
+			}
+			k := Key(keyVals)
+			grp, ok := groups[k]
+			if !ok {
+				grp = &group{}
+				groups[k] = grp
+				order = append(order, k)
+			}
+			grp.rows = append(grp.rows, row)
+		}
+	}
+
+	// Output header.
+	cols := make([]Col, len(sel.Items))
+	for i, item := range sel.Items {
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(*sqlast.ColumnRef); ok {
+				name = cr.Name
+			} else if fc, ok := item.Expr.(*sqlast.FuncCall); ok {
+				name = strings.ToLower(fc.Name)
+			} else {
+				name = "expr"
+			}
+		}
+		cols[i] = Col{Name: name, Type: catalog.TypeAny}
+	}
+	out := &Relation{Cols: cols}
+	var sortKeys [][]Value
+
+	for _, k := range order {
+		grp := groups[k]
+		gctx := &groupEnv{engine: e, rows: grp.rows, scanEnv: scanEnv}
+		if sel.Having != nil {
+			hv, err := gctx.eval(sel.Having)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !hv.Truthy() {
+				continue
+			}
+		}
+		rowOut := make([]Value, len(sel.Items))
+		for i, item := range sel.Items {
+			v, err := gctx.eval(item.Expr)
+			if err != nil {
+				return nil, nil, err
+			}
+			rowOut[i] = v
+		}
+		out.Rows = append(out.Rows, rowOut)
+		if len(sel.OrderBy) > 0 {
+			keys := make([]Value, len(sel.OrderBy))
+			for j, ob := range sel.OrderBy {
+				// Aliases refer to projected values.
+				if cr, ok := ob.Expr.(*sqlast.ColumnRef); ok && cr.Table == "" {
+					found := false
+					for i, c := range cols {
+						if strings.EqualFold(c.Name, cr.Name) {
+							keys[j] = rowOut[i]
+							found = true
+							break
+						}
+					}
+					if found {
+						continue
+					}
+				}
+				v, err := gctx.eval(ob.Expr)
+				if err != nil {
+					return nil, nil, err
+				}
+				keys[j] = v
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+	}
+	if len(sel.OrderBy) == 0 {
+		sortKeys = nil
+	}
+	return out, sortKeys, nil
+}
+
+// groupEnv evaluates expressions in a grouped context: aggregates fold over
+// the group's rows; everything else evaluates against the group's first row
+// (the grouping columns are constant within a group).
+type groupEnv struct {
+	engine  *Engine
+	rows    [][]Value
+	scanEnv *env
+}
+
+func (g *groupEnv) eval(x sqlast.Expr) (Value, error) {
+	switch t := x.(type) {
+	case *sqlast.FuncCall:
+		if sqlast.IsAggregate(t.Name) {
+			return g.aggregate(t)
+		}
+		// Scalar function: evaluate args in grouped context.
+		cp := &sqlast.FuncCall{Name: t.Name, Distinct: t.Distinct, Star: t.Star}
+		for _, a := range t.Args {
+			v, err := g.eval(a)
+			if err != nil {
+				return NullValue, err
+			}
+			cp.Args = append(cp.Args, valueLiteral(v))
+		}
+		return g.engine.evalScalarFunc(cp, g.repEnv())
+	case *sqlast.Binary:
+		if t.Op == "AND" || t.Op == "OR" {
+			// Short-circuit semantics preserved via direct evaluation.
+			l, err := g.eval(t.L)
+			if err != nil {
+				return NullValue, err
+			}
+			if t.Op == "AND" && !l.Null && !l.Truthy() {
+				return BoolVal(false), nil
+			}
+			if t.Op == "OR" && l.Truthy() {
+				return BoolVal(true), nil
+			}
+			r, err := g.eval(t.R)
+			if err != nil {
+				return NullValue, err
+			}
+			if t.Op == "AND" {
+				if l.Null || r.Null {
+					return NullValue, nil
+				}
+				return BoolVal(l.Truthy() && r.Truthy()), nil
+			}
+			if r.Truthy() {
+				return BoolVal(true), nil
+			}
+			if l.Null || r.Null {
+				return NullValue, nil
+			}
+			return BoolVal(false), nil
+		}
+		l, err := g.eval(t.L)
+		if err != nil {
+			return NullValue, err
+		}
+		r, err := g.eval(t.R)
+		if err != nil {
+			return NullValue, err
+		}
+		return g.engine.evalBinary(&sqlast.Binary{Op: t.Op, L: valueLiteral(l), R: valueLiteral(r)}, g.repEnv())
+	case *sqlast.Unary:
+		v, err := g.eval(t.X)
+		if err != nil {
+			return NullValue, err
+		}
+		return g.engine.evalExpr(&sqlast.Unary{Op: t.Op, X: valueLiteral(v)}, g.repEnv())
+	case *sqlast.Case:
+		if t.Operand == nil {
+			for _, w := range t.Whens {
+				cv, err := g.eval(w.Cond)
+				if err != nil {
+					return NullValue, err
+				}
+				if cv.Truthy() {
+					return g.eval(w.Result)
+				}
+			}
+			if t.Else != nil {
+				return g.eval(t.Else)
+			}
+			return NullValue, nil
+		}
+		op, err := g.eval(t.Operand)
+		if err != nil {
+			return NullValue, err
+		}
+		for _, w := range t.Whens {
+			cv, err := g.eval(w.Cond)
+			if err != nil {
+				return NullValue, err
+			}
+			if Equal(op, cv) {
+				return g.eval(w.Result)
+			}
+		}
+		if t.Else != nil {
+			return g.eval(t.Else)
+		}
+		return NullValue, nil
+	default:
+		// Column refs, literals, subqueries: evaluate on a representative row.
+		return g.engine.evalExpr(x, g.repEnv())
+	}
+}
+
+// repEnv returns an env positioned on the group's representative (first)
+// row; for empty global-aggregate groups the row is absent and column
+// references fail, matching SQL semantics for non-grouped columns.
+func (g *groupEnv) repEnv() *env {
+	ev := &env{rel: g.scanEnv.rel, outer: g.scanEnv.outer, ctes: g.scanEnv.ctes}
+	if len(g.rows) > 0 {
+		ev.row = g.rows[0]
+	}
+	return ev
+}
+
+func (g *groupEnv) aggregate(fc *sqlast.FuncCall) (Value, error) {
+	name := strings.ToUpper(fc.Name)
+	if name == "COUNT" && fc.Star {
+		return IntVal(int64(len(g.rows))), nil
+	}
+	if len(fc.Args) != 1 {
+		return NullValue, execErrorf("%s expects exactly one argument", name)
+	}
+	arg := fc.Args[0]
+
+	var vals []Value
+	seen := map[string]bool{}
+	ev := &env{rel: g.scanEnv.rel, outer: g.scanEnv.outer, ctes: g.scanEnv.ctes}
+	for _, row := range g.rows {
+		g.engine.ops++
+		ev.row = row
+		v, err := g.engine.evalExpr(arg, ev)
+		if err != nil {
+			return NullValue, err
+		}
+		if v.Null {
+			continue
+		}
+		if fc.Distinct {
+			k := v.String()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+
+	switch name {
+	case "COUNT":
+		return IntVal(int64(len(vals))), nil
+	case "SUM":
+		if len(vals) == 0 {
+			return NullValue, nil
+		}
+		allInt := true
+		var fsum float64
+		var isum int64
+		for _, v := range vals {
+			if v.Kind != catalog.TypeInt {
+				allInt = false
+			}
+			fsum += v.AsFloat()
+			isum += v.I
+		}
+		if allInt {
+			return IntVal(isum), nil
+		}
+		return FloatVal(fsum), nil
+	case "AVG":
+		if len(vals) == 0 {
+			return NullValue, nil
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v.AsFloat()
+		}
+		return FloatVal(sum / float64(len(vals))), nil
+	case "MIN":
+		if len(vals) == 0 {
+			return NullValue, nil
+		}
+		min := vals[0]
+		for _, v := range vals[1:] {
+			if Compare(v, min) < 0 {
+				min = v
+			}
+		}
+		return min, nil
+	case "MAX":
+		if len(vals) == 0 {
+			return NullValue, nil
+		}
+		max := vals[0]
+		for _, v := range vals[1:] {
+			if Compare(v, max) > 0 {
+				max = v
+			}
+		}
+		return max, nil
+	case "STDEV", "VAR":
+		if len(vals) < 2 {
+			return NullValue, nil
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v.AsFloat()
+		}
+		mean := sum / float64(len(vals))
+		var ss float64
+		for _, v := range vals {
+			d := v.AsFloat() - mean
+			ss += d * d
+		}
+		variance := ss / float64(len(vals)-1)
+		if name == "VAR" {
+			return FloatVal(variance), nil
+		}
+		return FloatVal(math.Sqrt(variance)), nil
+	default:
+		return NullValue, execErrorf("unknown aggregate %s", name)
+	}
+}
+
+// valueLiteral converts a runtime value back into a literal AST node so that
+// already-computed sub-results can flow through the scalar evaluator.
+func valueLiteral(v Value) sqlast.Expr {
+	switch {
+	case v.Null:
+		return sqlast.Null()
+	case v.Kind == catalog.TypeInt:
+		return sqlast.Number(IntVal(v.I).String())
+	case v.Kind == catalog.TypeFloat:
+		return sqlast.Number(FloatVal(v.F).String())
+	case v.Kind == catalog.TypeBool:
+		if v.B {
+			return &sqlast.Literal{Kind: sqlast.LitBool, Text: "TRUE"}
+		}
+		return &sqlast.Literal{Kind: sqlast.LitBool, Text: "FALSE"}
+	default:
+		return sqlast.Str(v.S)
+	}
+}

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/sqlast"
+)
+
+// planImplicitJoins rewrites a multi-relation FROM clause plus a conjunctive
+// WHERE into a greedy left-deep hash-join order: any equality conjunct that
+// connects the joined prefix to an unjoined relation becomes a join
+// condition; everything else stays in the residual filter. Without this, a
+// Join-Order-Benchmark-style query with a dozen comma-joined relations would
+// materialize the full cross product.
+//
+// DisablePlanner turns this off (ablation), falling back to cross products
+// with a post-filter.
+func (e *Engine) planImplicitJoins(sel *sqlast.SelectStmt, outer *env, ctes map[string]*Relation) (*Relation, sqlast.Expr, error) {
+	if len(sel.From) <= 1 || sel.Where == nil || e.DisablePlanner {
+		rel, err := e.buildFrom(sel.From, outer, ctes)
+		return rel, sel.Where, err
+	}
+
+	rels := make([]*Relation, len(sel.From))
+	for i, ref := range sel.From {
+		rel, err := e.evalTableRef(ref, outer, ctes)
+		if err != nil {
+			return nil, nil, err
+		}
+		rels[i] = rel
+	}
+
+	conjuncts := splitConjuncts(sel.Where)
+	used := make([]bool, len(conjuncts))
+	joinedIdx := map[int]bool{0: true}
+	acc := rels[0]
+
+	for len(joinedIdx) < len(rels) {
+		progressed := false
+		for ci, c := range conjuncts {
+			if used[ci] {
+				continue
+			}
+			li, ri, target, ok := e.connects(c, acc, rels, joinedIdx)
+			if !ok {
+				continue
+			}
+			out := &Relation{Cols: append(append([]Col{}, acc.Cols...), rels[target].Cols...)}
+			var err error
+			if e.ForceNestedLoop {
+				acc, err = e.nestedEquiJoin(acc, rels[target], li, ri, out)
+			} else {
+				acc, err = e.hashJoin(acc, rels[target], li, ri, "INNER", out)
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			joinedIdx[target] = true
+			used[ci] = true
+			progressed = true
+		}
+		if !progressed {
+			// No connecting predicate: cross product with the next unjoined
+			// relation and keep going.
+			for i, rel := range rels {
+				if !joinedIdx[i] {
+					var err error
+					acc, err = e.crossProduct(acc, rel)
+					if err != nil {
+						return nil, nil, err
+					}
+					joinedIdx[i] = true
+					break
+				}
+			}
+		}
+	}
+
+	var residual []sqlast.Expr
+	for ci, c := range conjuncts {
+		if !used[ci] {
+			residual = append(residual, c)
+		}
+	}
+	return acc, sqlast.And(residual...), nil
+}
+
+// connects reports whether conjunct c is an equality joining a column of the
+// accumulated relation to a column of exactly one unjoined relation.
+func (e *Engine) connects(c sqlast.Expr, acc *Relation, rels []*Relation, joined map[int]bool) (accIdx, relIdx, target int, ok bool) {
+	bin, isBin := c.(*sqlast.Binary)
+	if !isBin || bin.Op != "=" {
+		return 0, 0, 0, false
+	}
+	lc, lok := bin.L.(*sqlast.ColumnRef)
+	rc, rok := bin.R.(*sqlast.ColumnRef)
+	if !lok || !rok {
+		return 0, 0, 0, false
+	}
+	try := func(a, b *sqlast.ColumnRef) (int, int, int, bool) {
+		ai := acc.find(a.Table, a.Name)
+		if len(ai) != 1 {
+			return 0, 0, 0, false
+		}
+		for i, rel := range rels {
+			if joined[i] {
+				continue
+			}
+			bi := rel.find(b.Table, b.Name)
+			if len(bi) == 1 {
+				return ai[0], bi[0], i, true
+			}
+		}
+		return 0, 0, 0, false
+	}
+	if ai, bi, t, ok := try(lc, rc); ok {
+		return ai, bi, t, true
+	}
+	if ai, bi, t, ok := try(rc, lc); ok {
+		return ai, bi, t, true
+	}
+	return 0, 0, 0, false
+}
+
+// nestedEquiJoin is the nested-loop inner equi-join used when hash joins are
+// disabled for ablation.
+func (e *Engine) nestedEquiJoin(left, right *Relation, li, ri int, out *Relation) (*Relation, error) {
+	for _, lr := range left.Rows {
+		for _, rr := range right.Rows {
+			e.ops++
+			if Equal(lr[li], rr[ri]) {
+				out.Rows = append(out.Rows, concatRows(lr, rr))
+				if len(out.Rows) > e.maxRows() {
+					return nil, execErrorf("join result exceeds row cap")
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitConjuncts flattens a tree of ANDs into its conjuncts.
+func splitConjuncts(e sqlast.Expr) []sqlast.Expr {
+	bin, ok := e.(*sqlast.Binary)
+	if ok && strings.EqualFold(bin.Op, "AND") {
+		return append(splitConjuncts(bin.L), splitConjuncts(bin.R)...)
+	}
+	return []sqlast.Expr{e}
+}

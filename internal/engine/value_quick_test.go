@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+)
+
+// randomValue builds an arbitrary Value for quick checks.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return NullValue
+	case 1:
+		return IntVal(int64(r.Intn(200) - 100))
+	case 2:
+		return FloatVal(float64(r.Intn(2000))/10 - 100)
+	case 3:
+		return TextVal(string(rune('a' + r.Intn(26))))
+	default:
+		return BoolVal(r.Intn(2) == 0)
+	}
+}
+
+type valueTriple struct{ A, B, C Value }
+
+// Generate implements quick.Generator.
+func (valueTriple) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valueTriple{randomValue(r), randomValue(r), randomValue(r)})
+}
+
+// Property (testing/quick): Compare is a total order — antisymmetric,
+// reflexive, and transitive — which sorting and grouping rely on.
+func TestCompareTotalOrderQuick(t *testing.T) {
+	f := func(tr valueTriple) bool {
+		a, b, c := tr.A, tr.B, tr.C
+		if Compare(a, a) != 0 {
+			return false
+		}
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		// Transitivity: a<=b and b<=c implies a<=c.
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): Equal is never true when either side is NULL,
+// and agrees with Compare otherwise.
+func TestEqualNullSemanticsQuick(t *testing.T) {
+	f := func(tr valueTriple) bool {
+		a, b := tr.A, tr.B
+		if a.Null || b.Null {
+			return !Equal(a, b)
+		}
+		return Equal(a, b) == (Compare(a, b) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): Key distinguishes NULL from the empty string and
+// is injective on simple rows of scalar values with distinct renderings.
+func TestKeyNullVsEmptyQuick(t *testing.T) {
+	if Key([]Value{NullValue}) == Key([]Value{TextVal("")}) {
+		t.Fatal("NULL and empty string must hash differently")
+	}
+	f := func(tr valueTriple) bool {
+		rowA := []Value{tr.A, tr.B}
+		rowB := []Value{tr.A, tr.C}
+		if Equal(tr.B, tr.C) || (tr.B.Null && tr.C.Null) {
+			return true // rows may collide when the values coincide
+		}
+		if tr.B.Null != tr.C.Null {
+			return Key(rowA) != Key(rowB)
+		}
+		if tr.B.String() == tr.C.String() {
+			return true // cross-kind renderings may legitimately coincide
+		}
+		return Key(rowA) != Key(rowB)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Truthy never panics and NULL is never truthy.
+func TestTruthyQuick(t *testing.T) {
+	f := func(tr valueTriple) bool {
+		if tr.A.Null && tr.A.Truthy() {
+			return false
+		}
+		_ = tr.B.Truthy()
+		_ = tr.C.Truthy()
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":  NullValue,
+		"42":    IntVal(42),
+		"-7":    IntVal(-7),
+		"3.5":   FloatVal(3.5),
+		"x":     TextVal("x"),
+		"true":  BoolVal(true),
+		"false": BoolVal(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", v, got, want)
+		}
+	}
+	if (Value{Kind: catalog.TypeAny}).String() != "?" {
+		t.Error("unknown kind should render as ?")
+	}
+}

@@ -1,0 +1,254 @@
+package equiv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/sqlast"
+)
+
+// RuleEquivalent reports whether two SELECTs are equivalent under the
+// rule-based normalizer: both are normalized (conjunct sorting, BETWEEN and
+// IN-list expansion, double-negation elimination, DISTINCT/GROUP BY
+// canonicalization, trivial CTE inlining) and compared by printed form.
+// It is sound but incomplete: a false result only means "not provably
+// equivalent by rules".
+func RuleEquivalent(a, b *sqlast.SelectStmt) bool {
+	return Normalize(a) == Normalize(b)
+}
+
+// Normalize renders a SELECT into its canonical comparison form.
+func Normalize(sel *sqlast.SelectStmt) string {
+	n := sqlast.CloneSelect(sel)
+	n = inlineTrivialCTE(n)
+	normalizeSelect(n)
+	return sqlast.Print(n)
+}
+
+func normalizeSelect(sel *sqlast.SelectStmt) {
+	// DISTINCT over plain columns == GROUP BY those columns: canonicalize to
+	// the GROUP BY form.
+	if sel.Distinct && len(sel.GroupBy) == 0 && sel.Having == nil {
+		allCols := true
+		for _, item := range sel.Items {
+			if _, ok := item.Expr.(*sqlast.ColumnRef); !ok {
+				allCols = false
+				break
+			}
+		}
+		if allCols && len(sel.Items) > 0 {
+			sel.Distinct = false
+			for _, item := range sel.Items {
+				sel.GroupBy = append(sel.GroupBy, sqlast.CloneExpr(item.Expr))
+			}
+		}
+	}
+	sel.Where = normalizeExpr(sel.Where)
+	sel.Having = normalizeExpr(sel.Having)
+	// Sort GROUP BY keys (grouping is order-insensitive).
+	sort.Slice(sel.GroupBy, func(i, j int) bool {
+		return sqlast.PrintExpr(sel.GroupBy[i]) < sqlast.PrintExpr(sel.GroupBy[j])
+	})
+	for i := range sel.With {
+		normalizeSelect(sel.With[i].Select)
+	}
+	for _, ref := range sel.From {
+		normalizeRef(ref)
+	}
+	for _, item := range sel.Items {
+		normalizeItemExpr(item.Expr)
+	}
+	if sel.SetOp != nil {
+		normalizeSelect(sel.SetOp.Right)
+	}
+}
+
+func normalizeRef(ref sqlast.TableRef) {
+	switch t := ref.(type) {
+	case *sqlast.Join:
+		t.On = normalizeExpr(t.On)
+		normalizeRef(t.Left)
+		normalizeRef(t.Right)
+		// Inner joins commute: order operands canonically.
+		if t.Type == "INNER" && sqlast.PrintTableRef(t.Left) > sqlast.PrintTableRef(t.Right) {
+			t.Left, t.Right = t.Right, t.Left
+		}
+	case *sqlast.SubqueryTable:
+		normalizeSelect(t.Select)
+	}
+}
+
+func normalizeItemExpr(e sqlast.Expr) {
+	if sub, ok := e.(*sqlast.Subquery); ok {
+		normalizeSelect(sub.Select)
+	}
+}
+
+// normalizeExpr canonicalizes a boolean expression: BETWEEN and IN-lists
+// expand, NOT pushes through comparisons, equality operands order
+// canonically, and AND/OR conjunct lists sort by printed form.
+func normalizeExpr(e sqlast.Expr) sqlast.Expr {
+	if e == nil {
+		return nil
+	}
+	switch t := e.(type) {
+	case *sqlast.Between:
+		if !t.Not {
+			return normalizeExpr(sqlast.And(
+				&sqlast.Binary{Op: ">=", L: t.X, R: t.Lo},
+				&sqlast.Binary{Op: "<=", L: sqlast.CloneExpr(t.X), R: t.Hi},
+			))
+		}
+		return t
+	case *sqlast.In:
+		if t.Sub == nil && !t.Not && len(t.List) > 0 {
+			var ors []sqlast.Expr
+			for _, v := range t.List {
+				ors = append(ors, sqlast.Eq(sqlast.CloneExpr(t.X), v))
+			}
+			return normalizeExpr(sqlast.Or(ors...))
+		}
+		if t.Sub != nil {
+			normalizeSelect(t.Sub)
+		}
+		return t
+	case *sqlast.Exists:
+		normalizeSelect(t.Sub)
+		return t
+	case *sqlast.Unary:
+		if t.Op == "NOT" {
+			inner := normalizeExpr(t.X)
+			if bin, ok := inner.(*sqlast.Binary); ok {
+				if neg, found := negations[bin.Op]; found {
+					return normalizeExpr(&sqlast.Binary{Op: neg, L: bin.L, R: bin.R})
+				}
+			}
+			if u, ok := inner.(*sqlast.Unary); ok && u.Op == "NOT" {
+				return u.X // double negation
+			}
+			return &sqlast.Unary{Op: "NOT", X: inner}
+		}
+		return t
+	case *sqlast.Binary:
+		switch t.Op {
+		case "AND", "OR":
+			parts := flatten(t, t.Op)
+			for i := range parts {
+				parts[i] = normalizeExpr(parts[i])
+			}
+			// Normalization can introduce nested conjunctions (BETWEEN
+			// expansion); re-flatten to a fixpoint before sorting.
+			var flat []sqlast.Expr
+			for _, p := range parts {
+				flat = append(flat, flatten(p, t.Op)...)
+			}
+			sort.Slice(flat, func(i, j int) bool {
+				return sqlast.PrintExpr(flat[i]) < sqlast.PrintExpr(flat[j])
+			})
+			if t.Op == "AND" {
+				return sqlast.And(flat...)
+			}
+			return sqlast.Or(flat...)
+		case "=", "<>":
+			l, r := t.L, t.R
+			if sqlast.PrintExpr(l) > sqlast.PrintExpr(r) {
+				l, r = r, l
+			}
+			return &sqlast.Binary{Op: t.Op, L: l, R: r}
+		case "<", "<=":
+			// Canonicalize direction: a < b stays; but b > a becomes a < b.
+			return t
+		case ">", ">=":
+			flip := map[string]string{">": "<", ">=": "<="}
+			return &sqlast.Binary{Op: flip[t.Op], L: t.R, R: t.L}
+		default:
+			return t
+		}
+	case *sqlast.Subquery:
+		normalizeSelect(t.Select)
+		return t
+	default:
+		return e
+	}
+}
+
+var negations = map[string]string{
+	">": "<=", "<": ">=", ">=": "<", "<=": ">", "=": "<>", "<>": "=",
+}
+
+func flatten(e sqlast.Expr, op string) []sqlast.Expr {
+	bin, ok := e.(*sqlast.Binary)
+	if ok && bin.Op == op {
+		return append(flatten(bin.L, op), flatten(bin.R, op)...)
+	}
+	return []sqlast.Expr{e}
+}
+
+// inlineTrivialCTE unwraps WITH c AS ( q ) SELECT * FROM c into q.
+func inlineTrivialCTE(sel *sqlast.SelectStmt) *sqlast.SelectStmt {
+	if len(sel.With) != 1 || len(sel.Items) != 1 || len(sel.From) != 1 {
+		return sel
+	}
+	star, isStar := sel.Items[0].Expr.(*sqlast.Star)
+	if !isStar || star.Table != "" {
+		return sel
+	}
+	tn, isName := sel.From[0].(*sqlast.TableName)
+	if !isName || !strings.EqualFold(tn.Name, sel.With[0].Name) || tn.Alias != "" {
+		return sel
+	}
+	if sel.Where != nil || len(sel.GroupBy) > 0 || sel.Having != nil ||
+		len(sel.OrderBy) > 0 || sel.Distinct || sel.SetOp != nil ||
+		sel.Limit != nil || sel.Offset != nil || sel.Top != nil {
+		return sel
+	}
+	return sel.With[0].Select
+}
+
+// Checker validates candidate pairs empirically by executing both queries
+// over seeded synthetic instances of a schema.
+type Checker struct {
+	Schema *catalog.Schema
+	// Seeds are the instance seeds to test against (more seeds, higher
+	// confidence). Defaults to three instances.
+	Seeds []int64
+	// Rows per generated table (default 24; kept small so wide joins stay
+	// fast).
+	Rows int
+}
+
+// NewChecker returns an engine-backed checker over the schema.
+func NewChecker(schema *catalog.Schema) *Checker {
+	return &Checker{Schema: schema, Seeds: []int64{11, 29, 47}, Rows: 24}
+}
+
+// Equivalent executes both queries on every seeded instance and reports
+// whether the results always match (as multisets, or ordered when the
+// queries declare ORDER BY). An execution error on either side is returned.
+func (c *Checker) Equivalent(a, b *sqlast.SelectStmt) (bool, error) {
+	rows := c.Rows
+	if rows <= 0 {
+		rows = 24
+	}
+	for _, seed := range c.Seeds {
+		db := datagen.Instance(c.Schema, datagen.Config{Seed: seed, Rows: rows})
+		e := engine.New(db)
+		ra, err := e.Query(a)
+		if err != nil {
+			return false, fmt.Errorf("left query failed: %w", err)
+		}
+		rb, err := e.Query(b)
+		if err != nil {
+			return false, fmt.Errorf("right query failed: %w", err)
+		}
+		ordered := len(a.OrderBy) > 0 && len(b.OrderBy) > 0
+		if !engine.EqualRelations(ra, rb, ordered) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,191 @@
+// Package experiments maps every table and figure in the paper's evaluation
+// to a runnable experiment that regenerates it from the benchmark. The
+// registry backs the sqlbench CLI and the root benchmark harness.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/llm/sim"
+	"repro/internal/prompt"
+)
+
+// Env carries the shared state experiments run against: the benchmark, the
+// model registry, and memoized per-model task results.
+type Env struct {
+	Bench    *core.Benchmark
+	Registry *llm.Registry
+	Models   []string
+
+	mu      sync.Mutex
+	syntax  map[string][]core.SyntaxResult
+	tokens  map[string][]core.TokenResult
+	equivs  map[string][]core.EquivResult
+	perf    map[string][]core.PerfResult
+	explain map[string][]core.ExplainResult
+}
+
+// NewEnv builds the benchmark and the five simulated models.
+func NewEnv(seed int64, verifyEquiv bool) (*Env, error) {
+	bench, err := core.Build(core.BuildConfig{Seed: seed, VerifyEquivalences: verifyEquiv})
+	if err != nil {
+		return nil, fmt.Errorf("building benchmark: %w", err)
+	}
+	knowledge := sim.NewKnowledge(bench.SchemasByDataset())
+	return &Env{
+		Bench:    bench,
+		Registry: sim.Registry(knowledge),
+		Models:   llm.ModelNames,
+		syntax:   map[string][]core.SyntaxResult{},
+		tokens:   map[string][]core.TokenResult{},
+		equivs:   map[string][]core.EquivResult{},
+		perf:     map[string][]core.PerfResult{},
+		explain:  map[string][]core.ExplainResult{},
+	}, nil
+}
+
+func key(model, ds string) string { return model + "\x00" + ds }
+
+// SyntaxResults runs (or returns cached) syntax_error results.
+func (e *Env) SyntaxResults(model, ds string) ([]core.SyntaxResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := key(model, ds)
+	if res, ok := e.syntax[k]; ok {
+		return res, nil
+	}
+	client, err := e.Registry.Get(model)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunSyntax(context.Background(), client, prompt.Default(prompt.SyntaxError), e.Bench.Syntax[ds])
+	if err != nil {
+		return nil, err
+	}
+	e.syntax[k] = res
+	return res, nil
+}
+
+// TokenResults runs (or returns cached) miss_token results.
+func (e *Env) TokenResults(model, ds string) ([]core.TokenResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := key(model, ds)
+	if res, ok := e.tokens[k]; ok {
+		return res, nil
+	}
+	client, err := e.Registry.Get(model)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunTokens(context.Background(), client, prompt.Default(prompt.MissToken), e.Bench.Tokens[ds])
+	if err != nil {
+		return nil, err
+	}
+	e.tokens[k] = res
+	return res, nil
+}
+
+// EquivResults runs (or returns cached) query_equiv results.
+func (e *Env) EquivResults(model, ds string) ([]core.EquivResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := key(model, ds)
+	if res, ok := e.equivs[k]; ok {
+		return res, nil
+	}
+	client, err := e.Registry.Get(model)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunEquiv(context.Background(), client, prompt.Default(prompt.QueryEquiv), e.Bench.Equiv[ds])
+	if err != nil {
+		return nil, err
+	}
+	e.equivs[k] = res
+	return res, nil
+}
+
+// PerfResults runs (or returns cached) performance_pred results (SDSS only).
+func (e *Env) PerfResults(model string) ([]core.PerfResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if res, ok := e.perf[model]; ok {
+		return res, nil
+	}
+	client, err := e.Registry.Get(model)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunPerf(context.Background(), client, prompt.Default(prompt.PerfPred), e.Bench.Perf)
+	if err != nil {
+		return nil, err
+	}
+	e.perf[model] = res
+	return res, nil
+}
+
+// ExplainResults runs (or returns cached) query_exp results (Spider only).
+func (e *Env) ExplainResults(model string) ([]core.ExplainResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if res, ok := e.explain[model]; ok {
+		return res, nil
+	}
+	client, err := e.Registry.Get(model)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunExplain(context.Background(), client, prompt.Default(prompt.QueryExp), e.Bench.Explain)
+	if err != nil {
+		return nil, err
+	}
+	e.explain[model] = res
+	return res, nil
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(env *Env, w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+var registryOrder []string
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+	registryOrder = append(registryOrder, e.ID)
+}
+
+// All returns every experiment in registration (paper) order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, id := range registryOrder {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns all experiment IDs, sorted.
+func IDs() []string {
+	out := append([]string{}, registryOrder...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,78 @@
+// Package llm defines the client abstraction the benchmark drives models
+// through. It mirrors the shape of a real chat-completion API client so the
+// simulated models in llm/sim are drop-in replaceable with HTTP-backed
+// implementations.
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Client produces a completion for a prompt. Implementations must be safe
+// for concurrent use.
+type Client interface {
+	// Name returns the model's display name (e.g. "GPT4").
+	Name() string
+	// Complete returns the model's response to the prompt.
+	Complete(ctx context.Context, prompt string) (string, error)
+}
+
+// The model names evaluated in the paper.
+const (
+	GPT4    = "GPT4"
+	GPT35   = "GPT3.5"
+	Llama3  = "Llama3"
+	Mistral = "MistralAI"
+	Gemini  = "Gemini"
+)
+
+// ModelNames lists the evaluated models in the paper's table order.
+var ModelNames = []string{GPT4, GPT35, Llama3, Mistral, Gemini}
+
+// ErrUnknownModel is returned by Registry.Get for unregistered names.
+var ErrUnknownModel = errors.New("unknown model")
+
+// Registry holds named clients.
+type Registry struct {
+	mu      sync.RWMutex
+	clients map[string]Client
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{clients: make(map[string]Client)}
+}
+
+// Register adds or replaces a client under its name.
+func (r *Registry) Register(c Client) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clients[c.Name()] = c
+}
+
+// Get returns the client with the given name.
+func (r *Registry) Get(name string) (Client, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.clients[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return c, nil
+}
+
+// Names returns the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.clients))
+	for n := range r.clients {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,65 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+type fakeClient struct{ name string }
+
+func (f fakeClient) Name() string { return f.name }
+func (f fakeClient) Complete(ctx context.Context, prompt string) (string, error) {
+	return "ok:" + f.name, nil
+}
+
+func TestRegistryRegisterGet(t *testing.T) {
+	r := NewRegistry()
+	r.Register(fakeClient{name: "a"})
+	r.Register(fakeClient{name: "b"})
+	c, err := r.Get("a")
+	if err != nil || c.Name() != "a" {
+		t.Fatalf("Get(a) = %v, %v", c, err)
+	}
+	if _, err := r.Get("z"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("Get(z) error = %v, want ErrUnknownModel", err)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestRegistryReplace(t *testing.T) {
+	r := NewRegistry()
+	r.Register(fakeClient{name: "a"})
+	r.Register(fakeClient{name: "a"}) // replace, not duplicate
+	if len(r.Names()) != 1 {
+		t.Errorf("Names = %v", r.Names())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.Register(fakeClient{name: string(rune('a' + i))})
+			r.Names()
+			r.Get("a")
+		}(i)
+	}
+	wg.Wait()
+	if len(r.Names()) != 8 {
+		t.Errorf("Names = %v", r.Names())
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if len(ModelNames) != 5 || ModelNames[0] != GPT4 || ModelNames[4] != Gemini {
+		t.Errorf("ModelNames = %v", ModelNames)
+	}
+}

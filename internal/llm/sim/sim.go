@@ -1,0 +1,612 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/analyze"
+	"repro/internal/catalog"
+	"repro/internal/equiv"
+	"repro/internal/llm"
+	"repro/internal/mutate"
+	"repro/internal/nlgen"
+	"repro/internal/prompt"
+	"repro/internal/repair"
+	"repro/internal/semcheck"
+	"repro/internal/sqllex"
+	"repro/internal/sqlparse"
+)
+
+// Knowledge is the shared "pretraining" context the simulated models resolve
+// queries against: the union of the workload schemas, plus per-dataset table
+// sets used to infer which workload a query belongs to.
+type Knowledge struct {
+	Merged        *catalog.Schema
+	datasetTables map[string]map[string]bool
+
+	checker     *semcheck.Checker
+	checkCache  sync.Map // sql -> []semcheck.Diagnostic
+	repairCache sync.Map // sql -> repair.Result
+}
+
+// NewKnowledge builds the context from per-dataset schemas.
+func NewKnowledge(byDataset map[string]*catalog.Schema) *Knowledge {
+	var all []*catalog.Schema
+	tables := make(map[string]map[string]bool, len(byDataset))
+	for ds, schema := range byDataset {
+		all = append(all, schema)
+		set := map[string]bool{}
+		for _, t := range schema.Tables() {
+			set[strings.ToLower(t.Name)] = true
+		}
+		tables[ds] = set
+	}
+	merged := catalog.Merged("knowledge", all...)
+	return &Knowledge{
+		Merged:        merged,
+		datasetTables: tables,
+		checker:       semcheck.New(merged),
+	}
+}
+
+// DetectDataset infers which workload a query belongs to by matching its
+// identifiers against the per-dataset table sets.
+func (k *Knowledge) DetectDataset(sql string) string {
+	toks, err := sqllex.LexWords(sql)
+	if err != nil {
+		return dsSDSS
+	}
+	// Only identifiers in table position (after FROM/JOIN/INTO/UPDATE/TABLE
+	// or a list comma) vote, so column names that coincide with another
+	// dataset's table names don't mislead.
+	var tablePos []string
+	for i, t := range toks {
+		if t.Kind != sqllex.Ident && t.Kind != sqllex.QuotedIdent {
+			continue
+		}
+		if i == 0 {
+			continue
+		}
+		prev := toks[i-1]
+		if prev.Is("FROM") || prev.Is("JOIN") || prev.Is("INTO") ||
+			prev.Is("UPDATE") || prev.Is("TABLE") || prev.Kind == sqllex.Comma {
+			tablePos = append(tablePos, strings.ToLower(t.Val()))
+		}
+	}
+	best, bestHits := dsSDSS, 0
+	// Deterministic evaluation order.
+	for _, ds := range []string{dsSDSS, dsSQLShare, dsJoin, dsSpider} {
+		set, ok := k.datasetTables[ds]
+		if !ok {
+			continue
+		}
+		hits := 0
+		for _, name := range tablePos {
+			if set[name] {
+				hits++
+			}
+		}
+		if hits > bestHits {
+			best, bestHits = ds, hits
+		}
+	}
+	return best
+}
+
+func (k *Knowledge) check(sql string) []semcheck.Diagnostic {
+	if v, ok := k.checkCache.Load(sql); ok {
+		return v.([]semcheck.Diagnostic)
+	}
+	diags := k.checker.CheckSQL(sql)
+	k.checkCache.Store(sql, diags)
+	return diags
+}
+
+func (k *Knowledge) detectMissing(sql string) repair.Result {
+	if v, ok := k.repairCache.Load(sql); ok {
+		return v.(repair.Result)
+	}
+	res := repair.Detect(sql, k.Merged)
+	k.repairCache.Store(sql, res)
+	return res
+}
+
+// Model is one simulated LLM.
+type Model struct {
+	name      string
+	profile   Profile
+	knowledge *Knowledge
+}
+
+// New returns the named simulated model over the knowledge context.
+func New(name string, k *Knowledge) (*Model, error) {
+	p, ok := ProfileFor(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: %w: %q", llm.ErrUnknownModel, name)
+	}
+	return &Model{name: name, profile: p, knowledge: k}, nil
+}
+
+// NewWithProfile returns a model with a custom calibration; the ablation
+// benchmarks use it to switch individual channel features off.
+func NewWithProfile(name string, p Profile, k *Knowledge) *Model {
+	return &Model{name: name, profile: p, knowledge: k}
+}
+
+// Registry returns all five paper models registered over shared knowledge.
+func Registry(k *Knowledge) *llm.Registry {
+	reg := llm.NewRegistry()
+	for _, name := range llm.ModelNames {
+		m, err := New(name, k)
+		if err != nil {
+			panic(err) // unreachable: ModelNames and profiles are aligned
+		}
+		reg.Register(m)
+	}
+	return reg
+}
+
+// Name implements llm.Client.
+func (m *Model) Name() string { return m.name }
+
+// Complete implements llm.Client: it infers the task from the prompt,
+// extracts the embedded quer(ies), runs the analyzers, applies the error
+// channel, and renders a model-flavored verbose response.
+func (m *Model) Complete(ctx context.Context, promptText string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	task, ok := prompt.DetectTask(promptText)
+	if !ok {
+		return m.style().unsure, nil
+	}
+	quality := promptQuality(promptText)
+	switch task {
+	case prompt.QueryEquiv:
+		q1, q2, ok := prompt.ExtractQueryPair(promptText)
+		if !ok {
+			return m.style().unsure, nil
+		}
+		return m.answerEquiv(q1, q2, quality), nil
+	default:
+		q, ok := prompt.ExtractQuery(promptText)
+		if !ok {
+			return m.style().unsure, nil
+		}
+		switch task {
+		case prompt.SyntaxError:
+			return m.answerSyntax(q, quality), nil
+		case prompt.MissToken:
+			return m.answerMissToken(q, quality), nil
+		case prompt.PerfPred:
+			return m.answerPerf(q), nil
+		case prompt.QueryExp:
+			return m.answerExplain(q), nil
+		}
+	}
+	return m.style().unsure, nil
+}
+
+// promptQuality returns an error-rate multiplier reflecting how much
+// guidance the instruction gives (the effect the paper's Section 3.4 prompt
+// tuning measures): the published, detailed prompts perform best; terse
+// variants degrade. Detection keys on wording the variant sets use.
+func promptQuality(promptText string) float64 {
+	lower := strings.ToLower(promptText)
+	// Worked examples sharpen the model: few-shot prompts cut error rates
+	// (the mitigation the paper anticipates in its conclusion).
+	if strings.Contains(lower, "example 1:") && strings.Contains(lower, "answer:") {
+		return 0.55
+	}
+	switch {
+	// Terse v3-style prompts.
+	case strings.Contains(lower, "reply yes/no"),
+		strings.Contains(lower, "say yes or no"),
+		strings.Contains(lower, "answer yes or no"),
+		strings.Contains(lower, "same results or not"):
+		return 1.6
+	// Reworded v2-style prompts: close to the tuned one.
+	case strings.Contains(lower, "you are a sql reviewer"),
+		strings.Contains(lower, "report its type"),
+		strings.Contains(lower, "classify the rewrite"),
+		strings.Contains(lower, "runtime cost"):
+		return 1.15
+	default:
+		return 1.0
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Channel primitives
+
+// unit hashes the parts into a deterministic uniform [0,1).
+func (m *Model) unit(parts ...string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(m.name))
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return float64(h.Sum64()%(1<<53)) / float64(uint64(1)<<53)
+}
+
+// gauss produces a deterministic standard normal via Box-Muller.
+func (m *Model) gauss(parts ...string) float64 {
+	u1 := m.unit(append(parts, "g1")...)
+	u2 := m.unit(append(parts, "g2")...)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// zWords standardizes a query's word count against its dataset population.
+func zWords(dataset string, wordCount int) float64 {
+	st, ok := datasetComplexity[dataset]
+	if !ok || st.sdWords == 0 {
+		return 0
+	}
+	z := (float64(wordCount) - st.meanWords) / st.sdWords
+	if z > 2.5 {
+		z = 2.5
+	}
+	if z < -2.5 {
+		z = -2.5
+	}
+	return z
+}
+
+// tilt scales a base error rate by exp(alpha*z), normalized so the expected
+// rate over the population stays near base.
+func (m *Model) tilt(base, z float64) float64 {
+	a := m.profile.Tilt
+	r := base * math.Exp(a*z) / math.Exp(a*a/2)
+	if r > 0.95 {
+		r = 0.95
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// syntax_error / syntax_error_type
+
+func (m *Model) answerSyntax(sql string, quality float64) string {
+	dataset := m.knowledge.DetectDataset(sql)
+	target := m.profile.SyntaxError[dataset]
+	if target.Prec == 0 {
+		target = m.profile.SyntaxError[dsSDSS]
+	}
+	diags := m.knowledge.check(sql)
+	z := zWords(dataset, len(sqllex.Words(sql)))
+	st := m.style()
+
+	if len(diags) > 0 {
+		primary := semcheck.Primary(diags)
+		weight := errorTypeWeight[dataset][primary]
+		if weight == 0 {
+			weight = 1
+		}
+		miss := m.tilt(target.missRate()*weight*quality, z)
+		if m.unit("syntax", "miss", sql) < miss {
+			return st.noError
+		}
+		reported := primary
+		acc := m.profile.SyntaxTypeAcc[dataset]
+		if m.unit("syntax", "type", sql) >= acc {
+			if conf, ok := confusionError[primary]; ok {
+				reported = conf
+			}
+		}
+		detail := ""
+		if len(diags) > 0 {
+			detail = diags[0].Msg
+		}
+		return fmt.Sprintf(st.hasError, reported, detail)
+	}
+	fa := m.tilt(target.falseAlarmRate()*quality, z)
+	if m.unit("syntax", "fa", sql) < fa {
+		invented := semcheck.PaperErrorTypes[int(m.unit("syntax", "fatype", sql)*6)%6]
+		return fmt.Sprintf(st.hasError, invented, "the query structure looks inconsistent")
+	}
+	return st.noError
+}
+
+// ---------------------------------------------------------------------------
+// miss_token / miss_token_type / miss_token_loc
+
+func (m *Model) answerMissToken(sql string, quality float64) string {
+	dataset := m.knowledge.DetectDataset(sql)
+	target := m.profile.MissToken[dataset]
+	if target.Prec == 0 {
+		target = m.profile.MissToken[dsSDSS]
+	}
+	det := m.knowledge.detectMissing(sql)
+	words := sqllex.Words(sql)
+	z := zWords(dataset, len(words))
+	st := m.style()
+
+	if det.Found {
+		weight := tokenKindWeight[dataset][det.Kind]
+		if weight == 0 {
+			weight = 1
+		}
+		miss := m.tilt(target.missRate()*weight*quality, z)
+		if m.unit("misstok", "miss", sql) < miss {
+			return st.noMissing
+		}
+		kind := det.Kind
+		acc := m.profile.MissTokenAcc[dataset]
+		if m.unit("misstok", "type", sql) >= acc {
+			kind = confusionToken[kind]
+		}
+		pos := m.perturbPosition(det.WordIndex, len(words), dataset, sql)
+		token := det.Inserted
+		if token == "" {
+			token = "(unknown)"
+		}
+		return fmt.Sprintf(st.missing, kind, token, pos+1) // 1-based in prose
+	}
+	fa := m.tilt(target.falseAlarmRate()*quality, z)
+	if m.unit("misstok", "fa", sql) < fa {
+		kinds := mutate.TokenKinds
+		kind := kinds[int(m.unit("misstok", "fakind", sql)*float64(len(kinds)))%len(kinds)]
+		pos := int(m.unit("misstok", "fapos", sql) * float64(len(words)))
+		return fmt.Sprintf(st.missing, kind, "(unclear)", pos+1)
+	}
+	return st.noMissing
+}
+
+// perturbPosition adds calibrated location noise: exact with probability HR,
+// otherwise offset by a geometric magnitude whose mean reproduces the MAE.
+func (m *Model) perturbPosition(truth, nwords int, dataset, sql string) int {
+	loc := m.profile.TokenLoc[dataset]
+	if loc.HR == 0 {
+		loc = m.profile.TokenLoc[dsSDSS]
+	}
+	if m.unit("loc", "hit", sql) < loc.HR {
+		return clampInt(truth, 0, nwords-1)
+	}
+	meanOffset := 1.0
+	if loc.HR < 1 {
+		meanOffset = loc.MAE / (1 - loc.HR)
+	}
+	if meanOffset < 1 {
+		meanOffset = 1
+	}
+	// Geometric-like magnitude with the target mean.
+	u := m.unit("loc", "mag", sql)
+	mag := 1 + int(-math.Log(1-u)*(meanOffset-0.5))
+	if m.unit("loc", "sign", sql) < 0.5 {
+		mag = -mag
+	}
+	return clampInt(truth+mag, 0, maxInt(nwords-1, 0))
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// performance_pred
+
+func (m *Model) answerPerf(sql string) string {
+	dataset := m.knowledge.DetectDataset(sql)
+	props := analyze.Compute(sql)
+	// The simulated models judge cost from surface features — how long and
+	// column-heavy the query looks — plus world knowledge of which SDSS
+	// relations are production-scale (the PerfBigWeight feature; stronger
+	// models weigh real scan volume more, weaker ones lean on length, which
+	// produces the paper's false positives on long cheap queries).
+	z := zWords(dataset, props.WordCount)
+	colZ := (float64(props.ColumnCount) - 8) / 8
+	if colZ > 2.5 {
+		colZ = 2.5
+	}
+	big := float64(countBigTables(sql))
+	score := m.profile.PerfBigWeight*big + z + 0.25*colZ + m.profile.PerfNoise*m.gauss("perf", sql)
+	st := m.style()
+	if score > m.profile.PerfThreshold {
+		return st.slow
+	}
+	return st.fast
+}
+
+// bigTables are the relations every astronomy-adjacent corpus describes as
+// enormous; recognizing them is world knowledge, not oracle access.
+var bigTables = map[string]bool{"photoobj": true, "phototag": true, "neighbors": true}
+
+func countBigTables(sql string) int {
+	toks, err := sqllex.LexWords(sql)
+	if err != nil {
+		return 0
+	}
+	seen := map[string]bool{}
+	for _, t := range toks {
+		if t.Kind == sqllex.Ident {
+			name := strings.ToLower(t.Val())
+			if bigTables[name] {
+				seen[name] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// ---------------------------------------------------------------------------
+// query_equiv / query_equiv_type
+
+func (m *Model) answerEquiv(sql1, sql2 string, quality float64) string {
+	dataset := m.knowledge.DetectDataset(sql1)
+	target := m.profile.QueryEquiv[dataset]
+	if target.Prec == 0 {
+		target = m.profile.QueryEquiv[dsSDSS]
+	}
+	st := m.style()
+	sel1, err1 := sqlparse.ParseSelect(sql1)
+	sel2, err2 := sqlparse.ParseSelect(sql2)
+	if err1 != nil || err2 != nil {
+		return st.notEquivalent
+	}
+	key := sql1 + "\x00" + sql2
+	z := zWords(dataset, len(sqllex.Words(sql1)))
+	guessType := equiv.ClassifyPair(sel1, sel2)
+
+	added, removed := equiv.DiffStats(sql1, sql2)
+	sayEquivalent := false
+	switch {
+	case equiv.RuleEquivalent(sel1, sel2):
+		// Provably equivalent under normalization: answer yes unless the
+		// model's (small) residual miss rate fires.
+		sayEquivalent = m.unit("equiv", "provable", key) >= m.tilt(target.missRate()*quality, z)
+	case added+removed <= 4 || added == 0:
+		// A subtle token edit (changed value/operator/aggregate/join
+		// keyword) or pure deletion. The true answer is almost always "not
+		// equivalent"; the calibrated false-alarm rate — tilted upward for
+		// long queries — reproduces the paper's FPs on modified conditions.
+		sayEquivalent = m.unit("equiv", "subtle", key) < m.tilt(target.falseAlarmRate()*quality, z)
+	default:
+		// A structural rewrite the normalizer cannot prove. Models lean
+		// "equivalent" here (the paper's near-perfect recall).
+		sayEquivalent = m.unit("equiv", "structural", key) >= m.tilt(target.missRate()*quality, z)
+	}
+
+	reported := guessType
+	acc := m.profile.EquivTypeAcc[dataset]
+	if m.unit("equiv", "type", key) >= acc {
+		reported = equiv.ConfusePair(guessType)
+	}
+	if sayEquivalent {
+		return fmt.Sprintf(st.equivalent, reported)
+	}
+	return st.notEquivalent + fmt.Sprintf(st.equivTypeSuffix, reported)
+}
+
+// ---------------------------------------------------------------------------
+// query_exp
+
+func (m *Model) answerExplain(sql string) string {
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		return m.style().unsure
+	}
+	facts := nlgen.Extract(sel)
+	skill := m.profile.ExplainSkill
+	opt := nlgen.RenderOptions{
+		DropColumns:     m.unit("exp", "cols", sql) < (1-skill)*0.9,
+		DropContext:     m.unit("exp", "ctx", sql) < (1-skill)*0.9,
+		FlipSuperlative: facts.Superlative && m.unit("exp", "flip", sql) < m.profile.FlipSuperlative,
+	}
+	if skill < 0.8 {
+		opt.MaxFilters = 1
+	}
+	return m.style().explainPrefix + nlgen.Render(facts, opt)
+}
+
+// ---------------------------------------------------------------------------
+// Response styling
+
+// styleSet holds the per-model response phrasing; the variety exercises the
+// response post-processing layer the way real model output did in the paper.
+type styleSet struct {
+	noError         string
+	hasError        string // args: type, detail
+	noMissing       string
+	missing         string // args: kind, token, position
+	slow            string
+	fast            string
+	equivalent      string // arg: transformation type
+	notEquivalent   string
+	equivTypeSuffix string // arg: transformation type
+	explainPrefix   string
+	unsure          string
+}
+
+var styles = map[string]styleSet{
+	"GPT4": {
+		noError:         "No, the query does not contain any syntax errors. It is well-formed SQL.",
+		hasError:        "Yes, the query contains an error. **Error type:** %s. Explanation: %s.",
+		noMissing:       "No, the query has no syntax errors and no missing words.",
+		missing:         "Yes, there is a missing word. Type: %s. The missing word is %q, at word position %d.",
+		slow:            "Yes, this query will likely take longer than usual to run, given its joins and scan volume.",
+		fast:            "No, this query should run quickly; it touches limited data.",
+		equivalent:      "Yes, the two queries are equivalent: the rewrite is a %s transformation that preserves results.",
+		notEquivalent:   "No, the two queries are not equivalent; they can return different results.",
+		equivTypeSuffix: " The difference is a %s change.",
+		explainPrefix:   "",
+		unsure:          "I am not certain how to answer that request.",
+	},
+	"GPT3.5": {
+		noError:         "No syntax errors found. The query looks fine.",
+		hasError:        "Yes. There is a problem with this query (%s): %s.",
+		noMissing:       "No. The query appears complete, with no missing words.",
+		missing:         "Yes, a word is missing. It looks like a %s. Missing word: %q. Position: word %d.",
+		slow:            "Yes, I think this query takes longer than usual.",
+		fast:            "No, it should be fast.",
+		equivalent:      "Yes, they are equivalent (%s rewrite).",
+		notEquivalent:   "No, these queries are not equivalent.",
+		equivTypeSuffix: " The change looks like %s.",
+		explainPrefix:   "",
+		unsure:          "Sorry, I could not process that.",
+	},
+	"Llama3": {
+		noError:         "Based on my analysis, there are no syntax errors in this query.",
+		hasError:        "Based on my analysis, yes — the query has an error. Error type: %s. Details: %s.",
+		noMissing:       "Based on my analysis, nothing is missing from this query.",
+		missing:         "Based on my analysis, yes — a token is missing. Kind: %s, token %q, around word %d.",
+		slow:            "Yes — this looks like a heavy query that takes longer than usual.",
+		fast:            "No — this looks like a light query.",
+		equivalent:      "Yes — the queries are equivalent; this is a %s transformation.",
+		notEquivalent:   "No — the queries differ in their results.",
+		equivTypeSuffix: " It appears to be a %s modification.",
+		explainPrefix:   "",
+		unsure:          "I am unable to determine that.",
+	},
+	"MistralAI": {
+		noError:         "no error",
+		hasError:        "yes; type=%s; detail=%s",
+		noMissing:       "no; nothing missing",
+		missing:         "yes; kind=%s; token=%s; position=%d",
+		slow:            "yes; high cost",
+		fast:            "no; low cost",
+		equivalent:      "equivalent; type=%s",
+		notEquivalent:   "not equivalent",
+		equivTypeSuffix: "; type=%s",
+		explainPrefix:   "",
+		unsure:          "unknown",
+	},
+	"Gemini": {
+		noError:         "The query appears to be free of syntax errors.",
+		hasError:        "The query appears to contain a %s error. %s.",
+		noMissing:       "The query does not appear to be missing any words.",
+		missing:         "The query appears to be missing a %s (%q) near word %d.",
+		slow:            "This query is likely to take longer than usual.",
+		fast:            "This query is unlikely to take longer than usual.",
+		equivalent:      "The two queries appear to be equivalent (a %s rewrite).",
+		notEquivalent:   "The two queries do not appear to be equivalent.",
+		equivTypeSuffix: " The modification resembles %s.",
+		explainPrefix:   "",
+		unsure:          "Unable to answer.",
+	},
+}
+
+func (m *Model) style() styleSet { return styles[m.name] }

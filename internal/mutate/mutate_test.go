@@ -1,0 +1,225 @@
+package mutate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/semcheck"
+	"repro/internal/sqllex"
+	"repro/internal/sqlparse"
+	"repro/internal/workload/sdss"
+	"repro/internal/workload/sqlshare"
+)
+
+func TestInjectEachTypeOnPaperQuery(t *testing.T) {
+	w := sdss.Generate(1)
+	checker := semcheck.New(w.Schema)
+	r := rand.New(rand.NewSource(5))
+	sql := "SELECT s.plate , s.mjd , s.z FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid WHERE s.z > 0.5 AND p.ra > 180"
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, code := range semcheck.PaperErrorTypes {
+		inj, ok := InjectError(stmt, w.Schema, code, r)
+		if !ok {
+			t.Errorf("InjectError(%s) not applicable", code)
+			continue
+		}
+		diags := checker.CheckSQL(inj.SQL)
+		if got := semcheck.Primary(diags); got != code {
+			t.Errorf("InjectError(%s) produced primary %s\n sql: %s\n diags: %v", code, got, inj.SQL, diags)
+		}
+	}
+}
+
+// Property: every successful injection over the SDSS workload trips the
+// oracle with the requested code as a detected diagnostic.
+func TestInjectionsDetectedAcrossWorkload(t *testing.T) {
+	w := sdss.Generate(1)
+	checker := semcheck.New(w.Schema)
+	r := rand.New(rand.NewSource(7))
+	attempts, successes := 0, 0
+	for _, q := range w.Queries {
+		if q.Props.QueryType != "SELECT" {
+			continue
+		}
+		for _, code := range semcheck.PaperErrorTypes {
+			inj, ok := InjectError(q.Stmt, w.Schema, code, r)
+			if !ok {
+				continue
+			}
+			attempts++
+			diags := checker.CheckSQL(inj.SQL)
+			found := false
+			for _, d := range diags {
+				if d.Code == code {
+					found = true
+					break
+				}
+			}
+			if found {
+				successes++
+			} else if successes < 10 {
+				t.Errorf("injection %s undetected\n sql: %s\n diags: %v", code, inj.SQL, diags)
+			}
+		}
+	}
+	if attempts == 0 {
+		t.Fatal("no injections applied")
+	}
+	if successes != attempts {
+		t.Errorf("detected %d/%d injections", successes, attempts)
+	}
+}
+
+func TestInjectionsDetectedSQLShare(t *testing.T) {
+	w := sqlshare.Generate(1)
+	checker := semcheck.New(w.Schema)
+	r := rand.New(rand.NewSource(11))
+	var undetected int
+	for _, q := range w.Queries[:100] {
+		for _, code := range semcheck.PaperErrorTypes {
+			inj, ok := InjectError(q.Stmt, w.Schema, code, r)
+			if !ok {
+				continue
+			}
+			found := false
+			for _, d := range checker.CheckSQL(inj.SQL) {
+				if d.Code == code {
+					found = true
+				}
+			}
+			if !found {
+				undetected++
+				if undetected <= 5 {
+					t.Errorf("undetected %s: %s", code, inj.SQL)
+				}
+			}
+		}
+	}
+	if undetected > 0 {
+		t.Errorf("%d undetected injections", undetected)
+	}
+}
+
+func TestInjectNotApplicable(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	w := sdss.Generate(1)
+	// DROP has no SELECT body: nothing is applicable.
+	stmt, _ := sqlparse.ParseStatement("DROP TABLE MyResults")
+	for _, code := range semcheck.PaperErrorTypes {
+		if _, ok := InjectError(stmt, w.Schema, code, r); ok {
+			t.Errorf("InjectError(%s) applied to DROP", code)
+		}
+	}
+	// A constant SELECT offers no alias/ambiguity sites.
+	stmt, _ = sqlparse.ParseStatement("SELECT 1 + 2")
+	for _, code := range []semcheck.Code{semcheck.CodeAliasUndefined, semcheck.CodeAliasAmbiguous, semcheck.CodeConditionMismatch} {
+		if _, ok := InjectError(stmt, w.Schema, code, r); ok {
+			t.Errorf("InjectError(%s) applied to constant select", code)
+		}
+	}
+}
+
+func TestRemoveTokenKinds(t *testing.T) {
+	sql := "SELECT s.plate , s.mjd FROM SpecObj AS s WHERE s.z > 0.5 AND s.class = 'GALAXY'"
+	stmt, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for _, kind := range TokenKinds {
+		rem, ok := RemoveToken(sql, stmt, kind, r)
+		if !ok {
+			t.Errorf("RemoveToken(%s) not applicable", kind)
+			continue
+		}
+		if rem.Kind != kind {
+			t.Errorf("kind = %s, want %s", rem.Kind, kind)
+		}
+		if rem.SQL == sql {
+			t.Errorf("RemoveToken(%s) left the query unchanged", kind)
+		}
+		if rem.Removed == "" {
+			t.Errorf("RemoveToken(%s) recorded no token", kind)
+		}
+	}
+}
+
+func TestRemoveTokenGroundTruth(t *testing.T) {
+	sql := "SELECT plate FROM SpecObj WHERE z > 0.5"
+	stmt, _ := sqlparse.ParseStatement(sql)
+	r := rand.New(rand.NewSource(9))
+	rem, ok := RemoveToken(sql, stmt, TokComparison, r)
+	if !ok {
+		t.Fatal("comparison removal failed")
+	}
+	if rem.Removed != ">" {
+		t.Errorf("removed %q, want >", rem.Removed)
+	}
+	// ">" is word index 6: SELECT plate FROM SpecObj WHERE z > 0.5
+	if rem.WordIndex != 6 {
+		t.Errorf("word index = %d, want 6", rem.WordIndex)
+	}
+	if rem.SQL != "SELECT plate FROM SpecObj WHERE z 0.5" {
+		t.Errorf("sql = %q", rem.SQL)
+	}
+}
+
+func TestRemoveTokenClassification(t *testing.T) {
+	sql := "SELECT s.plate , COUNT(*) FROM SpecObj AS s GROUP BY s.plate"
+	stmt, _ := sqlparse.ParseStatement(sql)
+	r := rand.New(rand.NewSource(2))
+
+	rem, ok := RemoveToken(sql, stmt, TokTable, r)
+	if !ok || !strings.EqualFold(rem.Removed, "SpecObj") {
+		t.Errorf("table removal = %+v", rem)
+	}
+	rem, ok = RemoveToken(sql, stmt, TokAlias, r)
+	if !ok || !strings.EqualFold(rem.Removed, "s") {
+		t.Errorf("alias removal = %+v", rem)
+	}
+	rem, ok = RemoveToken(sql, stmt, TokColumn, r)
+	if !ok || !strings.EqualFold(rem.Removed, "plate") {
+		t.Errorf("column removal = %+v (COUNT must not classify as column)", rem)
+	}
+	// No values or comparisons in this query.
+	if _, ok := RemoveToken(sql, stmt, TokValue, r); ok {
+		t.Error("value removal should not apply")
+	}
+	if _, ok := RemoveToken(sql, stmt, TokComparison, r); ok {
+		t.Error("comparison removal should not apply")
+	}
+}
+
+// Property: across a workload, removals always produce shorter texts and
+// correct word indexes relative to the original token stream.
+func TestRemoveTokenAcrossWorkload(t *testing.T) {
+	w := sdss.Generate(1)
+	r := rand.New(rand.NewSource(13))
+	applied := 0
+	for _, q := range w.Queries[:150] {
+		for _, kind := range TokenKinds {
+			rem, ok := RemoveToken(q.SQL, q.Stmt, kind, r)
+			if !ok {
+				continue
+			}
+			applied++
+			if len(rem.SQL) >= len(q.SQL) {
+				t.Fatalf("removal did not shrink %q -> %q", q.SQL, rem.SQL)
+			}
+			words := sqllex.Words(q.SQL)
+			if rem.WordIndex < 0 || rem.WordIndex >= len(words) {
+				t.Fatalf("word index %d out of range (%d words)", rem.WordIndex, len(words))
+			}
+			if !strings.Contains(words[rem.WordIndex], rem.Removed) {
+				t.Fatalf("word %d is %q, does not contain removed %q", rem.WordIndex, words[rem.WordIndex], rem.Removed)
+			}
+		}
+	}
+	if applied < 300 {
+		t.Errorf("only %d removals applied; expected wide coverage", applied)
+	}
+}

@@ -1,0 +1,346 @@
+// Package nlgen generates natural-language explanations of SQL queries from
+// their ASTs, and extracts the "fact set" an explanation should cover. The
+// query_exp task uses it twice: to build ground-truth reference facts, and
+// inside the simulated models, which drop or distort facts according to
+// their capability profile.
+package nlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlast"
+)
+
+// Facts is the structured content of a query explanation. Every field is a
+// human-readable fragment; empty fields do not apply.
+type Facts struct {
+	Action      string   // "counts", "lists", "computes the average of", ...
+	Columns     []string // projected columns / aggregate descriptions
+	Tables      []string // source tables
+	Filters     []string // rendered filter conditions
+	Grouping    []string // group-by keys
+	Ordering    string   // superlative semantics, e.g. "with the highest capacity"
+	Limit       string   // "top 3", "" for none
+	SetOp       string   // "appearing in both ...", for INTERSECT etc.
+	Subqueries  []string // membership conditions
+	Superlative bool     // ordering+limit-1 encodes a superlative
+	// Descending is the direction of the first ORDER BY key; meaningful when
+	// Superlative is set. The paper's Q18 failure is misreading this.
+	Descending bool
+}
+
+// Extract derives the fact set of a SELECT statement.
+func Extract(sel *sqlast.SelectStmt) Facts {
+	f := Facts{}
+	agg := false
+	for _, item := range sel.Items {
+		switch e := item.Expr.(type) {
+		case *sqlast.FuncCall:
+			if sqlast.IsAggregate(e.Name) {
+				agg = true
+				f.Columns = append(f.Columns, describeAggregate(e))
+				continue
+			}
+			f.Columns = append(f.Columns, strings.ToLower(e.Name)+" of "+describeArgs(e))
+		case *sqlast.Star:
+			f.Columns = append(f.Columns, "all columns")
+		case *sqlast.ColumnRef:
+			f.Columns = append(f.Columns, columnPhrase(e))
+		default:
+			f.Columns = append(f.Columns, sqlast.PrintExpr(item.Expr))
+		}
+	}
+	if agg {
+		f.Action = "computes"
+	} else {
+		f.Action = "lists"
+	}
+	for _, ref := range sel.From {
+		collectTables(ref, &f.Tables)
+	}
+	f.Filters = filterPhrases(sel.Where)
+	for _, g := range sel.GroupBy {
+		f.Grouping = append(f.Grouping, columnPhraseExpr(g))
+	}
+	if len(sel.OrderBy) > 0 {
+		f.Descending = sel.OrderBy[0].Desc
+		limitOne := (sel.Limit != nil && *sel.Limit == 1) || (sel.Top != nil && *sel.Top == 1)
+		if limitOne {
+			f.Superlative = true
+			key := strings.TrimPrefix(columnPhraseExpr(sel.OrderBy[0].Expr), "the ")
+			if f.Descending {
+				f.Ordering = "with the highest " + key
+			} else {
+				f.Ordering = "with the lowest " + key
+			}
+		} else {
+			dir := "ascending"
+			if f.Descending {
+				dir = "descending"
+			}
+			f.Ordering = "ordered by " + columnPhraseExpr(sel.OrderBy[0].Expr) + " " + dir
+		}
+	}
+	if sel.Limit != nil && *sel.Limit > 1 {
+		f.Limit = fmt.Sprintf("top %d", *sel.Limit)
+	}
+	if sel.SetOp != nil {
+		switch sel.SetOp.Op {
+		case "INTERSECT":
+			f.SetOp = "keeping only rows appearing in both branches"
+		case "EXCEPT":
+			f.SetOp = "excluding rows from the second branch"
+		default:
+			f.SetOp = "combined with a second query"
+		}
+		right := Extract(sel.SetOp.Right)
+		f.Filters = append(f.Filters, right.Filters...)
+	}
+	collectSubqueryFacts(sel.Where, &f.Subqueries)
+	return f
+}
+
+func describeAggregate(fc *sqlast.FuncCall) string {
+	name := strings.ToUpper(fc.Name)
+	if fc.Star {
+		return "the number of rows"
+	}
+	arg := describeArgs(fc)
+	switch name {
+	case "COUNT":
+		return "the number of " + arg
+	case "AVG":
+		return "the average " + arg
+	case "SUM":
+		return "the total " + arg
+	case "MIN":
+		return "the minimum " + arg
+	case "MAX":
+		return "the maximum " + arg
+	default:
+		return strings.ToLower(name) + " of " + arg
+	}
+}
+
+func describeArgs(fc *sqlast.FuncCall) string {
+	var parts []string
+	for _, a := range fc.Args {
+		parts = append(parts, columnPhraseExpr(a))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func columnPhrase(cr *sqlast.ColumnRef) string { return cr.Name }
+
+func columnPhraseExpr(e sqlast.Expr) string {
+	if cr, ok := e.(*sqlast.ColumnRef); ok {
+		return cr.Name
+	}
+	if fc, ok := e.(*sqlast.FuncCall); ok && sqlast.IsAggregate(fc.Name) {
+		return describeAggregate(fc)
+	}
+	return sqlast.PrintExpr(e)
+}
+
+func collectTables(ref sqlast.TableRef, out *[]string) {
+	switch t := ref.(type) {
+	case *sqlast.TableName:
+		*out = append(*out, t.Name)
+	case *sqlast.Join:
+		collectTables(t.Left, out)
+		collectTables(t.Right, out)
+	case *sqlast.SubqueryTable:
+		inner := Extract(t.Select)
+		*out = append(*out, inner.Tables...)
+	}
+}
+
+// filterPhrases renders each non-join WHERE conjunct as a phrase. Join
+// conditions (column = column) are treated as structure, not filters.
+func filterPhrases(e sqlast.Expr) []string {
+	var out []string
+	var walk func(x sqlast.Expr)
+	walk = func(x sqlast.Expr) {
+		if x == nil {
+			return
+		}
+		switch t := x.(type) {
+		case *sqlast.Binary:
+			if t.Op == "AND" || t.Op == "OR" {
+				walk(t.L)
+				walk(t.R)
+				return
+			}
+			if _, l := t.L.(*sqlast.ColumnRef); l {
+				if _, r := t.R.(*sqlast.ColumnRef); r {
+					return // join condition
+				}
+			}
+			out = append(out, sqlast.PrintExpr(t))
+		case *sqlast.In:
+			if t.Sub == nil {
+				out = append(out, sqlast.PrintExpr(t.X)+" in a fixed list")
+			}
+		case *sqlast.Between:
+			out = append(out, sqlast.PrintExpr(t))
+		case *sqlast.IsNull:
+			out = append(out, sqlast.PrintExpr(t))
+		case *sqlast.Unary:
+			walk(t.X)
+		}
+	}
+	walk(e)
+	return out
+}
+
+func collectSubqueryFacts(e sqlast.Expr, out *[]string) {
+	if e == nil {
+		return
+	}
+	switch t := e.(type) {
+	case *sqlast.Binary:
+		collectSubqueryFacts(t.L, out)
+		collectSubqueryFacts(t.R, out)
+	case *sqlast.In:
+		if t.Sub != nil {
+			inner := Extract(t.Sub)
+			phrase := columnPhraseExpr(t.X) + " appearing in " + strings.Join(inner.Tables, ", ")
+			*out = append(*out, phrase)
+		}
+	case *sqlast.Exists:
+		inner := Extract(t.Sub)
+		*out = append(*out, "matching rows exist in "+strings.Join(inner.Tables, ", "))
+	case *sqlast.Unary:
+		collectSubqueryFacts(t.X, out)
+	}
+}
+
+// Render produces a one-sentence explanation covering the given facts.
+// Include flags allow the simulated models to drop facts; FlipSuperlative
+// reproduces the paper's Q18 failure (reading ASC LIMIT 1 as "fastest").
+type RenderOptions struct {
+	DropColumns     bool // omit the selected attributes (the paper's Q17 failure)
+	DropContext     bool // omit tables/filters context (the Q15/Q16 failures)
+	FlipSuperlative bool // invert highest/lowest (the Q18 failure)
+	MaxFilters      int  // cap on rendered filters; 0 = all
+}
+
+// Render builds the explanation sentence.
+func Render(f Facts, opt RenderOptions) string {
+	var b strings.Builder
+	b.WriteString("This query ")
+	b.WriteString(f.Action)
+	b.WriteString(" ")
+	if opt.DropColumns || len(f.Columns) == 0 {
+		b.WriteString("results")
+	} else {
+		b.WriteString(strings.Join(f.Columns, ", "))
+	}
+	if len(f.Grouping) > 0 {
+		b.WriteString(" for each ")
+		b.WriteString(strings.Join(f.Grouping, ", "))
+	}
+	if !opt.DropContext && len(f.Tables) > 0 {
+		b.WriteString(" from ")
+		b.WriteString(strings.Join(f.Tables, ", "))
+	}
+	filters := f.Filters
+	if opt.DropContext {
+		filters = nil
+	}
+	if opt.MaxFilters > 0 && len(filters) > opt.MaxFilters {
+		filters = filters[:opt.MaxFilters]
+	}
+	if len(filters) > 0 {
+		b.WriteString(" where ")
+		b.WriteString(strings.Join(filters, " and "))
+	}
+	if !opt.DropContext {
+		for _, s := range f.Subqueries {
+			b.WriteString(", with ")
+			b.WriteString(s)
+		}
+	}
+	if f.Ordering != "" {
+		ordering := f.Ordering
+		if opt.FlipSuperlative && f.Superlative {
+			ordering = flipOrdering(ordering)
+		}
+		b.WriteString(" ")
+		b.WriteString(ordering)
+	}
+	if f.Limit != "" {
+		b.WriteString(", returning the ")
+		b.WriteString(f.Limit)
+	}
+	if f.SetOp != "" {
+		b.WriteString(", ")
+		b.WriteString(f.SetOp)
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+func flipOrdering(s string) string {
+	switch {
+	case strings.Contains(s, "highest"):
+		return strings.Replace(s, "highest", "lowest", 1)
+	case strings.Contains(s, "lowest"):
+		return strings.Replace(s, "lowest", "highest", 1)
+	default:
+		return s
+	}
+}
+
+// Coverage scores an explanation against reference facts: the fraction of
+// key facts (columns, tables, filters, grouping, ordering) whose anchor
+// terms appear in the explanation. It is the quantitative backbone of the
+// paper's qualitative case study.
+func Coverage(explanation string, f Facts) float64 {
+	lower := strings.ToLower(explanation)
+	var total, hit int
+	check := func(term string) {
+		if term == "" {
+			return
+		}
+		total++
+		if strings.Contains(lower, strings.ToLower(anchor(term))) {
+			hit++
+		}
+	}
+	for _, c := range f.Columns {
+		check(c)
+	}
+	for _, t := range f.Tables {
+		check(t)
+	}
+	for _, fl := range f.Filters {
+		check(fl)
+	}
+	for _, g := range f.Grouping {
+		check(g)
+	}
+	check(f.Ordering)
+	if total == 0 {
+		return 1
+	}
+	return float64(hit) / float64(total)
+}
+
+// anchor reduces a fact phrase to its most identifying token.
+func anchor(term string) string {
+	fields := strings.Fields(term)
+	if len(fields) == 0 {
+		return term
+	}
+	// Prefer the last identifier-looking token (column/table names end the
+	// generated phrases).
+	for i := len(fields) - 1; i >= 0; i-- {
+		f := strings.Trim(fields[i], ".,'")
+		if f != "" && f != "and" && f != "the" {
+			return f
+		}
+	}
+	return fields[len(fields)-1]
+}

@@ -1,0 +1,139 @@
+package nlgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+func facts(t *testing.T, sql string) Facts {
+	t.Helper()
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return Extract(sel)
+}
+
+func TestExtractBasicFacts(t *testing.T) {
+	f := facts(t, "SELECT plate , mjd FROM SpecObj WHERE z > 0.5")
+	if f.Action != "lists" {
+		t.Errorf("action = %q", f.Action)
+	}
+	if len(f.Columns) != 2 || f.Columns[0] != "plate" {
+		t.Errorf("columns = %v", f.Columns)
+	}
+	if len(f.Tables) != 1 || f.Tables[0] != "SpecObj" {
+		t.Errorf("tables = %v", f.Tables)
+	}
+	if len(f.Filters) != 1 || !strings.Contains(f.Filters[0], "z > 0.5") {
+		t.Errorf("filters = %v", f.Filters)
+	}
+}
+
+func TestExtractAggregates(t *testing.T) {
+	f := facts(t, "SELECT COUNT(*) , cName FROM tryout GROUP BY cName ORDER BY COUNT(*) DESC")
+	if f.Action != "computes" {
+		t.Errorf("action = %q", f.Action)
+	}
+	if f.Columns[0] != "the number of rows" {
+		t.Errorf("columns = %v", f.Columns)
+	}
+	if len(f.Grouping) != 1 || f.Grouping[0] != "cName" {
+		t.Errorf("grouping = %v", f.Grouping)
+	}
+	if f.Superlative {
+		t.Error("no limit-1: not superlative")
+	}
+}
+
+func TestExtractSuperlative(t *testing.T) {
+	// The paper's Q18: ASC LIMIT 1 means "the least".
+	f := facts(t, "SELECT C.cylinders FROM CARS_DATA AS C JOIN CAR_NAMES AS T ON C.Id = T.MakeId WHERE T.Model = 'volvo' ORDER BY C.accelerate ASC LIMIT 1")
+	if !f.Superlative {
+		t.Fatal("superlative not detected")
+	}
+	if f.Descending {
+		t.Error("ASC misread as descending")
+	}
+	if !strings.Contains(f.Ordering, "lowest accelerate") {
+		t.Errorf("ordering = %q", f.Ordering)
+	}
+	f2 := facts(t, "SELECT name FROM stadium ORDER BY capacity DESC LIMIT 1")
+	if !strings.Contains(f2.Ordering, "highest capacity") {
+		t.Errorf("ordering = %q", f2.Ordering)
+	}
+}
+
+func TestExtractSetOpAndSubquery(t *testing.T) {
+	f := facts(t, "SELECT name FROM singer WHERE singer_id IN ( SELECT singer_id FROM singer_in_concert )")
+	if len(f.Subqueries) != 1 || !strings.Contains(f.Subqueries[0], "singer_in_concert") {
+		t.Errorf("subqueries = %v", f.Subqueries)
+	}
+	f2 := facts(t, "SELECT a FROM t WHERE x = 1 INTERSECT SELECT a FROM t WHERE y = 2")
+	if !strings.Contains(f2.SetOp, "both") {
+		t.Errorf("setop = %q", f2.SetOp)
+	}
+}
+
+func TestRenderFull(t *testing.T) {
+	f := facts(t, "SELECT name , capacity FROM stadium WHERE capacity > 1000 ORDER BY capacity DESC LIMIT 1")
+	out := Render(f, RenderOptions{})
+	for _, want := range []string{"name", "capacity", "stadium", "highest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render = %q, missing %q", out, want)
+		}
+	}
+}
+
+func TestRenderDropOptions(t *testing.T) {
+	f := facts(t, "SELECT name FROM stadium WHERE capacity > 1000")
+	full := Render(f, RenderOptions{})
+	noCols := Render(f, RenderOptions{DropColumns: true})
+	if strings.Contains(noCols, "name") {
+		t.Errorf("DropColumns kept columns: %q", noCols)
+	}
+	noCtx := Render(f, RenderOptions{DropContext: true})
+	if strings.Contains(noCtx, "stadium") || strings.Contains(noCtx, "capacity > 1000") {
+		t.Errorf("DropContext kept context: %q", noCtx)
+	}
+	if len(full) <= len(noCtx) {
+		t.Error("full render should be longer")
+	}
+}
+
+func TestRenderFlipSuperlative(t *testing.T) {
+	f := facts(t, "SELECT cylinders FROM CARS_DATA ORDER BY accelerate ASC LIMIT 1")
+	right := Render(f, RenderOptions{})
+	wrong := Render(f, RenderOptions{FlipSuperlative: true})
+	if !strings.Contains(right, "lowest") {
+		t.Errorf("correct render = %q", right)
+	}
+	if !strings.Contains(wrong, "highest") {
+		t.Errorf("flipped render = %q (the Q18 failure mode)", wrong)
+	}
+}
+
+func TestCoverageScoring(t *testing.T) {
+	f := facts(t, "SELECT name FROM stadium WHERE capacity > 1000")
+	full := Render(f, RenderOptions{})
+	if c := Coverage(full, f); c < 0.99 {
+		t.Errorf("full coverage = %v, want ~1", c)
+	}
+	partial := Coverage("This query counts things.", f)
+	if partial > 0.5 {
+		t.Errorf("empty-ish coverage = %v, want low", partial)
+	}
+	if full := Coverage(Render(f, RenderOptions{DropContext: true}), f); full >= 1 {
+		t.Error("dropping context must reduce coverage")
+	}
+}
+
+func TestCoverageNoFacts(t *testing.T) {
+	sel, _ := sqlparse.ParseSelect("SELECT 1")
+	f := Extract(sel)
+	// Only the literal column phrase; coverage of arbitrary text may be 0,
+	// but must not panic or divide by zero.
+	_ = Coverage("anything", f)
+}

@@ -1,0 +1,401 @@
+// Package sqlast defines the abstract syntax tree for the benchmark's SQL
+// dialect, together with a canonical printer (deparser), a visitor, and deep
+// cloning. The dialect covers ANSI SELECT with CTEs and set operations plus
+// the T-SQL statements present in the SDSS and SQLShare logs.
+package sqlast
+
+// Node is implemented by every AST node.
+type Node interface{ node() }
+
+// Stmt is a SQL statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Expr is a scalar or boolean expression.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// TableRef is an entry in a FROM clause.
+type TableRef interface {
+	Node
+	tableRefNode()
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// SelectStmt is a SELECT query, optionally prefixed by CTEs and suffixed by a
+// set operation chain.
+type SelectStmt struct {
+	With     []CTE
+	Distinct bool
+	Top      *int // T-SQL TOP n
+	Items    []SelectItem
+	From     []TableRef // comma-separated refs; explicit joins nest via Join
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    *int
+	Offset   *int
+	SetOp    *SetOp // optional trailing UNION / INTERSECT / EXCEPT
+}
+
+// SetOp chains a second SELECT onto the first with a set operator.
+type SetOp struct {
+	Op    string // "UNION", "INTERSECT", "EXCEPT"
+	All   bool
+	Right *SelectStmt
+}
+
+// CTE is one common-table-expression binding in a WITH clause.
+type CTE struct {
+	Name    string
+	Columns []string // optional explicit column list
+	Select  *SelectStmt
+}
+
+// SelectItem is a single projection with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// CreateTableStmt is CREATE TABLE, either with column definitions or AS SELECT.
+type CreateTableStmt struct {
+	Name     string
+	Cols     []ColumnDef
+	AsSelect *SelectStmt
+}
+
+// ColumnDef is a column declaration inside CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type string
+}
+
+// CreateViewStmt is CREATE VIEW ... AS SELECT.
+type CreateViewStmt struct {
+	Name   string
+	Select *SelectStmt
+}
+
+// InsertStmt is INSERT INTO with VALUES rows or a SELECT source.
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Select  *SelectStmt
+}
+
+// UpdateStmt is UPDATE ... SET ... [WHERE].
+type UpdateStmt struct {
+	Table string
+	Alias string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one column = value pair in UPDATE or SET.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// DeleteStmt is DELETE FROM ... [WHERE].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// DeclareStmt is T-SQL DECLARE @var type [= expr].
+type DeclareStmt struct {
+	Name string // includes the leading @
+	Type string
+	Init Expr
+}
+
+// SetVarStmt is T-SQL SET @var = expr.
+type SetVarStmt struct {
+	Name  string
+	Value Expr
+}
+
+// ExecStmt is T-SQL EXEC proc arg, arg, ...
+type ExecStmt struct {
+	Proc string
+	Args []Expr
+}
+
+// DropStmt is DROP TABLE/VIEW name.
+type DropStmt struct {
+	Kind string // "TABLE" or "VIEW"
+	Name string
+}
+
+// WaitforStmt is T-SQL WAITFOR DELAY 'hh:mm:ss'.
+type WaitforStmt struct {
+	Delay string
+}
+
+func (*SelectStmt) node()      {}
+func (*CreateTableStmt) node() {}
+func (*CreateViewStmt) node()  {}
+func (*InsertStmt) node()      {}
+func (*UpdateStmt) node()      {}
+func (*DeleteStmt) node()      {}
+func (*DeclareStmt) node()     {}
+func (*SetVarStmt) node()      {}
+func (*ExecStmt) node()        {}
+func (*DropStmt) node()        {}
+func (*WaitforStmt) node()     {}
+
+func (*SelectStmt) stmtNode()      {}
+func (*CreateTableStmt) stmtNode() {}
+func (*CreateViewStmt) stmtNode()  {}
+func (*InsertStmt) stmtNode()      {}
+func (*UpdateStmt) stmtNode()      {}
+func (*DeleteStmt) stmtNode()      {}
+func (*DeclareStmt) stmtNode()     {}
+func (*SetVarStmt) stmtNode()      {}
+func (*ExecStmt) stmtNode()        {}
+func (*DropStmt) stmtNode()        {}
+func (*WaitforStmt) stmtNode()     {}
+
+// ---------------------------------------------------------------------------
+// Table references
+
+// TableName references a base table or CTE, optionally aliased.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryTable is a derived table: (SELECT ...) AS alias.
+type SubqueryTable struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+// Join is an explicit join between two table references.
+type Join struct {
+	Left  TableRef
+	Right TableRef
+	Type  string // "INNER", "LEFT", "RIGHT", "FULL", "CROSS"
+	On    Expr   // nil for CROSS
+}
+
+func (*TableName) node()     {}
+func (*SubqueryTable) node() {}
+func (*Join) node()          {}
+
+func (*TableName) tableRefNode()     {}
+func (*SubqueryTable) tableRefNode() {}
+func (*Join) tableRefNode()          {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string // qualifier; "" when unqualified
+	Name  string
+}
+
+// Star is the * or table.* projection item.
+type Star struct {
+	Table string // qualifier; "" for bare *
+}
+
+// LitKind classifies literals.
+type LitKind int
+
+// Literal kinds.
+const (
+	LitNumber LitKind = iota
+	LitString
+	LitNull
+	LitBool
+)
+
+// Literal is a literal constant. Text holds the source form: digits for
+// numbers, unquoted contents for strings, "TRUE"/"FALSE" for booleans.
+type Literal struct {
+	Kind LitKind
+	Text string
+}
+
+// VarRef is a T-SQL @variable reference.
+type VarRef struct {
+	Name string // includes the leading @
+}
+
+// Binary is a binary operation. Op is the uppercase operator text: OR, AND,
+// =, <>, <, >, <=, >=, +, -, *, /, %, LIKE, ||.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is NOT x or -x or +x.
+type Unary struct {
+	Op string // "NOT", "-", "+"
+	X  Expr
+}
+
+// FuncCall is a function invocation, including aggregates. Star marks
+// COUNT(*).
+type FuncCall struct {
+	Name     string
+	Distinct bool
+	Star     bool
+	Args     []Expr
+}
+
+// Subquery is a scalar subquery expression.
+type Subquery struct {
+	Select *SelectStmt
+}
+
+// In is x [NOT] IN (list) or x [NOT] IN (SELECT ...).
+type In struct {
+	X    Expr
+	Not  bool
+	List []Expr
+	Sub  *SelectStmt
+}
+
+// Exists is [NOT] EXISTS (SELECT ...).
+type Exists struct {
+	Not bool
+	Sub *SelectStmt
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X      Expr
+	Not    bool
+	Lo, Hi Expr
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// When is one WHEN cond THEN result arm of a CASE.
+type When struct {
+	Cond   Expr
+	Result Expr
+}
+
+// Case is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []When
+	Else    Expr
+}
+
+// Cast is CAST(x AS type).
+type Cast struct {
+	X    Expr
+	Type string
+}
+
+func (*ColumnRef) node() {}
+func (*Star) node()      {}
+func (*Literal) node()   {}
+func (*VarRef) node()    {}
+func (*Binary) node()    {}
+func (*Unary) node()     {}
+func (*FuncCall) node()  {}
+func (*Subquery) node()  {}
+func (*In) node()        {}
+func (*Exists) node()    {}
+func (*Between) node()   {}
+func (*IsNull) node()    {}
+func (*Case) node()      {}
+func (*Cast) node()      {}
+
+func (*ColumnRef) exprNode() {}
+func (*Star) exprNode()      {}
+func (*Literal) exprNode()   {}
+func (*VarRef) exprNode()    {}
+func (*Binary) exprNode()    {}
+func (*Unary) exprNode()     {}
+func (*FuncCall) exprNode()  {}
+func (*Subquery) exprNode()  {}
+func (*In) exprNode()        {}
+func (*Exists) exprNode()    {}
+func (*Between) exprNode()   {}
+func (*IsNull) exprNode()    {}
+func (*Case) exprNode()      {}
+func (*Cast) exprNode()      {}
+
+// Number returns a numeric literal node.
+func Number(text string) *Literal { return &Literal{Kind: LitNumber, Text: text} }
+
+// Str returns a string literal node holding the unquoted contents.
+func Str(text string) *Literal { return &Literal{Kind: LitString, Text: text} }
+
+// Null returns the NULL literal.
+func Null() *Literal { return &Literal{Kind: LitNull} }
+
+// Col returns a possibly qualified column reference.
+func Col(table, name string) *ColumnRef { return &ColumnRef{Table: table, Name: name} }
+
+// Eq builds an equality comparison.
+func Eq(l, r Expr) *Binary { return &Binary{Op: "=", L: l, R: r} }
+
+// And folds the given expressions with AND; returns nil for no args.
+func And(exprs ...Expr) Expr { return fold("AND", exprs) }
+
+// Or folds the given expressions with OR; returns nil for no args.
+func Or(exprs ...Expr) Expr { return fold("OR", exprs) }
+
+func fold(op string, exprs []Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &Binary{Op: op, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// AggregateFuncs is the set of aggregate function names (uppercase).
+var AggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"STDEV": true, "VAR": true,
+}
+
+// IsAggregate reports whether the function name (any case) is an aggregate.
+func IsAggregate(name string) bool {
+	return AggregateFuncs[upper(name)]
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,474 @@
+package sqlast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a statement as canonical single-spaced SQL. The output is
+// stable: Print(Parse(Print(s))) == Print(s). Word positions in the printed
+// text correspond to token order, which the missing-token machinery relies on.
+func Print(s Stmt) string {
+	var b strings.Builder
+	printStmt(&b, s)
+	return b.String()
+}
+
+// PrintExpr renders an expression as canonical SQL.
+func PrintExpr(e Expr) string {
+	var b strings.Builder
+	printExpr(&b, e, 0)
+	return b.String()
+}
+
+// PrintTableRef renders a table reference as canonical SQL.
+func PrintTableRef(tr TableRef) string {
+	var b strings.Builder
+	printTableRef(&b, tr)
+	return b.String()
+}
+
+func printStmt(b *strings.Builder, s Stmt) {
+	switch t := s.(type) {
+	case *SelectStmt:
+		printSelect(b, t)
+	case *CreateTableStmt:
+		b.WriteString("CREATE TABLE ")
+		b.WriteString(t.Name)
+		if t.AsSelect != nil {
+			b.WriteString(" AS ")
+			printSelect(b, t.AsSelect)
+			return
+		}
+		b.WriteString(" ( ")
+		for i, c := range t.Cols {
+			if i > 0 {
+				b.WriteString(" , ")
+			}
+			b.WriteString(c.Name)
+			b.WriteString(" ")
+			b.WriteString(c.Type)
+		}
+		b.WriteString(" )")
+	case *CreateViewStmt:
+		b.WriteString("CREATE VIEW ")
+		b.WriteString(t.Name)
+		b.WriteString(" AS ")
+		printSelect(b, t.Select)
+	case *InsertStmt:
+		b.WriteString("INSERT INTO ")
+		b.WriteString(t.Table)
+		if len(t.Columns) > 0 {
+			b.WriteString(" ( ")
+			b.WriteString(strings.Join(t.Columns, " , "))
+			b.WriteString(" )")
+		}
+		if t.Select != nil {
+			b.WriteString(" ")
+			printSelect(b, t.Select)
+			return
+		}
+		b.WriteString(" VALUES ")
+		for i, row := range t.Rows {
+			if i > 0 {
+				b.WriteString(" , ")
+			}
+			b.WriteString("( ")
+			for j, e := range row {
+				if j > 0 {
+					b.WriteString(" , ")
+				}
+				printExpr(b, e, 0)
+			}
+			b.WriteString(" )")
+		}
+	case *UpdateStmt:
+		b.WriteString("UPDATE ")
+		b.WriteString(t.Table)
+		if t.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(t.Alias)
+		}
+		b.WriteString(" SET ")
+		for i, a := range t.Set {
+			if i > 0 {
+				b.WriteString(" , ")
+			}
+			b.WriteString(a.Column)
+			b.WriteString(" = ")
+			printExpr(b, a.Value, 0)
+		}
+		if t.Where != nil {
+			b.WriteString(" WHERE ")
+			printExpr(b, t.Where, 0)
+		}
+	case *DeleteStmt:
+		b.WriteString("DELETE FROM ")
+		b.WriteString(t.Table)
+		if t.Where != nil {
+			b.WriteString(" WHERE ")
+			printExpr(b, t.Where, 0)
+		}
+	case *DeclareStmt:
+		b.WriteString("DECLARE ")
+		b.WriteString(t.Name)
+		b.WriteString(" ")
+		b.WriteString(t.Type)
+		if t.Init != nil {
+			b.WriteString(" = ")
+			printExpr(b, t.Init, 0)
+		}
+	case *SetVarStmt:
+		b.WriteString("SET ")
+		b.WriteString(t.Name)
+		b.WriteString(" = ")
+		printExpr(b, t.Value, 0)
+	case *ExecStmt:
+		b.WriteString("EXEC ")
+		b.WriteString(t.Proc)
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(" ,")
+			}
+			b.WriteString(" ")
+			printExpr(b, a, 0)
+		}
+	case *DropStmt:
+		b.WriteString("DROP ")
+		b.WriteString(t.Kind)
+		b.WriteString(" ")
+		b.WriteString(t.Name)
+	case *WaitforStmt:
+		b.WriteString("WAITFOR DELAY '")
+		b.WriteString(t.Delay)
+		b.WriteString("'")
+	default:
+		panic(fmt.Sprintf("sqlast: unknown statement %T", s))
+	}
+}
+
+func printSelect(b *strings.Builder, s *SelectStmt) {
+	if len(s.With) > 0 {
+		b.WriteString("WITH ")
+		for i, cte := range s.With {
+			if i > 0 {
+				b.WriteString(" , ")
+			}
+			b.WriteString(cte.Name)
+			if len(cte.Columns) > 0 {
+				b.WriteString(" ( ")
+				b.WriteString(strings.Join(cte.Columns, " , "))
+				b.WriteString(" )")
+			}
+			b.WriteString(" AS ( ")
+			printSelectCore(b, cte.Select)
+			b.WriteString(" )")
+		}
+		b.WriteString(" ")
+	}
+	printSelectCore(b, s)
+}
+
+// printSelectCore prints the SELECT body without its WITH clause.
+func printSelectCore(b *strings.Builder, s *SelectStmt) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if s.Top != nil {
+		b.WriteString("TOP ")
+		b.WriteString(strconv.Itoa(*s.Top))
+		b.WriteString(" ")
+	}
+	for i, item := range s.Items {
+		if i > 0 {
+			b.WriteString(" , ")
+		}
+		printExpr(b, item.Expr, 0)
+		if item.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(item.Alias)
+		}
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, tr := range s.From {
+			if i > 0 {
+				b.WriteString(" , ")
+			}
+			printTableRef(b, tr)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		printExpr(b, s.Where, 0)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(" , ")
+			}
+			printExpr(b, e, 0)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		printExpr(b, s.Having, 0)
+	}
+	if s.SetOp != nil {
+		b.WriteString(" ")
+		b.WriteString(s.SetOp.Op)
+		if s.SetOp.All {
+			b.WriteString(" ALL")
+		}
+		b.WriteString(" ")
+		printSelectCore(b, s.SetOp.Right)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(" , ")
+			}
+			printExpr(b, o.Expr, 0)
+			if o.Desc {
+				b.WriteString(" DESC")
+			} else {
+				b.WriteString(" ASC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(*s.Limit))
+	}
+	if s.Offset != nil {
+		b.WriteString(" OFFSET ")
+		b.WriteString(strconv.Itoa(*s.Offset))
+	}
+}
+
+func printTableRef(b *strings.Builder, tr TableRef) {
+	switch t := tr.(type) {
+	case *TableName:
+		b.WriteString(t.Name)
+		if t.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(t.Alias)
+		}
+	case *SubqueryTable:
+		b.WriteString("( ")
+		printSelect(b, t.Select)
+		b.WriteString(" )")
+		if t.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(t.Alias)
+		}
+	case *Join:
+		printTableRef(b, t.Left)
+		b.WriteString(" ")
+		switch t.Type {
+		case "", "INNER":
+			b.WriteString("JOIN")
+		case "CROSS":
+			b.WriteString("CROSS JOIN")
+		default:
+			b.WriteString(t.Type)
+			b.WriteString(" JOIN")
+		}
+		b.WriteString(" ")
+		// A join as the right operand needs parentheses to survive the
+		// left-associative grammar.
+		if _, nested := t.Right.(*Join); nested {
+			b.WriteString("( ")
+			printTableRef(b, t.Right)
+			b.WriteString(" )")
+		} else {
+			printTableRef(b, t.Right)
+		}
+		if t.On != nil {
+			b.WriteString(" ON ")
+			printExpr(b, t.On, 0)
+		}
+	default:
+		panic(fmt.Sprintf("sqlast: unknown table ref %T", tr))
+	}
+}
+
+// Operator precedence for parenthesization; higher binds tighter.
+const (
+	precOr = iota + 1
+	precAnd
+	precNot
+	precCmp
+	precAdd
+	precMul
+	precUnary
+)
+
+func opPrec(op string) int {
+	switch op {
+	case "OR":
+		return precOr
+	case "AND":
+		return precAnd
+	case "=", "<>", "!=", "<", ">", "<=", ">=", "LIKE":
+		return precCmp
+	case "+", "-", "||":
+		return precAdd
+	case "*", "/", "%":
+		return precMul
+	default:
+		return precCmp
+	}
+}
+
+func printExpr(b *strings.Builder, e Expr, parentPrec int) {
+	switch t := e.(type) {
+	case *ColumnRef:
+		if t.Table != "" {
+			b.WriteString(t.Table)
+			b.WriteString(".")
+		}
+		b.WriteString(t.Name)
+	case *Star:
+		if t.Table != "" {
+			b.WriteString(t.Table)
+			b.WriteString(".")
+		}
+		b.WriteString("*")
+	case *Literal:
+		switch t.Kind {
+		case LitNumber:
+			b.WriteString(t.Text)
+		case LitString:
+			b.WriteString("'")
+			b.WriteString(strings.ReplaceAll(t.Text, "'", "''"))
+			b.WriteString("'")
+		case LitNull:
+			b.WriteString("NULL")
+		case LitBool:
+			b.WriteString(strings.ToUpper(t.Text))
+		}
+	case *VarRef:
+		b.WriteString(t.Name)
+	case *Binary:
+		prec := opPrec(t.Op)
+		open := prec < parentPrec
+		if open {
+			b.WriteString("( ")
+		}
+		printExpr(b, t.L, prec)
+		b.WriteString(" ")
+		b.WriteString(t.Op)
+		b.WriteString(" ")
+		// +1 keeps left association explicit for same-precedence right children.
+		printExpr(b, t.R, prec+1)
+		if open {
+			b.WriteString(" )")
+		}
+	case *Unary:
+		if t.Op == "NOT" {
+			if precNot < parentPrec {
+				b.WriteString("( ")
+				b.WriteString("NOT ")
+				printExpr(b, t.X, precNot)
+				b.WriteString(" )")
+				return
+			}
+			b.WriteString("NOT ")
+			printExpr(b, t.X, precNot)
+			return
+		}
+		b.WriteString(t.Op)
+		printExpr(b, t.X, precUnary)
+	case *FuncCall:
+		b.WriteString(t.Name)
+		b.WriteString("(")
+		if t.Star {
+			b.WriteString("*")
+		} else {
+			if t.Distinct {
+				b.WriteString("DISTINCT ")
+			}
+			for i, a := range t.Args {
+				if i > 0 {
+					b.WriteString(" , ")
+				}
+				printExpr(b, a, 0)
+			}
+		}
+		b.WriteString(")")
+	case *Subquery:
+		b.WriteString("( ")
+		printSelect(b, t.Select)
+		b.WriteString(" )")
+	case *In:
+		printExpr(b, t.X, precCmp+1)
+		if t.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN ( ")
+		if t.Sub != nil {
+			printSelect(b, t.Sub)
+		} else {
+			for i, a := range t.List {
+				if i > 0 {
+					b.WriteString(" , ")
+				}
+				printExpr(b, a, 0)
+			}
+		}
+		b.WriteString(" )")
+	case *Exists:
+		if t.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("EXISTS ( ")
+		printSelect(b, t.Sub)
+		b.WriteString(" )")
+	case *Between:
+		printExpr(b, t.X, precCmp+1)
+		if t.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		printExpr(b, t.Lo, precAdd)
+		b.WriteString(" AND ")
+		printExpr(b, t.Hi, precAdd)
+	case *IsNull:
+		printExpr(b, t.X, precCmp+1)
+		b.WriteString(" IS ")
+		if t.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("NULL")
+	case *Case:
+		b.WriteString("CASE")
+		if t.Operand != nil {
+			b.WriteString(" ")
+			printExpr(b, t.Operand, 0)
+		}
+		for _, w := range t.Whens {
+			b.WriteString(" WHEN ")
+			printExpr(b, w.Cond, 0)
+			b.WriteString(" THEN ")
+			printExpr(b, w.Result, 0)
+		}
+		if t.Else != nil {
+			b.WriteString(" ELSE ")
+			printExpr(b, t.Else, 0)
+		}
+		b.WriteString(" END")
+	case *Cast:
+		b.WriteString("CAST( ")
+		printExpr(b, t.X, 0)
+		b.WriteString(" AS ")
+		b.WriteString(t.Type)
+		b.WriteString(" )")
+	default:
+		panic(fmt.Sprintf("sqlast: unknown expression %T", e))
+	}
+}

@@ -1,0 +1,347 @@
+// Package joborder generates the Join-Order Benchmark workload: all 157
+// queries (the paper uses the full workload, no sampling). The 113 SELECTs
+// follow the JOB shape — implicit comma joins over the IMDB schema with MIN()
+// projections and long conjunctive WHERE clauses — and 44 CREATE statements
+// cover result-staging DDL. Marginals follow the paper's Figure 3.
+package joborder
+
+import (
+	"strconv"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlast"
+	"repro/internal/workload"
+)
+
+// Size is the workload size from Table 2 (used in full).
+const Size = 157
+
+// OriginalCount equals Size: Join-Order is not sampled.
+const OriginalCount = 157
+
+type spec struct {
+	kind   string // SELECT, CREATE-DEF, CTAS
+	tables int    // joined relations for SELECT
+	preds  int    // filter predicates beyond join conditions
+	mins   int    // number of MIN() projections
+	agg    bool   // CTAS only: aggregate inside
+}
+
+// edge is one joinable pair in the IMDB join graph, rooted at title.
+type edge struct {
+	fromTable, fromCol string
+	toTable, toCol     string
+}
+
+// joinGraph lists the JOB joins in BFS order from title; selecting the first
+// n-1 edges after title yields a connected n-table query.
+var joinGraph = []edge{
+	{"title", "id", "movie_companies", "movie_id"},
+	{"title", "id", "cast_info", "movie_id"},
+	{"title", "id", "movie_info", "movie_id"},
+	{"title", "id", "movie_keyword", "movie_id"},
+	{"title", "kind_id", "kind_type", "id"},
+	{"movie_companies", "company_id", "company_name", "id"},
+	{"movie_companies", "company_type_id", "company_type", "id"},
+	{"cast_info", "person_id", "name", "id"},
+	{"cast_info", "role_id", "role_type", "id"},
+	{"cast_info", "person_role_id", "char_name", "id"},
+	{"movie_info", "info_type_id", "info_type", "id"},
+	{"movie_keyword", "keyword_id", "keyword", "id"},
+	{"title", "id", "movie_info_idx", "movie_id"},
+	{"title", "id", "movie_link", "movie_id"},
+	{"movie_link", "link_type_id", "link_type", "id"},
+	{"title", "id", "aka_title", "movie_id"},
+	{"name", "id", "aka_name", "person_id"},
+	{"name", "id", "person_info", "person_id"},
+	{"title", "id", "complete_cast", "movie_id"},
+	{"complete_cast", "subject_id", "comp_cast_type", "id"},
+}
+
+// aliasOf gives each IMDB relation its canonical JOB alias.
+var aliasOf = map[string]string{
+	"title": "t", "movie_companies": "mc", "cast_info": "ci", "movie_info": "mi",
+	"movie_keyword": "mk", "kind_type": "kt", "company_name": "cn",
+	"company_type": "ct", "name": "n", "role_type": "rt", "char_name": "chn",
+	"info_type": "it", "keyword": "k", "movie_info_idx": "mi_idx",
+	"movie_link": "ml", "link_type": "lt", "aka_title": "at", "aka_name": "an",
+	"person_info": "pi", "complete_cast": "cc", "comp_cast_type": "cct",
+}
+
+// filterTemplates are per-table filter predicates in the JOB style.
+type filterTemplate func(g *workload.Gen, alias string) sqlast.Expr
+
+var filters = map[string][]filterTemplate{
+	"title": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return &sqlast.Binary{Op: ">", L: sqlast.Col(a, "production_year"), R: g.IntLit(1950, 2010)}
+		},
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return &sqlast.Between{X: sqlast.Col(a, "production_year"), Lo: g.IntLit(1980, 1999), Hi: g.IntLit(2000, 2015)}
+		},
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return &sqlast.Binary{Op: "LIKE", L: sqlast.Col(a, "title"), R: sqlast.Str("%" + workload.Pick(g, []string{"Dark", "Love", "War", "Night"}) + "%")}
+		},
+	},
+	"company_name": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return sqlast.Eq(sqlast.Col(a, "country_code"), sqlast.Str(workload.Pick(g, []string{"[us]", "[de]", "[gb]", "[fr]"})))
+		},
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return &sqlast.Binary{Op: "LIKE", L: sqlast.Col(a, "name"), R: sqlast.Str("%Film%")}
+		},
+	},
+	"company_type": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return sqlast.Eq(sqlast.Col(a, "kind"), sqlast.Str("production companies"))
+		},
+	},
+	"kind_type": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return sqlast.Eq(sqlast.Col(a, "kind"), sqlast.Str(workload.Pick(g, []string{"movie", "tv series", "episode"})))
+		},
+	},
+	"cast_info": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return &sqlast.In{X: sqlast.Col(a, "note"), List: []sqlast.Expr{sqlast.Str("(producer)"), sqlast.Str("(executive producer)")}}
+		},
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return &sqlast.Binary{Op: "<", L: sqlast.Col(a, "nr_order"), R: g.IntLit(2, 10)}
+		},
+	},
+	"name": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return sqlast.Eq(sqlast.Col(a, "gender"), sqlast.Str(workload.Pick(g, []string{"f", "m"})))
+		},
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return &sqlast.Binary{Op: "LIKE", L: sqlast.Col(a, "name"), R: sqlast.Str("B%")}
+		},
+	},
+	"role_type": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return sqlast.Eq(sqlast.Col(a, "role"), sqlast.Str(workload.Pick(g, []string{"actor", "actress", "director"})))
+		},
+	},
+	"movie_info": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return &sqlast.In{X: sqlast.Col(a, "info"), List: []sqlast.Expr{sqlast.Str("Drama"), sqlast.Str("Horror"), sqlast.Str("Comedy")}}
+		},
+	},
+	"info_type": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return sqlast.Eq(sqlast.Col(a, "info"), sqlast.Str(workload.Pick(g, []string{"rating", "votes", "budget"})))
+		},
+	},
+	"keyword": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return &sqlast.Binary{Op: "LIKE", L: sqlast.Col(a, "keyword"), R: sqlast.Str("%" + workload.Pick(g, []string{"sequel", "superhero", "love"}) + "%")}
+		},
+	},
+	"movie_info_idx": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return &sqlast.Binary{Op: ">", L: sqlast.Col(a, "info"), R: sqlast.Str("7.0")}
+		},
+	},
+	"link_type": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return &sqlast.Binary{Op: "LIKE", L: sqlast.Col(a, "link"), R: sqlast.Str("%follow%")}
+		},
+	},
+	"comp_cast_type": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return sqlast.Eq(sqlast.Col(a, "kind"), sqlast.Str("complete+verified"))
+		},
+	},
+	"char_name": {
+		func(g *workload.Gen, a string) sqlast.Expr {
+			return &sqlast.Binary{Op: "LIKE", L: sqlast.Col(a, "name"), R: sqlast.Str("%man%")}
+		},
+	},
+}
+
+// Generate builds the Join-Order workload deterministically from the seed.
+func Generate(seed int64) *workload.Workload {
+	g := workload.NewGen(seed)
+	specs := buildSpecs()
+	g.R.Shuffle(len(specs), func(i, j int) { specs[i], specs[j] = specs[j], specs[i] })
+
+	w := &workload.Workload{Name: "Join-Order", Schema: catalog.IMDB(), OriginalCount: OriginalCount}
+	tmpSeq := 0
+	for _, sp := range specs {
+		var stmt sqlast.Stmt
+		switch sp.kind {
+		case "SELECT":
+			stmt = buildJOBSelect(g, sp)
+		case "CREATE-DEF":
+			tmpSeq++
+			stmt = &sqlast.CreateTableStmt{
+				Name: "job_result_" + strconv.Itoa(tmpSeq),
+				Cols: []sqlast.ColumnDef{
+					{Name: "movie_id", Type: "INT"},
+					{Name: "movie_title", Type: "VARCHAR(200)"},
+					{Name: "rating", Type: "FLOAT"},
+				},
+			}
+		case "CTAS":
+			tmpSeq++
+			stmt = buildCTAS(g, sp, tmpSeq)
+		}
+		w.Queries = append(w.Queries, workload.Query{SQL: sqlast.Print(stmt), Stmt: stmt, SchemaName: "imdb"})
+	}
+	w.Finalize("job")
+	return w
+}
+
+// buildSpecs lays out the 157 specs following Figure 3; see DESIGN.md.
+func buildSpecs() []spec {
+	var specs []spec
+	add := func(n int, s spec) {
+		for i := 0; i < n; i++ {
+			specs = append(specs, s)
+		}
+	}
+	add(23, spec{kind: "CREATE-DEF"})
+	add(6, spec{kind: "CTAS", agg: true})
+	add(15, spec{kind: "CTAS"})
+	// SELECT table-count distribution (Fig 3b): 4:3, 5:20, 6:2, 7:16, 8:21, 9+:51.
+	add(3, spec{kind: "SELECT", tables: 4, preds: 4, mins: 1})
+	add(20, spec{kind: "SELECT", tables: 5, preds: 4, mins: 2})
+	add(2, spec{kind: "SELECT", tables: 6, preds: 5, mins: 2})
+	add(16, spec{kind: "SELECT", tables: 7, preds: 5, mins: 3})
+	add(21, spec{kind: "SELECT", tables: 8, preds: 6, mins: 3})
+	add(17, spec{kind: "SELECT", tables: 9, preds: 7, mins: 3})
+	add(12, spec{kind: "SELECT", tables: 10, preds: 8, mins: 4})
+	add(10, spec{kind: "SELECT", tables: 11, preds: 9, mins: 4})
+	add(7, spec{kind: "SELECT", tables: 12, preds: 10, mins: 4})
+	add(5, spec{kind: "SELECT", tables: 14, preds: 12, mins: 5})
+	return specs
+}
+
+// buildJOBSelect assembles an n-table implicit-join query in the JOB style:
+// SELECT MIN(...) AS ... FROM t AS t , mc AS mc , ... WHERE joins AND filters.
+func buildJOBSelect(g *workload.Gen, sp spec) *sqlast.SelectStmt {
+	chosen, conds := chooseJoinTree(g, sp.tables)
+
+	sel := &sqlast.SelectStmt{}
+	for _, table := range chosen {
+		sel.From = append(sel.From, &sqlast.TableName{Name: table, Alias: aliasOf[table]})
+	}
+
+	// MIN() projections over text columns of the chosen tables.
+	minTargets := []struct{ table, col string }{
+		{"title", "title"}, {"company_name", "name"}, {"name", "name"},
+		{"keyword", "keyword"}, {"movie_info", "info"}, {"char_name", "name"},
+		{"link_type", "link"},
+	}
+	added := 0
+	for _, mt := range minTargets {
+		if added >= sp.mins {
+			break
+		}
+		if containsTable(chosen, mt.table) {
+			sel.Items = append(sel.Items, sqlast.SelectItem{
+				Expr:  &sqlast.FuncCall{Name: "MIN", Args: []sqlast.Expr{sqlast.Col(aliasOf[mt.table], mt.col)}},
+				Alias: mt.table + "_" + mt.col,
+			})
+			added++
+		}
+	}
+	if added == 0 {
+		sel.Items = append(sel.Items, sqlast.SelectItem{
+			Expr:  &sqlast.FuncCall{Name: "MIN", Args: []sqlast.Expr{sqlast.Col("t", "title")}},
+			Alias: "movie_title",
+		})
+	}
+
+	// Filters beyond join conditions.
+	for i := 0; i < sp.preds; i++ {
+		table := chosen[g.R.Intn(len(chosen))]
+		tpl, ok := filters[table]
+		if !ok {
+			tpl = filters["title"]
+			table = "title"
+		}
+		conds = append(conds, tpl[g.R.Intn(len(tpl))](g, aliasOf[table]))
+	}
+	sel.Where = sqlast.And(conds...)
+	return sel
+}
+
+// chooseJoinTree selects n connected tables (always including title) and
+// returns them with their join conditions.
+func chooseJoinTree(g *workload.Gen, n int) (tables []string, conds []sqlast.Expr) {
+	tables = []string{"title"}
+	have := map[string]bool{"title": true}
+	// Walk the BFS edge list, probabilistically skipping edges for variety,
+	// until n tables are connected.
+	for len(tables) < n {
+		progressed := false
+		for _, e := range joinGraph {
+			if len(tables) >= n {
+				break
+			}
+			if have[e.fromTable] && !have[e.toTable] {
+				if g.R.Intn(3) == 0 {
+					continue // skip sometimes for shape variety
+				}
+				have[e.toTable] = true
+				tables = append(tables, e.toTable)
+				conds = append(conds, sqlast.Eq(
+					sqlast.Col(aliasOf[e.fromTable], e.fromCol),
+					sqlast.Col(aliasOf[e.toTable], e.toCol),
+				))
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Take every available edge on the next pass.
+			for _, e := range joinGraph {
+				if len(tables) >= n {
+					break
+				}
+				if have[e.fromTable] && !have[e.toTable] {
+					have[e.toTable] = true
+					tables = append(tables, e.toTable)
+					conds = append(conds, sqlast.Eq(
+						sqlast.Col(aliasOf[e.fromTable], e.fromCol),
+						sqlast.Col(aliasOf[e.toTable], e.toCol),
+					))
+				}
+			}
+			break
+		}
+	}
+	return tables, conds
+}
+
+func containsTable(tables []string, t string) bool {
+	for _, x := range tables {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+func buildCTAS(g *workload.Gen, sp spec, seq int) sqlast.Stmt {
+	inner := &sqlast.SelectStmt{
+		From: []sqlast.TableRef{&sqlast.TableName{Name: "title", Alias: "t"}},
+		Where: &sqlast.Binary{Op: ">", L: sqlast.Col("t", "production_year"),
+			R: g.IntLit(1990, 2010)},
+	}
+	if sp.agg {
+		inner.Items = []sqlast.SelectItem{
+			{Expr: sqlast.Col("t", "kind_id")},
+			{Expr: &sqlast.FuncCall{Name: "MIN", Args: []sqlast.Expr{sqlast.Col("t", "title")}}, Alias: "first_title"},
+			{Expr: &sqlast.FuncCall{Name: "COUNT", Star: true}, Alias: "n"},
+		}
+		inner.GroupBy = []sqlast.Expr{sqlast.Col("t", "kind_id")}
+	} else {
+		inner.Items = []sqlast.SelectItem{
+			{Expr: sqlast.Col("t", "id")},
+			{Expr: sqlast.Col("t", "title")},
+			{Expr: sqlast.Col("t", "production_year")},
+		}
+	}
+	return &sqlast.CreateTableStmt{Name: "movies_cached_" + strconv.Itoa(seq), AsSelect: inner}
+}

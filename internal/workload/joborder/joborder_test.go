@@ -1,0 +1,123 @@
+package joborder
+
+import (
+	"testing"
+
+	"repro/internal/semcheck"
+)
+
+func TestSizeAndTypes(t *testing.T) {
+	w := Generate(1)
+	if len(w.Queries) != Size {
+		t.Fatalf("size = %d, want %d", len(w.Queries), Size)
+	}
+	byType := w.ByType()
+	if byType["SELECT"] != 113 || byType["CREATE"] != 44 {
+		t.Errorf("types = %v, want SELECT 113 / CREATE 44", byType)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Generate(3), Generate(3)
+	for i := range a.Queries {
+		if a.Queries[i].SQL != b.Queries[i].SQL {
+			t.Fatalf("query %d differs across identical seeds", i)
+		}
+	}
+}
+
+// Table 2: 119 aggregate, 38 plain.
+func TestAggregateSplit(t *testing.T) {
+	yes, no := Generate(1).AggregateSplit()
+	if yes != 119 || no != 38 {
+		t.Errorf("aggregate split = %d/%d, want 119/38", yes, no)
+	}
+}
+
+// Figure 3b: heavy-tailed table counts; 51 queries with 9+ tables.
+func TestTableCountShape(t *testing.T) {
+	w := Generate(1)
+	var nine, five, zero int
+	for _, q := range w.Queries {
+		switch {
+		case q.Props.TableCount >= 9:
+			nine++
+		case q.Props.TableCount == 5:
+			five++
+		case q.Props.TableCount == 0:
+			zero++
+		}
+	}
+	if nine != 51 {
+		t.Errorf("9+ tables = %d, want 51", nine)
+	}
+	if five != 20 {
+		t.Errorf("5 tables = %d, want 20", five)
+	}
+	if zero != 23 {
+		t.Errorf("0 tables = %d, want 23 (CREATE defs)", zero)
+	}
+}
+
+// Figure 3c: predicate counts bimodal — 0-1 for DDL, 7+ for JOB selects,
+// nothing in 2-6.
+func TestPredicateShape(t *testing.T) {
+	w := Generate(1)
+	var low, mid, seven, ten int
+	for _, q := range w.Queries {
+		p := q.Props.PredicateCount
+		switch {
+		case p <= 1:
+			low++
+		case p <= 6:
+			mid++
+		case p <= 10:
+			seven++
+		default:
+			ten++
+		}
+	}
+	if low != 44 {
+		t.Errorf("0-1 preds = %d, want 44", low)
+	}
+	if mid != 0 {
+		t.Errorf("2-6 preds = %d, want 0", mid)
+	}
+	if seven < 20 || seven > 34 {
+		t.Errorf("7-10 preds = %d, want ~27", seven)
+	}
+	if ten < 79 || ten > 93 {
+		t.Errorf("10+ preds = %d, want ~86", ten)
+	}
+}
+
+// All queries are flat: JOB has no nesting (Table 2 shows "-").
+func TestNoNesting(t *testing.T) {
+	for _, q := range Generate(1).Queries {
+		if q.Props.Nestedness != 0 {
+			t.Errorf("query %s has nestedness %d", q.ID, q.Props.Nestedness)
+		}
+	}
+}
+
+func TestAllQueriesClean(t *testing.T) {
+	w := Generate(1)
+	checker := semcheck.New(w.Schema)
+	for _, q := range w.Queries {
+		if diags := checker.CheckSQL(q.SQL); len(diags) != 0 {
+			t.Errorf("query %s not clean: %v\n%s", q.ID, diags, q.SQL)
+		}
+	}
+}
+
+// Every SELECT must include title and be connected (joins = tables-1).
+func TestSelectsAreConnected(t *testing.T) {
+	for _, q := range Generate(1).Queries {
+		if q.Props.QueryType != "SELECT" {
+			continue
+		}
+		if q.Props.JoinCount != q.Props.TableCount-1 {
+			t.Errorf("query %s: joins %d != tables-1 %d", q.ID, q.Props.JoinCount, q.Props.TableCount-1)
+		}
+	}
+}

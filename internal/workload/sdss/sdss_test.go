@@ -1,0 +1,138 @@
+package sdss
+
+import (
+	"testing"
+
+	"repro/internal/semcheck"
+	"repro/internal/workload"
+)
+
+func gen(t *testing.T) *workload.Workload {
+	t.Helper()
+	return Generate(1)
+}
+
+func TestSize(t *testing.T) {
+	w := gen(t)
+	if len(w.Queries) != Size {
+		t.Fatalf("size = %d, want %d", len(w.Queries), Size)
+	}
+	if w.OriginalCount != 5_081_188 {
+		t.Errorf("original = %d", w.OriginalCount)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Generate(1), Generate(1)
+	for i := range a.Queries {
+		if a.Queries[i].SQL != b.Queries[i].SQL {
+			t.Fatalf("query %d differs across identical seeds", i)
+		}
+		if a.Queries[i].ElapsedMS != b.Queries[i].ElapsedMS {
+			t.Fatalf("elapsed %d differs across identical seeds", i)
+		}
+	}
+	c := Generate(2)
+	if a.Queries[0].SQL == c.Queries[0].SQL && a.Queries[1].SQL == c.Queries[1].SQL {
+		t.Error("different seeds produced identical leading queries")
+	}
+}
+
+// Figure 1a: query type distribution.
+func TestQueryTypeDistribution(t *testing.T) {
+	byType := gen(t).ByType()
+	want := map[string]int{
+		"SELECT": 251, "SET": 11, "EXEC": 8, "DROP": 6,
+		"DECLARE": 4, "CREATE": 3, "INSERT": 2,
+	}
+	for typ, n := range want {
+		if byType[typ] != n {
+			t.Errorf("%s = %d, want %d (all: %v)", typ, byType[typ], n, byType)
+		}
+	}
+}
+
+// Table 2: aggregate split 21 / 264.
+func TestAggregateSplit(t *testing.T) {
+	yes, no := gen(t).AggregateSplit()
+	if yes != 21 || no != 264 {
+		t.Errorf("aggregate split = %d/%d, want 21/264", yes, no)
+	}
+}
+
+// Figure 1b: word-count histogram shape (loose tolerance; the paper's exact
+// bars are recorded in EXPERIMENTS.md).
+func TestWordCountShape(t *testing.T) {
+	w := gen(t)
+	buckets := make([]int, 5)
+	for _, q := range w.Queries {
+		buckets[workload.Bucket(q.Props.WordCount, []int{1, 30, 60, 90, 120})]++
+	}
+	paper := []int{112, 33, 14, 83, 43}
+	for i := range paper {
+		lo, hi := paper[i]-20, paper[i]+20
+		if buckets[i] < lo || buckets[i] > hi {
+			t.Errorf("word bucket %d = %d, want %d±20 (all: %v)", i, buckets[i], paper[i], buckets)
+		}
+	}
+}
+
+// Figure 1e: nestedness tail.
+func TestNestednessDistribution(t *testing.T) {
+	w := gen(t)
+	counts := map[int]int{}
+	for _, q := range w.Queries {
+		counts[q.Props.Nestedness]++
+	}
+	if counts[0] != 251 {
+		t.Errorf("flat queries = %d, want 251 (%v)", counts[0], counts)
+	}
+	want := map[int]int{1: 4, 2: 7, 3: 8, 4: 3, 5: 5, 6: 7}
+	for depth, n := range want {
+		if counts[depth] != n {
+			t.Errorf("nestedness %d = %d, want %d", depth, counts[depth], n)
+		}
+	}
+}
+
+// Figure 5: bimodal runtimes with 244 cheap (<100 ms) and 41 costly (>500 ms),
+// nothing in between.
+func TestElapsedBimodal(t *testing.T) {
+	w := gen(t)
+	var cheap, costly, mid int
+	for _, q := range w.Queries {
+		switch {
+		case q.ElapsedMS < 100:
+			cheap++
+		case q.ElapsedMS > 500:
+			costly++
+		default:
+			mid++
+		}
+	}
+	if cheap != 244 || costly != 41 || mid != 0 {
+		t.Errorf("elapsed split = %d cheap / %d mid / %d costly, want 244/0/41", cheap, mid, costly)
+	}
+}
+
+// Every generated query must be clean: the benchmark injects errors later,
+// so the base corpus cannot trip the oracle.
+func TestAllQueriesClean(t *testing.T) {
+	w := gen(t)
+	checker := semcheck.New(w.Schema)
+	for _, q := range w.Queries {
+		diags := checker.CheckSQL(q.SQL)
+		if len(diags) != 0 {
+			t.Errorf("query %s not clean: %v\n%s", q.ID, diags, q.SQL)
+		}
+	}
+}
+
+func TestTableCountRange(t *testing.T) {
+	w := gen(t)
+	for _, q := range w.Queries {
+		if q.Props.TableCount > 5 {
+			t.Errorf("query %s has %d tables, max expected 5", q.ID, q.Props.TableCount)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package spider
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/semcheck"
+)
+
+func TestSizeAndTypes(t *testing.T) {
+	w := Generate(1)
+	if len(w.Queries) != Size {
+		t.Fatalf("size = %d, want %d", len(w.Queries), Size)
+	}
+	for _, q := range w.Queries {
+		if q.Props.QueryType != "SELECT" {
+			t.Errorf("query %s type = %s, want SELECT", q.ID, q.Props.QueryType)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Generate(5), Generate(5)
+	for i := range a.Queries {
+		if a.Queries[i].SQL != b.Queries[i].SQL {
+			t.Fatalf("query %d differs across identical seeds", i)
+		}
+	}
+}
+
+// Table 2: aggregate 96 / 104, nestedness 185 / 15.
+func TestMarginals(t *testing.T) {
+	w := Generate(1)
+	yes, no := w.AggregateSplit()
+	if yes != 96 || no != 104 {
+		t.Errorf("aggregate split = %d/%d, want 96/104", yes, no)
+	}
+	counts := map[int]int{}
+	for _, q := range w.Queries {
+		counts[q.Props.Nestedness]++
+	}
+	if counts[0] != 185 || counts[1] != 15 {
+		t.Errorf("nestedness = %v, want 185 flat / 15 one-level", counts)
+	}
+}
+
+// Every query carries a non-empty ground-truth description.
+func TestDescriptionsPresent(t *testing.T) {
+	for _, q := range Generate(1).Queries {
+		if strings.TrimSpace(q.Description) == "" {
+			t.Errorf("query %s has no description", q.ID)
+		}
+	}
+}
+
+// The paper's case-study queries Q15-Q18 are present verbatim.
+func TestCaseStudyQueriesIncluded(t *testing.T) {
+	w := Generate(1)
+	wantFragments := []string{
+		"FROM tryout GROUP BY cName",
+		"FROM Transcript_Cnt GROUP BY student_course_id",
+		"INTERSECT",
+		"ORDER BY C.accelerate ASC LIMIT 1",
+	}
+	for _, frag := range wantFragments {
+		found := false
+		for _, q := range w.Queries {
+			if strings.Contains(q.SQL, frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("case-study fragment %q missing from workload", frag)
+		}
+	}
+}
+
+func TestAllQueriesClean(t *testing.T) {
+	w := Generate(1)
+	checker := semcheck.New(w.Schema)
+	for _, q := range w.Queries {
+		if diags := checker.CheckSQL(q.SQL); len(diags) != 0 {
+			t.Errorf("query %s not clean: %v\n%s", q.ID, diags, q.SQL)
+		}
+	}
+}
+
+func TestMultipleDomainsUsed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, q := range Generate(1).Queries {
+		seen[q.SchemaName] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("domains = %v, want >= 5", seen)
+	}
+}

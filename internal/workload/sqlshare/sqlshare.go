@@ -1,0 +1,350 @@
+// Package sqlshare generates the sampled SQLShare workload: 250 queries over
+// a family of small tenant schemas, matching the paper's Figure 2 marginals:
+// overwhelmingly short single-table SELECTs, a WITH tail, strong correlation
+// between query length, predicate count, and function count.
+package sqlshare
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/sqlast"
+	"repro/internal/workload"
+)
+
+// Size is the sampled workload size from Table 2.
+const Size = 250
+
+// OriginalCount is the original workload size from Table 2.
+const OriginalCount = 9623
+
+type spec struct {
+	kind    string // SELECT, WITH, CREATE, WAITFOR, CONST
+	wordMin int
+	tables  int
+	preds   int
+	nest    int
+	agg     bool
+	funcs   bool // use function-wrapped predicates (drives Fig 4b correlation)
+}
+
+var wordTargets = []int{10, 32, 62, 92, 122}
+
+// tenant describes one per-user schema's joinable structure.
+type tenant struct {
+	schema *catalog.Schema
+	// chain is a join path: consecutive tables joined on the named column.
+	chain []chainLink
+}
+
+type chainLink struct {
+	table   string
+	joinCol string // column joining to the previous link; "" for the first
+}
+
+func tenants() []tenant {
+	schemas := catalog.SQLShareSchemas()
+	byName := map[string]*catalog.Schema{}
+	for _, s := range schemas {
+		byName[s.Name] = s
+	}
+	return []tenant{
+		{schema: byName["ocean"], chain: []chainLink{
+			{table: "stations"}, {table: "samples", joinCol: "station_id"}, {table: "taxa", joinCol: "sample_id"},
+		}},
+		{schema: byName["genomics"], chain: []chainLink{
+			{table: "genes"}, {table: "expressions", joinCol: "gene_id"}, {table: "proteins", joinCol: "gene_id"},
+		}},
+		{schema: byName["sales"], chain: []chainLink{
+			{table: "customers"}, {table: "orders", joinCol: "customer_id"},
+			{table: "order_items", joinCol: "order_id"}, {table: "products", joinCol: "product_id"},
+		}},
+		{schema: byName["sensors"], chain: []chainLink{
+			{table: "devices"}, {table: "readings", joinCol: "device_id"},
+		}},
+	}
+}
+
+// Generate builds the SQLShare workload deterministically from the seed.
+func Generate(seed int64) *workload.Workload {
+	g := workload.NewGen(seed)
+	ts := tenants()
+	specs := buildSpecs()
+	g.R.Shuffle(len(specs), func(i, j int) { specs[i], specs[j] = specs[j], specs[i] })
+
+	merged := catalog.Merged("sqlshare", catalog.SQLShareSchemas()...)
+	w := &workload.Workload{Name: "SQLShare", Schema: merged, OriginalCount: OriginalCount}
+	for _, sp := range specs {
+		tn := ts[g.R.Intn(len(ts))]
+		stmt := buildStatement(g, sp, tn)
+		w.Queries = append(w.Queries, workload.Query{
+			SQL: sqlast.Print(stmt), Stmt: stmt, SchemaName: tn.schema.Name,
+		})
+	}
+	w.Finalize("shr")
+	return w
+}
+
+// buildSpecs lays out the 250 specs following Figure 2; see DESIGN.md.
+func buildSpecs() []spec {
+	var specs []spec
+	add := func(n int, s spec) {
+		for i := 0; i < n; i++ {
+			specs = append(specs, s)
+		}
+	}
+	add(1, spec{kind: "WAITFOR"})
+	add(2, spec{kind: "CREATE", wordMin: 14, tables: 1, preds: 1})
+	// WITH queries: one CTE each (nestedness 1).
+	add(10, spec{kind: "WITH", wordMin: 25, tables: 1, preds: 1, nest: 1})
+
+	sel := func(bucket, tables, preds, nest int, agg, funcs bool) spec {
+		return spec{kind: "SELECT", wordMin: wordTargets[bucket], tables: tables,
+			preds: preds, nest: nest, agg: agg, funcs: funcs}
+	}
+	// Bucket 0 (1-30 words): 174 SELECTs, mostly single-table.
+	add(10, spec{kind: "CONST"}) // zero-table constant SELECTs
+	add(51, sel(0, 1, 0, 0, false, false))
+	add(20, sel(0, 1, 0, 0, true, false))
+	add(50, sel(0, 1, 1, 0, false, false))
+	add(10, sel(0, 1, 1, 0, true, false))
+	add(16, sel(0, 2, 1, 0, false, false))
+	add(8, sel(0, 1, 1, 1, false, false))
+	// Bucket 1 (30-60): 50.
+	add(10, sel(1, 1, 2, 0, true, false))
+	add(6, sel(1, 1, 2, 0, false, false))
+	add(14, sel(1, 2, 3, 0, false, false))
+	add(6, sel(1, 2, 3, 0, true, false))
+	add(4, sel(1, 3, 3, 0, false, false))
+	add(6, sel(1, 2, 2, 1, false, false))
+	add(4, sel(1, 2, 2, 2, false, false))
+	// Bucket 2 (60-90): 8.
+	add(2, sel(2, 2, 4, 0, true, true))
+	add(3, sel(2, 3, 5, 0, false, true))
+	add(3, sel(2, 2, 4, 2, false, false))
+	// Bucket 3 (90-120): 5.
+	add(2, sel(3, 3, 7, 0, true, true))
+	add(1, sel(3, 4, 7, 0, false, true))
+	add(1, sel(3, 2, 5, 3, false, false))
+	add(1, sel(3, 3, 5, 0, false, true))
+	// Bucket 4 (120+): 9, long single/two-table queries with heavy
+	// function-wrapped predicates (Fig 4b's word/predicate correlation).
+	add(2, sel(4, 1, 9, 0, true, true))
+	add(3, sel(4, 2, 9, 0, true, true))
+	add(1, sel(4, 4, 8, 0, false, true))
+	add(1, sel(4, 5, 8, 0, false, true))
+	add(1, sel(4, 2, 7, 4, false, true))
+	add(1, sel(4, 2, 7, 5, false, true))
+	return specs
+}
+
+func buildStatement(g *workload.Gen, sp spec, tn tenant) sqlast.Stmt {
+	switch sp.kind {
+	case "WAITFOR":
+		return &sqlast.WaitforStmt{Delay: "00:00:10"}
+	case "CONST":
+		return &sqlast.SelectStmt{Items: []sqlast.SelectItem{
+			{Expr: &sqlast.Binary{Op: "+", L: g.IntLit(1, 9), R: g.IntLit(1, 9)}, Alias: "x"},
+			{Expr: sqlast.Str("ok"), Alias: "status"},
+		}}
+	case "CREATE":
+		inner := buildSelect(g, spec{kind: "SELECT", wordMin: 10, tables: 1, preds: 1}, tn)
+		return &sqlast.CreateTableStmt{Name: "snapshot_" + tn.schema.Name, AsSelect: inner}
+	case "WITH":
+		inner := buildSelect(g, spec{kind: "SELECT", wordMin: 8, tables: 1, preds: 1}, tn)
+		outerTable := "recent_" + tn.schema.Name
+		sel := &sqlast.SelectStmt{
+			With:  []sqlast.CTE{{Name: outerTable, Select: inner}},
+			Items: []sqlast.SelectItem{{Expr: &sqlast.Star{}}},
+			From:  []sqlast.TableRef{&sqlast.TableName{Name: outerTable}},
+		}
+		g.PadProjection(sel, nil, sp.wordMin)
+		return sel
+	default:
+		return buildSelect(g, sp, tn)
+	}
+}
+
+func buildSelect(g *workload.Gen, sp spec, tn tenant) *sqlast.SelectStmt {
+	n := sp.tables
+	if n < 1 {
+		n = 1
+	}
+	// Choose a contiguous chain window so consecutive tables join.
+	maxStart := len(tn.chain) - n
+	links := tn.chain
+	if maxStart < 0 {
+		// Need more tables than the chain: extend with self-joins of the
+		// last table (aliased), which keeps the query resolvable.
+		for len(links) < n {
+			links = append(links, links[len(links)-1])
+		}
+		maxStart = 0
+	}
+	start := 0
+	if maxStart > 0 {
+		start = g.R.Intn(maxStart + 1)
+	}
+	chosen := links[start : start+n]
+
+	aliases := make([]string, n)
+	for i := range chosen {
+		aliases[i] = string(rune('a' + i))
+	}
+	qualify := n > 1
+
+	sel := &sqlast.SelectStmt{}
+	var from sqlast.TableRef = &sqlast.TableName{Name: chosen[0].table, Alias: aliasIf(qualify, aliases[0])}
+	for i := 1; i < n; i++ {
+		joinCol := chosen[i].joinCol
+		if joinCol == "" || chosen[i].table == chosen[i-1].table {
+			// Self-join extension: join on the first column.
+			tab, _ := tn.schema.Table(chosen[i].table)
+			joinCol = tab.Columns[0].Name
+		}
+		from = &sqlast.Join{
+			Left:  from,
+			Right: &sqlast.TableName{Name: chosen[i].table, Alias: aliases[i]},
+			Type:  "INNER",
+			On:    sqlast.Eq(sqlast.Col(aliases[i-1], joinCol), sqlast.Col(aliases[i], joinCol)),
+		}
+	}
+	sel.From = []sqlast.TableRef{from}
+
+	// Projection / aggregation.
+	if sp.agg {
+		groupRef := columnRef(g, tn, chosen[0].table, aliasIf(qualify, aliases[0]))
+		sel.Items = []sqlast.SelectItem{
+			{Expr: groupRef},
+			{Expr: &sqlast.FuncCall{Name: "COUNT", Star: true}, Alias: "n"},
+		}
+		sel.GroupBy = []sqlast.Expr{sqlast.CloneExpr(groupRef)}
+	} else {
+		k := 1 + g.R.Intn(3)
+		for i := 0; i < k; i++ {
+			ti := g.R.Intn(n)
+			sel.Items = append(sel.Items, sqlast.SelectItem{
+				Expr: columnRef(g, tn, chosen[ti].table, aliasIf(qualify, aliases[ti])),
+			})
+		}
+	}
+
+	// Predicates; nested specs consume one slot for the IN chain.
+	var conds []sqlast.Expr
+	npreds := sp.preds
+	if sp.nest > 0 && npreds > 0 {
+		npreds--
+	}
+	for i := 0; i < npreds; i++ {
+		ti := g.R.Intn(n)
+		tab, _ := tn.schema.Table(chosen[ti].table)
+		col := tab.Columns[g.R.Intn(len(tab.Columns))]
+		pred := g.Predicate(aliasIf(qualify, aliases[ti]), col)
+		if sp.funcs && col.Type.Numeric() {
+			pred = &sqlast.Binary{
+				Op: ">",
+				L:  &sqlast.FuncCall{Name: "ABS", Args: []sqlast.Expr{sqlast.Col(aliasIf(qualify, aliases[ti]), col.Name)}},
+				R:  g.FloatLit(0, 50),
+			}
+		}
+		conds = append(conds, pred)
+	}
+	if sp.nest > 0 {
+		conds = append(conds, nestChain(g, tn, chosen[0].table, aliasIf(qualify, aliases[0]), sp.nest))
+	}
+	sel.Where = sqlast.And(conds...)
+
+	// Pad to the word bucket.
+	var pool []sqlast.Expr
+	for i, link := range chosen {
+		tab, _ := tn.schema.Table(link.table)
+		for _, c := range tab.Columns {
+			pool = append(pool, sqlast.Col(aliasIf(qualify, aliases[i]), c.Name))
+		}
+	}
+	if sp.agg {
+		aggPool := make([]sqlast.Expr, len(pool))
+		for i, e := range pool {
+			name := "MIN"
+			if i%2 == 0 {
+				name = "MAX"
+			}
+			aggPool[i] = &sqlast.FuncCall{Name: name, Args: []sqlast.Expr{e}}
+		}
+		g.PadProjection(sel, aggPool, sp.wordMin)
+	} else {
+		g.PadProjection(sel, pool, sp.wordMin)
+	}
+	return sel
+}
+
+func aliasIf(qualify bool, alias string) string {
+	if qualify {
+		return alias
+	}
+	return ""
+}
+
+func columnRef(g *workload.Gen, tn tenant, table, qualifier string) *sqlast.ColumnRef {
+	tab, _ := tn.schema.Table(table)
+	col := tab.Columns[g.R.Intn(len(tab.Columns))]
+	return sqlast.Col(qualifier, col.Name)
+}
+
+// nestChain builds an IN chain within the tenant's first two chain tables.
+func nestChain(g *workload.Gen, tn tenant, outerTable, outerQual string, depth int) sqlast.Expr {
+	// Join column linking the first two chain tables.
+	joinCol := tn.chain[1].joinCol
+	return &sqlast.In{
+		X:   sqlast.Col(outerQual, pickAnchor(tn, outerTable, joinCol)),
+		Sub: nestLevel(g, tn, 1, depth, joinCol),
+	}
+}
+
+// pickAnchor returns joinCol if the outer table has it, otherwise the
+// table's first column (self-referencing chain).
+func pickAnchor(tn tenant, table, joinCol string) string {
+	tab, _ := tn.schema.Table(table)
+	if _, ok := tab.Column(joinCol); ok {
+		return joinCol
+	}
+	return tab.Columns[0].Name
+}
+
+func nestLevel(g *workload.Gen, tn tenant, level, depth int, joinCol string) *sqlast.SelectStmt {
+	// Alternate between the two ends of the first chain edge; both carry the
+	// join column.
+	table := tn.chain[1].table
+	if level%2 == 0 {
+		table = tn.chain[0].table
+	}
+	tab, _ := tn.schema.Table(table)
+	anchor := joinCol
+	if _, ok := tab.Column(anchor); !ok {
+		anchor = tab.Columns[0].Name
+	}
+	sel := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: sqlast.Col("", anchor)}},
+		From:  []sqlast.TableRef{&sqlast.TableName{Name: table}},
+	}
+	var numCol *catalog.Column
+	for i := range tab.Columns {
+		if tab.Columns[i].Type.Numeric() && tab.Columns[i].Name != anchor {
+			numCol = &tab.Columns[i]
+			break
+		}
+	}
+	var cond sqlast.Expr
+	if numCol != nil {
+		cond = &sqlast.Binary{Op: ">", L: sqlast.Col("", numCol.Name), R: g.IntLit(0, 100)}
+	} else {
+		cond = &sqlast.IsNull{X: sqlast.Col("", anchor), Not: true}
+	}
+	if level < depth {
+		sel.Where = sqlast.And(cond, &sqlast.In{
+			X:   sqlast.Col("", anchor),
+			Sub: nestLevel(g, tn, level+1, depth, joinCol),
+		})
+	} else {
+		sel.Where = cond
+	}
+	return sel
+}

@@ -1,0 +1,110 @@
+package sqlshare
+
+import (
+	"testing"
+
+	"repro/internal/semcheck"
+	"repro/internal/workload"
+)
+
+func TestSizeAndDeterminism(t *testing.T) {
+	w := Generate(1)
+	if len(w.Queries) != Size {
+		t.Fatalf("size = %d, want %d", len(w.Queries), Size)
+	}
+	b := Generate(1)
+	for i := range w.Queries {
+		if w.Queries[i].SQL != b.Queries[i].SQL {
+			t.Fatalf("query %d differs across identical seeds", i)
+		}
+	}
+}
+
+// Figure 2a: SELECT 237, WITH 10, CREATE 2, WAITFOR 1.
+func TestQueryTypeDistribution(t *testing.T) {
+	byType := Generate(1).ByType()
+	want := map[string]int{"SELECT": 237, "WITH": 10, "CREATE": 2, "WAITFOR": 1}
+	for typ, n := range want {
+		if byType[typ] != n {
+			t.Errorf("%s = %d, want %d (all: %v)", typ, byType[typ], n, byType)
+		}
+	}
+}
+
+// Table 2: aggregate split 59 / 191.
+func TestAggregateSplit(t *testing.T) {
+	yes, _ := Generate(1).AggregateSplit()
+	if yes < 55 || yes > 63 {
+		t.Errorf("aggregate yes = %d, want ~59", yes)
+	}
+}
+
+// Figure 2b: overwhelmingly short queries.
+func TestWordCountShape(t *testing.T) {
+	w := Generate(1)
+	buckets := make([]int, 5)
+	for _, q := range w.Queries {
+		buckets[workload.Bucket(q.Props.WordCount, []int{1, 30, 60, 90, 120})]++
+	}
+	paper := []int{178, 51, 8, 5, 9}
+	for i := range paper {
+		tol := 22
+		if diff := buckets[i] - paper[i]; diff < -tol || diff > tol {
+			t.Errorf("word bucket %d = %d, want %d±%d (all: %v)", i, buckets[i], paper[i], tol, buckets)
+		}
+	}
+}
+
+// Figure 2c: single-table dominance.
+func TestTableCountShape(t *testing.T) {
+	w := Generate(1)
+	counts := map[int]int{}
+	for _, q := range w.Queries {
+		counts[q.Props.TableCount]++
+	}
+	if counts[1] < 140 {
+		t.Errorf("single-table = %d, want >= 140 (%v)", counts[1], counts)
+	}
+	if counts[0] < 8 {
+		t.Errorf("zero-table = %d, want >= 8", counts[0])
+	}
+}
+
+// Figure 2e: nestedness tail including the WITH queries.
+func TestNestednessShape(t *testing.T) {
+	w := Generate(1)
+	counts := map[int]int{}
+	for _, q := range w.Queries {
+		counts[q.Props.Nestedness]++
+	}
+	if counts[0] < 200 {
+		t.Errorf("flat = %d, want >= 200 (%v)", counts[0], counts)
+	}
+	deep := counts[3] + counts[4] + counts[5]
+	if deep < 3 || deep > 8 {
+		t.Errorf("deep (3+) = %d, want 3..8", deep)
+	}
+}
+
+func TestAllQueriesClean(t *testing.T) {
+	w := Generate(1)
+	checker := semcheck.New(w.Schema)
+	for _, q := range w.Queries {
+		if diags := checker.CheckSQL(q.SQL); len(diags) != 0 {
+			t.Errorf("query %s not clean: %v\n%s", q.ID, diags, q.SQL)
+		}
+	}
+}
+
+func TestTenantAssignment(t *testing.T) {
+	w := Generate(1)
+	seen := map[string]bool{}
+	for _, q := range w.Queries {
+		if q.SchemaName != "" {
+			seen[q.SchemaName] = true
+		}
+	}
+	if len(seen) < 3 {
+		t.Errorf("tenants used = %v, want >= 3", seen)
+	}
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlast"
+)
+
+func TestQuotaDrawExhausts(t *testing.T) {
+	g := NewGen(1)
+	q := NewQuota(3, 2, 5)
+	counts := make([]int, 3)
+	for q.Total() > 0 {
+		i := q.Draw(g)
+		if i < 0 {
+			t.Fatal("Draw returned -1 with budget remaining")
+		}
+		counts[i]++
+	}
+	if counts[0] != 3 || counts[1] != 2 || counts[2] != 5 {
+		t.Errorf("counts = %v", counts)
+	}
+	if q.Draw(g) != -1 {
+		t.Error("exhausted quota should return -1")
+	}
+}
+
+func TestQuotaTake(t *testing.T) {
+	q := NewQuota(1, 0)
+	if !q.Take(0) {
+		t.Error("Take(0) should succeed")
+	}
+	if q.Take(0) || q.Take(1) || q.Take(5) || q.Take(-1) {
+		t.Error("Take on empty/invalid class should fail")
+	}
+	if q.Total() != 0 {
+		t.Errorf("total = %d", q.Total())
+	}
+}
+
+func TestBucket(t *testing.T) {
+	bounds := []int{1, 30, 60, 90, 120}
+	cases := map[int]int{1: 0, 29: 0, 30: 1, 59: 1, 60: 2, 89: 2, 90: 3, 120: 4, 500: 4}
+	for v, want := range cases {
+		if got := Bucket(v, bounds); got != want {
+			t.Errorf("Bucket(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestPadProjectionReachesTarget(t *testing.T) {
+	g := NewGen(5)
+	sel := &sqlast.SelectStmt{
+		Items: []sqlast.SelectItem{{Expr: sqlast.Col("", "a")}},
+		From:  []sqlast.TableRef{&sqlast.TableName{Name: "t"}},
+	}
+	pool := []sqlast.Expr{sqlast.Col("", "a"), sqlast.Col("", "b"), sqlast.Col("", "c")}
+	g.PadProjection(sel, pool, 60)
+	if got := WordCount(sel); got < 60 {
+		t.Errorf("padded word count = %d, want >= 60", got)
+	}
+	// Padding must not add predicates or tables.
+	if sel.Where != nil || len(sel.From) != 1 {
+		t.Error("padding touched FROM/WHERE")
+	}
+}
+
+func TestPadProjectionEmptyPool(t *testing.T) {
+	g := NewGen(5)
+	sel := &sqlast.SelectStmt{Items: []sqlast.SelectItem{{Expr: sqlast.Col("", "a")}}}
+	g.PadProjection(sel, nil, 100)
+	if len(sel.Items) != 1 {
+		t.Error("empty pool should leave items unchanged")
+	}
+}
+
+func TestPredicateTypesMatchColumn(t *testing.T) {
+	g := NewGen(9)
+	intCol := catalog.Column{Name: "n", Type: catalog.TypeInt}
+	for i := 0; i < 50; i++ {
+		p := g.Predicate("t", intCol)
+		switch e := p.(type) {
+		case *sqlast.Binary:
+			if lit, ok := e.R.(*sqlast.Literal); ok && lit.Kind != sqlast.LitNumber {
+				t.Fatalf("int predicate got literal %v", lit)
+			}
+		}
+	}
+	textCol := catalog.Column{Name: "s", Type: catalog.TypeText}
+	for i := 0; i < 50; i++ {
+		p := g.Predicate("t", textCol)
+		if bin, ok := p.(*sqlast.Binary); ok {
+			if lit, ok := bin.R.(*sqlast.Literal); ok && lit.Kind != sqlast.LitString {
+				t.Fatalf("text predicate got literal kind %v", lit.Kind)
+			}
+		}
+	}
+}
+
+func TestFinalizeAssignsIDs(t *testing.T) {
+	w := &Workload{Name: "X", Queries: []Query{
+		{SQL: "SELECT 1"}, {SQL: "SELECT 2"},
+	}}
+	w.Finalize("x")
+	if w.Queries[0].ID != "x-0000" || w.Queries[1].ID != "x-0001" {
+		t.Errorf("ids = %q %q", w.Queries[0].ID, w.Queries[1].ID)
+	}
+	if w.Queries[0].Dataset != "X" {
+		t.Error("dataset not stamped")
+	}
+	if w.Queries[0].Props.QueryType != "SELECT" {
+		t.Error("props not computed")
+	}
+}

@@ -1,0 +1,142 @@
+// Package repro is the public API of the reproduction of "Evaluating SQL
+// Understanding in Large Language Models" (EDBT 2025). It exposes the
+// benchmark builder, the simulated model registry, the task runners, and the
+// per-table/figure experiment registry; everything underneath lives in
+// internal packages (SQL parser, semantic checker, execution engine,
+// workload generators, mutation and equivalence machinery).
+//
+// Quick start:
+//
+//	bench, _ := repro.BuildBenchmark(1, true)
+//	reg := repro.NewSimRegistry(bench)
+//	client, _ := reg.Get("GPT4")
+//	results, _ := repro.RunSyntaxTask(context.Background(), client, bench, "SDSS")
+//
+// Or regenerate a paper artifact directly:
+//
+//	repro.RunExperiment("table3", os.Stdout, 1)
+package repro
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/llm"
+	"repro/internal/llm/sim"
+	"repro/internal/prompt"
+)
+
+// Benchmark is the assembled labeled benchmark (workloads plus the
+// syntax-error, missing-token, equivalence, performance, and explanation
+// datasets).
+type Benchmark = core.Benchmark
+
+// Registry holds model clients by name.
+type Registry = llm.Registry
+
+// Client is the model abstraction: Name plus Complete(ctx, prompt).
+type Client = llm.Client
+
+// Result types for the five task families.
+type (
+	SyntaxResult  = core.SyntaxResult
+	TokenResult   = core.TokenResult
+	EquivResult   = core.EquivResult
+	PerfResult    = core.PerfResult
+	ExplainResult = core.ExplainResult
+)
+
+// Datasets lists the classification-task datasets: SDSS, SQLShare,
+// Join-Order.
+func Datasets() []string { return append([]string{}, core.TaskDatasets...) }
+
+// Models lists the five evaluated model names in the paper's order.
+func Models() []string { return append([]string{}, llm.ModelNames...) }
+
+// BuildBenchmark assembles the benchmark deterministically from a seed.
+// With verifyEquivalences set, generated equivalence pairs are confirmed
+// empirically on the execution engine before being admitted.
+func BuildBenchmark(seed int64, verifyEquivalences bool) (*Benchmark, error) {
+	return core.Build(core.BuildConfig{Seed: seed, VerifyEquivalences: verifyEquivalences})
+}
+
+// NewSimRegistry returns the five simulated models, constructed over the
+// benchmark's schemas. Any Client implementation (e.g. an HTTP-backed one)
+// can be Registered alongside or instead of them.
+func NewSimRegistry(b *Benchmark) *Registry {
+	return sim.Registry(sim.NewKnowledge(b.SchemasByDataset()))
+}
+
+// RunSyntaxTask runs the syntax_error task for one model over one dataset.
+func RunSyntaxTask(ctx context.Context, client Client, b *Benchmark, dataset string) ([]SyntaxResult, error) {
+	ds, ok := b.Syntax[dataset]
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	return core.RunSyntax(ctx, client, prompt.Default(prompt.SyntaxError), ds)
+}
+
+// RunTokenTask runs the miss_token task for one model over one dataset.
+func RunTokenTask(ctx context.Context, client Client, b *Benchmark, dataset string) ([]TokenResult, error) {
+	ds, ok := b.Tokens[dataset]
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	return core.RunTokens(ctx, client, prompt.Default(prompt.MissToken), ds)
+}
+
+// RunEquivTask runs the query_equiv task for one model over one dataset.
+func RunEquivTask(ctx context.Context, client Client, b *Benchmark, dataset string) ([]EquivResult, error) {
+	ds, ok := b.Equiv[dataset]
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	return core.RunEquiv(ctx, client, prompt.Default(prompt.QueryEquiv), ds)
+}
+
+// RunPerfTask runs performance_pred (SDSS) for one model.
+func RunPerfTask(ctx context.Context, client Client, b *Benchmark) ([]PerfResult, error) {
+	return core.RunPerf(ctx, client, prompt.Default(prompt.PerfPred), b.Perf)
+}
+
+// RunExplainTask runs query_exp (Spider) for one model.
+func RunExplainTask(ctx context.Context, client Client, b *Benchmark) ([]ExplainResult, error) {
+	return core.RunExplain(ctx, client, prompt.Default(prompt.QueryExp), b.Explain)
+}
+
+// Experiments lists the regenerable paper artifacts (table/figure IDs) in
+// paper order.
+func Experiments() []string {
+	var out []string
+	for _, e := range experiments.All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// ExperimentTitle returns the human title of an experiment ID.
+func ExperimentTitle(id string) (string, bool) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return "", false
+	}
+	return e.Title, true
+}
+
+// RunExperiment regenerates one paper artifact, writing the rendered table
+// or figure to w. The seed fixes the benchmark; equivalence pairs are
+// engine-verified.
+func RunExperiment(id string, w io.Writer, seed int64) error {
+	env, err := experiments.NewEnv(seed, true)
+	if err != nil {
+		return err
+	}
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (known: %v)", id, Experiments())
+	}
+	return e.Run(env, w)
+}
