@@ -8,7 +8,6 @@ package repro_test
 import (
 	"context"
 	"io"
-	"math/rand"
 	"sync"
 	"testing"
 
@@ -82,11 +81,24 @@ func BenchmarkFig12EquivPredicates(b *testing.B) { benchExperiment(b, "fig12") }
 func BenchmarkCaseStudyExplanation(b *testing.B) { benchExperiment(b, "casestudy") }
 
 // BenchmarkBuildBenchmark measures full benchmark assembly (workload
-// generation, mutation, pair verification).
+// generation, mutation, pair verification) with the default worker pool
+// (GOMAXPROCS).
 func BenchmarkBuildBenchmark(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Build(core.BuildConfig{Seed: 1, VerifyEquivalences: false}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildBenchmarkSequential pins the build to one worker, isolating
+// the parallel speedup of the default build above (output is byte-identical
+// between the two).
+func BenchmarkBuildBenchmarkSequential(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(core.BuildConfig{Seed: 1, VerifyEquivalences: false, Parallel: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -228,8 +240,6 @@ func BenchmarkAblationPromptVariants(b *testing.B) {
 func BenchmarkParserThroughput(b *testing.B) {
 	env := sharedEnv(b)
 	queries := env.Bench.Workloads[core.SDSS].Queries
-	r := rand.New(rand.NewSource(1))
-	_ = r
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -7,12 +7,17 @@
 //	sqlbench -exp table3
 //	sqlbench -exp table3,table4 -seed 2
 //	sqlbench -exp all -noverify
+//	sqlbench -exp all -parallel 16
+//
+// Output is byte-identical at every -parallel setting; -parallel 1
+// reproduces the fully sequential pipeline.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -24,6 +29,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "benchmark seed")
 		noVerify = flag.Bool("noverify", false, "skip engine verification of equivalence pairs (faster)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for benchmark build and task runs (1 = sequential)")
 	)
 	flag.Parse()
 
@@ -45,7 +51,11 @@ func main() {
 		}
 	}
 
-	env, err := experiments.NewEnv(*seed, !*noVerify)
+	env, err := experiments.NewEnvConfig(experiments.Config{
+		Seed:               *seed,
+		VerifyEquivalences: !*noVerify,
+		Parallel:           *parallel,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlbench: building benchmark:", err)
 		os.Exit(1)

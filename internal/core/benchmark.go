@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/equiv"
 	"repro/internal/mutate"
 	"repro/internal/nlgen"
+	"repro/internal/runner"
 	"repro/internal/semcheck"
 	"repro/internal/sqlast"
 	"repro/internal/sqlparse"
@@ -104,6 +106,12 @@ type BuildConfig struct {
 	// empirically. Slower but guarantees label integrity (default on via
 	// Build; disable for quick runs).
 	VerifyEquivalences bool
+	// Parallel bounds the worker pool used for the per-dataset build stages
+	// and the equivalence-verification fan-out. 0 means GOMAXPROCS; 1 forces
+	// a sequential build. Output is byte-identical at every setting: each
+	// dataset derives its own rand.Rand from Seed, exactly as the sequential
+	// build always has, so scheduling never reaches the random streams.
+	Parallel int
 }
 
 // Build assembles the benchmark deterministically.
@@ -111,27 +119,63 @@ func Build(cfg BuildConfig) (*Benchmark, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	b := &Benchmark{
-		Workloads: map[string]*workload.Workload{
-			SDSS:      sdss.Generate(cfg.Seed),
-			SQLShare:  sqlshare.Generate(cfg.Seed),
-			JoinOrder: joborder.Generate(cfg.Seed),
-			Spider:    spider.Generate(cfg.Seed),
-		},
-		Syntax: map[string][]SyntaxExample{},
-		Tokens: map[string][]TokenExample{},
-		Equiv:  map[string][]EquivExample{},
+	ctx := runner.WithParallelism(context.Background(), cfg.Parallel)
+
+	// Stage 1: the four workload generators are independent of one another.
+	type gen struct {
+		name string
+		gen  func(int64) *workload.Workload
 	}
-	for _, ds := range TaskDatasets {
+	gens := []gen{
+		{SDSS, sdss.Generate},
+		{SQLShare, sqlshare.Generate},
+		{JoinOrder, joborder.Generate},
+		{Spider, spider.Generate},
+	}
+	wls, err := runner.Map(ctx, 0, gens, func(_ context.Context, _ int, g gen) (*workload.Workload, error) {
+		return g.gen(cfg.Seed), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	b := &Benchmark{
+		Workloads: make(map[string]*workload.Workload, len(gens)),
+		Syntax:    map[string][]SyntaxExample{},
+		Tokens:    map[string][]TokenExample{},
+		Equiv:     map[string][]EquivExample{},
+	}
+	for i, g := range gens {
+		b.Workloads[g.name] = wls[i]
+	}
+
+	// Stage 2: label the task datasets. Datasets run concurrently; within a
+	// dataset the syntax → tokens → equiv stages stay sequential because they
+	// consume one shared rand stream.
+	type labeled struct {
+		syntax []SyntaxExample
+		tokens []TokenExample
+		equiv  []EquivExample
+	}
+	outs, err := runner.Map(ctx, 0, TaskDatasets, func(ctx context.Context, _ int, ds string) (labeled, error) {
 		w := b.Workloads[ds]
 		r := rand.New(rand.NewSource(cfg.Seed ^ int64(len(ds))*7919))
-		b.Syntax[ds] = buildSyntax(w, r)
-		b.Tokens[ds] = buildTokens(w, r)
-		pairs, err := buildEquiv(w, r, cfg.VerifyEquivalences)
+		var l labeled
+		l.syntax = buildSyntax(w, r)
+		l.tokens = buildTokens(w, r)
+		pairs, err := buildEquiv(ctx, w, r, cfg.VerifyEquivalences)
 		if err != nil {
-			return nil, fmt.Errorf("building %s equivalence pairs: %w", ds, err)
+			return labeled{}, fmt.Errorf("building %s equivalence pairs: %w", ds, err)
 		}
-		b.Equiv[ds] = pairs
+		l.equiv = pairs
+		return l, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ds := range TaskDatasets {
+		b.Syntax[ds] = outs[i].syntax
+		b.Tokens[ds] = outs[i].tokens
+		b.Equiv[ds] = outs[i].equiv
 	}
 	b.Perf = buildPerf(b.Workloads[SDSS])
 	b.Explain = buildExplain(b.Workloads[Spider])
@@ -220,13 +264,14 @@ func buildTokens(w *workload.Workload, r *rand.Rand) []TokenExample {
 // non-equivalence types on odd ones. Equivalence-labeled pairs are
 // optionally verified with the execution engine; unverifiable pairs fall
 // back to the next applicable type.
-func buildEquiv(w *workload.Workload, r *rand.Rand, verify bool) ([]EquivExample, error) {
+func buildEquiv(ctx context.Context, w *workload.Workload, r *rand.Rand, verify bool) ([]EquivExample, error) {
 	eqTypes := equiv.EquivTypes()
 	neTypes := equiv.NonEquivTypes()
 	var checker *equiv.Checker
 	if verify {
 		checker = equiv.NewChecker(w.Schema)
 		checker.Seeds = []int64{11, 29}
+		checker.Parallel = runner.Parallelism(ctx)
 	}
 	var out []EquivExample
 	eqCursor, neCursor := 0, 0

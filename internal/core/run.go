@@ -9,7 +9,13 @@ import (
 	"repro/internal/nlgen"
 	"repro/internal/prompt"
 	"repro/internal/respparse"
+	"repro/internal/runner"
 )
+
+// The Run* drivers fan each example out through runner.Map: completions run
+// on a bounded worker pool (budget taken from the context via
+// runner.WithParallelism, defaulting to GOMAXPROCS) while results come back
+// in dataset order, so the output is identical to a sequential run.
 
 // SyntaxResult is one model prediction on a SyntaxExample.
 type SyntaxResult struct {
@@ -19,51 +25,42 @@ type SyntaxResult struct {
 	Response string
 }
 
+func syntaxResult(ex SyntaxExample, resp string) SyntaxResult {
+	verdict, perr := respparse.ParseSyntax(resp)
+	if perr != nil {
+		// Unparseable output counts as "no error claimed", mirroring the
+		// paper's conservative manual post-processing.
+		verdict = respparse.SyntaxVerdict{}
+	}
+	return SyntaxResult{
+		Example:  ex,
+		PredHas:  verdict.HasError,
+		PredType: verdict.ErrorType,
+		Response: resp,
+	}
+}
+
 // RunSyntax drives one model over a syntax dataset.
 func RunSyntax(ctx context.Context, client llm.Client, tpl prompt.Template, ds []SyntaxExample) ([]SyntaxResult, error) {
-	out := make([]SyntaxResult, 0, len(ds))
-	for _, ex := range ds {
+	return runner.Map(ctx, 0, ds, func(ctx context.Context, _ int, ex SyntaxExample) (SyntaxResult, error) {
 		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
 		if err != nil {
-			return out, fmt.Errorf("completing %s: %w", ex.ID, err)
+			return SyntaxResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
 		}
-		verdict, perr := respparse.ParseSyntax(resp)
-		if perr != nil {
-			// Unparseable output counts as "no error claimed", mirroring the
-			// paper's conservative manual post-processing.
-			verdict = respparse.SyntaxVerdict{}
-		}
-		out = append(out, SyntaxResult{
-			Example:  ex,
-			PredHas:  verdict.HasError,
-			PredType: verdict.ErrorType,
-			Response: resp,
-		})
-	}
-	return out, nil
+		return syntaxResult(ex, resp), nil
+	})
 }
 
 // RunSyntaxFewShot is RunSyntax with worked examples prepended to every
 // prompt — the few-shot mitigation the paper's conclusion anticipates.
 func RunSyntaxFewShot(ctx context.Context, client llm.Client, tpl prompt.Template, shots []prompt.Shot, ds []SyntaxExample) ([]SyntaxResult, error) {
-	out := make([]SyntaxResult, 0, len(ds))
-	for _, ex := range ds {
+	return runner.Map(ctx, 0, ds, func(ctx context.Context, _ int, ex SyntaxExample) (SyntaxResult, error) {
 		resp, err := client.Complete(ctx, tpl.RenderFewShot(ex.SQL, shots))
 		if err != nil {
-			return out, fmt.Errorf("completing %s: %w", ex.ID, err)
+			return SyntaxResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
 		}
-		verdict, perr := respparse.ParseSyntax(resp)
-		if perr != nil {
-			verdict = respparse.SyntaxVerdict{}
-		}
-		out = append(out, SyntaxResult{
-			Example:  ex,
-			PredHas:  verdict.HasError,
-			PredType: verdict.ErrorType,
-			Response: resp,
-		})
-	}
-	return out, nil
+		return syntaxResult(ex, resp), nil
+	})
 }
 
 // TokenResult is one model prediction on a TokenExample.
@@ -77,25 +74,23 @@ type TokenResult struct {
 
 // RunTokens drives one model over a miss_token dataset.
 func RunTokens(ctx context.Context, client llm.Client, tpl prompt.Template, ds []TokenExample) ([]TokenResult, error) {
-	out := make([]TokenResult, 0, len(ds))
-	for _, ex := range ds {
+	return runner.Map(ctx, 0, ds, func(ctx context.Context, _ int, ex TokenExample) (TokenResult, error) {
 		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
 		if err != nil {
-			return out, fmt.Errorf("completing %s: %w", ex.ID, err)
+			return TokenResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
 		}
 		verdict, perr := respparse.ParseMissToken(resp)
 		if perr != nil {
 			verdict = respparse.MissTokenVerdict{Position: -1}
 		}
-		out = append(out, TokenResult{
+		return TokenResult{
 			Example:  ex,
 			PredMiss: verdict.Missing,
 			PredKind: verdict.Kind,
 			PredPos:  verdict.Position,
 			Response: resp,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // EquivResult is one model prediction on an EquivExample.
@@ -108,24 +103,22 @@ type EquivResult struct {
 
 // RunEquiv drives one model over a query_equiv dataset.
 func RunEquiv(ctx context.Context, client llm.Client, tpl prompt.Template, ds []EquivExample) ([]EquivResult, error) {
-	out := make([]EquivResult, 0, len(ds))
-	for _, ex := range ds {
+	return runner.Map(ctx, 0, ds, func(ctx context.Context, _ int, ex EquivExample) (EquivResult, error) {
 		resp, err := client.Complete(ctx, tpl.RenderPair(ex.SQL1, ex.SQL2))
 		if err != nil {
-			return out, fmt.Errorf("completing %s: %w", ex.ID, err)
+			return EquivResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
 		}
 		verdict, perr := respparse.ParseEquiv(resp)
 		if perr != nil {
 			verdict = respparse.EquivVerdict{}
 		}
-		out = append(out, EquivResult{
+		return EquivResult{
 			Example:   ex,
 			PredEquiv: verdict.Equivalent,
 			PredType:  verdict.Type,
 			Response:  resp,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // PerfResult is one model prediction on a PerfExample.
@@ -137,19 +130,17 @@ type PerfResult struct {
 
 // RunPerf drives one model over the performance_pred dataset.
 func RunPerf(ctx context.Context, client llm.Client, tpl prompt.Template, ds []PerfExample) ([]PerfResult, error) {
-	out := make([]PerfResult, 0, len(ds))
-	for _, ex := range ds {
+	return runner.Map(ctx, 0, ds, func(ctx context.Context, _ int, ex PerfExample) (PerfResult, error) {
 		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
 		if err != nil {
-			return out, fmt.Errorf("completing %s: %w", ex.ID, err)
+			return PerfResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
 		}
 		costly, perr := respparse.ParsePerf(resp)
 		if perr != nil {
 			costly = false
 		}
-		out = append(out, PerfResult{Example: ex, PredCostly: costly, Response: resp})
-	}
-	return out, nil
+		return PerfResult{Example: ex, PredCostly: costly, Response: resp}, nil
+	})
 }
 
 // ExplainResult is one model explanation with its coverage score.
@@ -161,20 +152,18 @@ type ExplainResult struct {
 
 // RunExplain drives one model over the query_exp dataset.
 func RunExplain(ctx context.Context, client llm.Client, tpl prompt.Template, ds []ExplainExample) ([]ExplainResult, error) {
-	out := make([]ExplainResult, 0, len(ds))
-	for _, ex := range ds {
+	return runner.Map(ctx, 0, ds, func(ctx context.Context, _ int, ex ExplainExample) (ExplainResult, error) {
 		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
 		if err != nil {
-			return out, fmt.Errorf("completing %s: %w", ex.ID, err)
+			return ExplainResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
 		}
 		expl := respparse.ParseExplanation(resp)
-		out = append(out, ExplainResult{
+		return ExplainResult{
 			Example:     ex,
 			Explanation: expl,
 			Coverage:    nlgen.Coverage(expl, ex.Facts),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // ---------------------------------------------------------------------------

@@ -273,13 +273,16 @@ func requalify(rel *Relation, qualifier string) *Relation {
 
 func (e *Engine) crossProduct(a, b *Relation) (*Relation, error) {
 	out := &Relation{Cols: append(append([]Col{}, a.Cols...), b.Cols...)}
-	if len(a.Rows)*len(b.Rows) > e.maxRows() {
+	n := len(a.Rows) * len(b.Rows)
+	if n > e.maxRows() {
 		return nil, execErrorf("cross product exceeds row cap (%d x %d)", len(a.Rows), len(b.Rows))
 	}
+	arena := newRowArena(len(out.Cols))
+	out.Rows = make([][]Value, 0, n)
 	for _, ra := range a.Rows {
 		for _, rb := range b.Rows {
 			e.ops++
-			out.Rows = append(out.Rows, concatRows(ra, rb))
+			out.Rows = append(out.Rows, arena.concat(ra, rb))
 		}
 	}
 	return out, nil
@@ -289,6 +292,39 @@ func concatRows(a, b []Value) []Value {
 	row := make([]Value, 0, len(a)+len(b))
 	row = append(row, a...)
 	return append(row, b...)
+}
+
+// rowArena block-allocates fixed-width result rows, replacing the per-row
+// make in the join and cross-product inner loops with one allocation per
+// block. Rows handed out are capacity-clipped so an append on one can never
+// bleed into the next.
+type rowArena struct {
+	width int
+	buf   []Value
+}
+
+const arenaBlockRows = 256
+
+func newRowArena(width int) *rowArena { return &rowArena{width: width} }
+
+func (a *rowArena) next() []Value {
+	if a.width == 0 {
+		return nil
+	}
+	if cap(a.buf)-len(a.buf) < a.width {
+		a.buf = make([]Value, 0, a.width*arenaBlockRows)
+	}
+	n := len(a.buf)
+	a.buf = a.buf[:n+a.width]
+	return a.buf[n : n+a.width : n+a.width]
+}
+
+// concat returns l++r as an arena-backed row.
+func (a *rowArena) concat(l, r []Value) []Value {
+	row := a.next()
+	copy(row, l)
+	copy(row[len(l):], r)
+	return row
 }
 
 // join executes an explicit join. Equi-joins on plain column references use
@@ -303,15 +339,22 @@ func (e *Engine) join(left, right *Relation, j *sqlast.Join, outer *env, ctes ma
 		return e.hashJoin(left, right, li, ri, j.Type, out)
 	}
 
-	// Nested-loop join with outer-join padding.
+	// Nested-loop join with outer-join padding. The ON predicate evaluates
+	// against one scratch row reused across candidates (expression
+	// evaluation only reads the current row); only matching rows are
+	// materialized, from the arena.
 	joined := &env{rel: out, outer: outer, ctes: ctes}
 	rightMatched := make([]bool, len(right.Rows))
+	arena := newRowArena(len(out.Cols))
+	scratch := make([]Value, len(left.Cols)+len(right.Cols))
+	rightNulls := nullRow(len(right.Cols))
 	for _, lr := range left.Rows {
 		matched := false
+		copy(scratch, lr)
 		for ri, rr := range right.Rows {
 			e.ops++
-			row := concatRows(lr, rr)
-			joined.row = row
+			copy(scratch[len(lr):], rr)
+			joined.row = scratch
 			v, err := e.evalExpr(j.On, joined)
 			if err != nil {
 				return nil, err
@@ -319,20 +362,21 @@ func (e *Engine) join(left, right *Relation, j *sqlast.Join, outer *env, ctes ma
 			if v.Truthy() {
 				matched = true
 				rightMatched[ri] = true
-				out.Rows = append(out.Rows, row)
+				out.Rows = append(out.Rows, arena.concat(lr, rr))
 				if len(out.Rows) > e.maxRows() {
 					return nil, execErrorf("join result exceeds row cap")
 				}
 			}
 		}
 		if !matched && (j.Type == "LEFT" || j.Type == "FULL") {
-			out.Rows = append(out.Rows, concatRows(lr, nullRow(len(right.Cols))))
+			out.Rows = append(out.Rows, arena.concat(lr, rightNulls))
 		}
 	}
 	if j.Type == "RIGHT" || j.Type == "FULL" {
+		leftNulls := nullRow(len(left.Cols))
 		for ri, rr := range right.Rows {
 			if !rightMatched[ri] {
-				out.Rows = append(out.Rows, concatRows(nullRow(len(left.Cols)), rr))
+				out.Rows = append(out.Rows, arena.concat(leftNulls, rr))
 			}
 		}
 	}
@@ -383,6 +427,9 @@ func (e *Engine) hashJoin(left, right *Relation, li, ri int, joinType string, ou
 		index[k] = append(index[k], idx)
 	}
 	rightMatched := make([]bool, len(right.Rows))
+	arena := newRowArena(len(out.Cols))
+	rightNulls := nullRow(len(right.Cols))
+	out.Rows = make([][]Value, 0, len(left.Rows))
 	for _, lr := range left.Rows {
 		e.ops++
 		v := lr[li]
@@ -393,7 +440,7 @@ func (e *Engine) hashJoin(left, right *Relation, li, ri int, joinType string, ou
 				if Equal(v, right.Rows[idx][ri]) {
 					matched = true
 					rightMatched[idx] = true
-					out.Rows = append(out.Rows, concatRows(lr, right.Rows[idx]))
+					out.Rows = append(out.Rows, arena.concat(lr, right.Rows[idx]))
 					if len(out.Rows) > e.maxRows() {
 						return nil, execErrorf("join result exceeds row cap")
 					}
@@ -401,13 +448,14 @@ func (e *Engine) hashJoin(left, right *Relation, li, ri int, joinType string, ou
 			}
 		}
 		if !matched && (joinType == "LEFT" || joinType == "FULL") {
-			out.Rows = append(out.Rows, concatRows(lr, nullRow(len(right.Cols))))
+			out.Rows = append(out.Rows, arena.concat(lr, rightNulls))
 		}
 	}
 	if joinType == "RIGHT" || joinType == "FULL" {
+		leftNulls := nullRow(len(left.Cols))
 		for idx, rr := range right.Rows {
 			if !rightMatched[idx] {
-				out.Rows = append(out.Rows, concatRows(nullRow(len(left.Cols)), rr))
+				out.Rows = append(out.Rows, arena.concat(leftNulls, rr))
 			}
 		}
 	}
@@ -432,16 +480,26 @@ func (e *Engine) execProjection(sel *sqlast.SelectStmt, src *Relation, scanEnv *
 	if err != nil {
 		return nil, nil, err
 	}
-	out := &Relation{Cols: cols}
+	out := &Relation{Cols: cols, Rows: make([][]Value, 0, len(src.Rows))}
+	// Every output row is exactly len(cols) wide (star expansions are
+	// counted in the header), so one backing allocation serves all rows;
+	// the exact capacity guarantees appends never reallocate mid-build.
+	backing := make([]Value, 0, len(src.Rows)*len(cols))
 	var sortKeys [][]Value
+	var keyBacking []Value
+	nOrder := len(sel.OrderBy)
+	if nOrder > 0 {
+		sortKeys = make([][]Value, 0, len(src.Rows))
+		keyBacking = make([]Value, 0, len(src.Rows)*nOrder)
+	}
 	for _, row := range src.Rows {
 		e.ops++
 		scanEnv.row = row
-		outRow := make([]Value, 0, len(cols))
+		base := len(backing)
 		for itemIdx, item := range sel.Items {
 			if idxs, isStar := starIdx[itemIdx]; isStar {
 				for _, i := range idxs {
-					outRow = append(outRow, row[i])
+					backing = append(backing, row[i])
 				}
 				continue
 			}
@@ -449,19 +507,19 @@ func (e *Engine) execProjection(sel *sqlast.SelectStmt, src *Relation, scanEnv *
 			if err != nil {
 				return nil, nil, err
 			}
-			outRow = append(outRow, v)
+			backing = append(backing, v)
 		}
+		outRow := backing[base:len(backing):len(backing)]
 		out.Rows = append(out.Rows, outRow)
-		if len(sel.OrderBy) > 0 {
-			keys, err := e.orderKeys(sel, scanEnv, out.Cols, outRow)
-			if err != nil {
+		if nOrder > 0 {
+			kbase := len(keyBacking)
+			keyBacking = keyBacking[:kbase+nOrder]
+			keys := keyBacking[kbase : kbase+nOrder : kbase+nOrder]
+			if err := e.orderKeys(sel, scanEnv, out.Cols, outRow, keys); err != nil {
 				return nil, nil, err
 			}
 			sortKeys = append(sortKeys, keys)
 		}
-	}
-	if len(sel.OrderBy) == 0 {
-		sortKeys = nil
 	}
 	return out, sortKeys, nil
 }
@@ -499,10 +557,10 @@ func projectionHeader(sel *sqlast.SelectStmt, src *Relation) ([]Col, map[int][]i
 	return cols, starIdx, nil
 }
 
-// orderKeys evaluates ORDER BY expressions for one row. Projection aliases
-// take precedence over source columns.
-func (e *Engine) orderKeys(sel *sqlast.SelectStmt, scanEnv *env, outCols []Col, outRow []Value) ([]Value, error) {
-	keys := make([]Value, len(sel.OrderBy))
+// orderKeys evaluates ORDER BY expressions for one row into keys (len
+// len(sel.OrderBy), caller-allocated). Projection aliases take precedence
+// over source columns.
+func (e *Engine) orderKeys(sel *sqlast.SelectStmt, scanEnv *env, outCols []Col, outRow []Value, keys []Value) error {
 	for j, ob := range sel.OrderBy {
 		if cr, ok := ob.Expr.(*sqlast.ColumnRef); ok && cr.Table == "" {
 			found := false
@@ -519,11 +577,11 @@ func (e *Engine) orderKeys(sel *sqlast.SelectStmt, scanEnv *env, outCols []Col, 
 		}
 		v, err := e.evalExpr(ob.Expr, scanEnv)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		keys[j] = v
 	}
-	return keys, nil
+	return nil
 }
 
 func distinct(rel *Relation, sortKeys [][]Value) (*Relation, [][]Value) {
@@ -1040,7 +1098,15 @@ func (e *Engine) evalScalarFunc(fc *sqlast.FuncCall, ev *env) (Value, error) {
 	if sqlast.IsAggregate(name) {
 		return NullValue, execErrorf("aggregate %s used outside grouping context", name)
 	}
-	args := make([]Value, len(fc.Args))
+	// Scalar calls rarely exceed four arguments; a stack buffer avoids the
+	// per-call slice allocation on the row-evaluation hot path.
+	var argBuf [4]Value
+	var args []Value
+	if len(fc.Args) <= len(argBuf) {
+		args = argBuf[:len(fc.Args)]
+	} else {
+		args = make([]Value, len(fc.Args))
+	}
 	for i, a := range fc.Args {
 		v, err := e.evalExpr(a, ev)
 		if err != nil {

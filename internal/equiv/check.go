@@ -1,6 +1,7 @@
 package equiv
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/datagen"
 	"repro/internal/engine"
+	"repro/internal/runner"
 	"repro/internal/sqlast"
 )
 
@@ -210,7 +212,10 @@ func inlineTrivialCTE(sel *sqlast.SelectStmt) *sqlast.SelectStmt {
 }
 
 // Checker validates candidate pairs empirically by executing both queries
-// over seeded synthetic instances of a schema.
+// over seeded synthetic instances of a schema. Instances are generated once
+// per (seed, rows) and reused across pairs — the engine never mutates base
+// tables, so a cached instance is safe to share, including across
+// goroutines. A Checker is safe for concurrent use.
 type Checker struct {
 	Schema *catalog.Schema
 	// Seeds are the instance seeds to test against (more seeds, higher
@@ -219,6 +224,16 @@ type Checker struct {
 	// Rows per generated table (default 24; kept small so wide joins stay
 	// fast).
 	Rows int
+	// Parallel bounds the per-seed execution fan-out of Equivalent.
+	// 0 or 1 executes the seeds sequentially.
+	Parallel int
+
+	instances runner.Flight[instanceKey, *engine.DB]
+}
+
+type instanceKey struct {
+	seed int64
+	rows int
 }
 
 // NewChecker returns an engine-backed checker over the schema.
@@ -226,17 +241,27 @@ func NewChecker(schema *catalog.Schema) *Checker {
 	return &Checker{Schema: schema, Seeds: []int64{11, 29, 47}, Rows: 24}
 }
 
+// instance returns the cached synthetic database for a seed, generating it
+// on first use. Concurrent requests for the same seed coalesce.
+func (c *Checker) instance(seed int64, rows int) *engine.DB {
+	db, _ := c.instances.Do(instanceKey{seed, rows}, func() (*engine.DB, error) {
+		return datagen.Instance(c.Schema, datagen.Config{Seed: seed, Rows: rows}), nil
+	})
+	return db
+}
+
 // Equivalent executes both queries on every seeded instance and reports
 // whether the results always match (as multisets, or ordered when the
 // queries declare ORDER BY). An execution error on either side is returned.
+// With Parallel > 1 the seeds run concurrently; verdicts combine in seed
+// order, so the outcome is identical to a sequential check.
 func (c *Checker) Equivalent(a, b *sqlast.SelectStmt) (bool, error) {
 	rows := c.Rows
 	if rows <= 0 {
 		rows = 24
 	}
-	for _, seed := range c.Seeds {
-		db := datagen.Instance(c.Schema, datagen.Config{Seed: seed, Rows: rows})
-		e := engine.New(db)
+	check := func(seed int64) (bool, error) {
+		e := engine.New(c.instance(seed, rows))
 		ra, err := e.Query(a)
 		if err != nil {
 			return false, fmt.Errorf("left query failed: %w", err)
@@ -246,8 +271,31 @@ func (c *Checker) Equivalent(a, b *sqlast.SelectStmt) (bool, error) {
 			return false, fmt.Errorf("right query failed: %w", err)
 		}
 		ordered := len(a.OrderBy) > 0 && len(b.OrderBy) > 0
-		if !engine.EqualRelations(ra, rb, ordered) {
-			return false, nil
+		return engine.EqualRelations(ra, rb, ordered), nil
+	}
+	if c.Parallel <= 1 || len(c.Seeds) <= 1 {
+		for _, seed := range c.Seeds {
+			equal, err := check(seed)
+			if err != nil || !equal {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	type verdict struct {
+		equal bool
+		err   error
+	}
+	// Every seed runs to completion and the verdicts combine in seed order,
+	// reproducing the sequential outcome exactly (including which seed's
+	// error or mismatch is reported first).
+	verdicts, _ := runner.Map(context.Background(), c.Parallel, c.Seeds, func(_ context.Context, _ int, seed int64) (verdict, error) {
+		equal, err := check(seed)
+		return verdict{equal, err}, nil
+	})
+	for _, v := range verdicts {
+		if v.err != nil || !v.equal {
+			return false, v.err
 		}
 	}
 	return true, nil

@@ -12,6 +12,7 @@ import (
 	"repro/internal/mutate"
 	promptpkg "repro/internal/prompt"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/semcheck"
 	"repro/internal/stats"
 )
@@ -56,22 +57,29 @@ func runExtFewShot(env *Env, w io.Writer) error {
 		},
 	}
 	tpl := promptpkg.Default(promptpkg.SyntaxError)
-	fmt.Fprintf(w, "%-12s %18s %18s\n", "Model", "zero-shot F1", "few-shot F1")
-	for _, model := range env.Models {
+	// Both variants fan out across models; rendering stays in table order.
+	type row struct{ zero, few float64 }
+	rows, err := runner.Map(env.ctx(), 0, env.Models, func(ctx context.Context, _ int, model string) (row, error) {
 		zero, err := env.SyntaxResults(model, core.SDSS)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		client, err := env.Registry.Get(model)
 		if err != nil {
-			return err
+			return row{}, err
 		}
-		few, err := core.RunSyntaxFewShot(context.Background(), client, tpl, shots, env.Bench.Syntax[core.SDSS])
+		few, err := core.RunSyntaxFewShot(ctx, client, tpl, shots, env.Bench.Syntax[core.SDSS])
 		if err != nil {
-			return err
+			return row{}, err
 		}
-		fmt.Fprintf(w, "%-12s %18.2f %18.2f\n",
-			model, core.EvalSyntaxBinary(zero).F1(), core.EvalSyntaxBinary(few).F1())
+		return row{core.EvalSyntaxBinary(zero).F1(), core.EvalSyntaxBinary(few).F1()}, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %18s %18s\n", "Model", "zero-shot F1", "few-shot F1")
+	for i, model := range env.Models {
+		fmt.Fprintf(w, "%-12s %18.2f %18.2f\n", model, rows[i].zero, rows[i].few)
 	}
 	fmt.Fprintln(w)
 	return nil
@@ -232,6 +240,9 @@ func runFig5(env *Env, w io.Writer) error {
 
 func runTable3(env *Env, w io.Writer) error {
 	report.Section(w, "Table 3: syntax_error (top) and syntax_error_type (bottom)")
+	if err := env.warmSyntax(core.TaskDatasets...); err != nil {
+		return err
+	}
 	binary := map[string]map[string]report.PRF{}
 	typed := map[string]map[string]report.PRF{}
 	for _, model := range env.Models {
@@ -256,7 +267,14 @@ func runTable3(env *Env, w io.Writer) error {
 
 func runFig6(env *Env, w io.Writer) error {
 	report.Section(w, "Figure 6: word_count vs outcome, syntax_error on SDSS")
-	for _, model := range []string{"Llama3", "Gemini"} {
+	models := []string{"Llama3", "Gemini"}
+	if err := env.prefetch(cross(models, []string{core.SDSS}), func(c cell) error {
+		_, err := env.SyntaxResults(c.model, c.ds)
+		return err
+	}); err != nil {
+		return err
+	}
+	for _, model := range models {
 		res, err := env.SyntaxResults(model, core.SDSS)
 		if err != nil {
 			return err
@@ -271,6 +289,9 @@ func runFig6(env *Env, w io.Writer) error {
 
 func runFig7(env *Env, w io.Writer) error {
 	report.Section(w, "Figure 7: FN rate by syntax error type")
+	if err := env.warmSyntax(core.TaskDatasets...); err != nil {
+		return err
+	}
 	classes := make([]string, 0, len(semcheck.PaperErrorTypes))
 	for _, c := range semcheck.PaperErrorTypes {
 		classes = append(classes, string(c))
@@ -290,6 +311,9 @@ func runFig7(env *Env, w io.Writer) error {
 
 func runTable4(env *Env, w io.Writer) error {
 	report.Section(w, "Table 4: miss_token (top) and miss_token_type (bottom)")
+	if err := env.warmTokens(core.TaskDatasets...); err != nil {
+		return err
+	}
 	binary := map[string]map[string]report.PRF{}
 	typed := map[string]map[string]report.PRF{}
 	for _, model := range env.Models {
@@ -324,6 +348,16 @@ func runFig8(env *Env, w io.Writer) error {
 		{"Gemini", "nestedness", func(ex core.TokenExample) float64 { return float64(ex.Props.Nestedness) }},
 		{"MistralAI", "table_count", func(ex core.TokenExample) float64 { return float64(ex.Props.TableCount) }},
 	}
+	models := make([]string, 0, len(panels))
+	for _, p := range panels {
+		models = append(models, p.model)
+	}
+	if err := env.prefetch(cross(models, []string{core.SQLShare}), func(c cell) error {
+		_, err := env.TokenResults(c.model, c.ds)
+		return err
+	}); err != nil {
+		return err
+	}
 	for _, p := range panels {
 		res, err := env.TokenResults(p.model, core.SQLShare)
 		if err != nil {
@@ -337,6 +371,9 @@ func runFig8(env *Env, w io.Writer) error {
 
 func runFig9(env *Env, w io.Writer) error {
 	report.Section(w, "Figure 9: FN rate by missing token type")
+	if err := env.warmTokens(core.TaskDatasets...); err != nil {
+		return err
+	}
 	classes := make([]string, 0, len(mutate.TokenKinds))
 	for _, k := range mutate.TokenKinds {
 		classes = append(classes, string(k))
@@ -356,6 +393,9 @@ func runFig9(env *Env, w io.Writer) error {
 
 func runTable5(env *Env, w io.Writer) error {
 	report.Section(w, "Table 5: MAE and Hit Rate for miss_token_loc")
+	if err := env.warmTokens(core.TaskDatasets...); err != nil {
+		return err
+	}
 	cells := map[string]map[string]report.LocRow{}
 	for _, model := range env.Models {
 		cells[model] = map[string]report.LocRow{}
@@ -374,6 +414,9 @@ func runTable5(env *Env, w io.Writer) error {
 
 func runTable6(env *Env, w io.Writer) error {
 	report.Section(w, "Table 6: performance_pred (SDSS)")
+	if err := env.warmPerf(env.Models...); err != nil {
+		return err
+	}
 	cells := map[string]map[string]report.PRF{}
 	for _, model := range env.Models {
 		res, err := env.PerfResults(model)
@@ -401,6 +444,9 @@ func runFig10(env *Env, w io.Writer) error {
 
 func runTable7(env *Env, w io.Writer) error {
 	report.Section(w, "Table 7: query_equiv (top) and query_equiv_type (bottom)")
+	if err := env.warmEquiv(core.TaskDatasets...); err != nil {
+		return err
+	}
 	binary := map[string]map[string]report.PRF{}
 	typed := map[string]map[string]report.PRF{}
 	for _, model := range env.Models {
@@ -429,6 +475,9 @@ func runFig11(env *Env, w io.Writer) error {
 		{"GPT3.5", core.SDSS},
 		{"Llama3", core.JoinOrder},
 	}
+	if err := warmEquivPanels(env, panels); err != nil {
+		return err
+	}
 	for _, p := range panels {
 		res, err := env.EquivResults(p.model, p.ds)
 		if err != nil {
@@ -446,6 +495,9 @@ func runFig12(env *Env, w io.Writer) error {
 		{"Gemini", core.SDSS},
 		{"MistralAI", core.JoinOrder},
 	}
+	if err := warmEquivPanels(env, panels); err != nil {
+		return err
+	}
 	for _, p := range panels {
 		res, err := env.EquivResults(p.model, p.ds)
 		if err != nil {
@@ -457,8 +509,23 @@ func runFig12(env *Env, w io.Writer) error {
 	return nil
 }
 
+// warmEquivPanels prefetches the query_equiv cells a figure's panels need.
+func warmEquivPanels(env *Env, panels []struct{ model, ds string }) error {
+	cells := make([]cell, len(panels))
+	for i, p := range panels {
+		cells[i] = cell{p.model, p.ds}
+	}
+	return env.prefetch(cells, func(c cell) error {
+		_, err := env.EquivResults(c.model, c.ds)
+		return err
+	})
+}
+
 func runCaseStudy(env *Env, w io.Writer) error {
 	report.Section(w, "Section 4.5 case study: query explanation")
+	if err := env.warmExplain(env.Models...); err != nil {
+		return err
+	}
 	// The four pinned case-study queries lead the Spider workload.
 	n := 4
 	if len(env.Bench.Explain) < n {

@@ -8,32 +8,54 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/llm"
 	"repro/internal/llm/sim"
 	"repro/internal/prompt"
+	"repro/internal/runner"
 )
 
 // Env carries the shared state experiments run against: the benchmark, the
-// model registry, and memoized per-model task results.
+// model registry, and memoized per-model task results. Result memoization is
+// per-key singleflight: distinct model×dataset cells compute concurrently,
+// duplicate requests for the same cell coalesce onto one computation, and
+// completed cells are served from cache. An Env is safe for concurrent use.
 type Env struct {
 	Bench    *core.Benchmark
 	Registry *llm.Registry
 	Models   []string
+	// Parallel bounds the worker pool used for example fan-out inside each
+	// task run and for the model×dataset prefetch in the experiment
+	// definitions. 0 means GOMAXPROCS; 1 reproduces the sequential pipeline.
+	Parallel int
 
-	mu      sync.Mutex
-	syntax  map[string][]core.SyntaxResult
-	tokens  map[string][]core.TokenResult
-	equivs  map[string][]core.EquivResult
-	perf    map[string][]core.PerfResult
-	explain map[string][]core.ExplainResult
+	syntax  runner.Flight[string, []core.SyntaxResult]
+	tokens  runner.Flight[string, []core.TokenResult]
+	equivs  runner.Flight[string, []core.EquivResult]
+	perf    runner.Flight[string, []core.PerfResult]
+	explain runner.Flight[string, []core.ExplainResult]
 }
 
-// NewEnv builds the benchmark and the five simulated models.
-func NewEnv(seed int64, verifyEquiv bool) (*Env, error) {
-	bench, err := core.Build(core.BuildConfig{Seed: seed, VerifyEquivalences: verifyEquiv})
+// Config controls environment construction.
+type Config struct {
+	// Seed drives benchmark generation (0 means 1).
+	Seed int64
+	// VerifyEquivalences engine-checks generated equivalence pairs.
+	VerifyEquivalences bool
+	// Parallel is the worker budget for the build and all task runs
+	// (0 = GOMAXPROCS, 1 = sequential).
+	Parallel int
+}
+
+// NewEnvConfig builds the benchmark and the five simulated models with
+// explicit parallelism control.
+func NewEnvConfig(cfg Config) (*Env, error) {
+	bench, err := core.Build(core.BuildConfig{
+		Seed:               cfg.Seed,
+		VerifyEquivalences: cfg.VerifyEquivalences,
+		Parallel:           cfg.Parallel,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("building benchmark: %w", err)
 	}
@@ -42,112 +64,150 @@ func NewEnv(seed int64, verifyEquiv bool) (*Env, error) {
 		Bench:    bench,
 		Registry: sim.Registry(knowledge),
 		Models:   llm.ModelNames,
-		syntax:   map[string][]core.SyntaxResult{},
-		tokens:   map[string][]core.TokenResult{},
-		equivs:   map[string][]core.EquivResult{},
-		perf:     map[string][]core.PerfResult{},
-		explain:  map[string][]core.ExplainResult{},
+		Parallel: cfg.Parallel,
 	}, nil
+}
+
+// NewEnv builds the benchmark and the five simulated models with the default
+// worker budget (GOMAXPROCS).
+func NewEnv(seed int64, verifyEquiv bool) (*Env, error) {
+	return NewEnvConfig(Config{Seed: seed, VerifyEquivalences: verifyEquiv})
+}
+
+// ctx returns the context task runs execute under, carrying the worker
+// budget for runner.Map fan-out inside core.Run*.
+func (e *Env) ctx() context.Context {
+	return runner.WithParallelism(context.Background(), e.Parallel)
 }
 
 func key(model, ds string) string { return model + "\x00" + ds }
 
 // SyntaxResults runs (or returns cached) syntax_error results.
 func (e *Env) SyntaxResults(model, ds string) ([]core.SyntaxResult, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	k := key(model, ds)
-	if res, ok := e.syntax[k]; ok {
-		return res, nil
-	}
-	client, err := e.Registry.Get(model)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.RunSyntax(context.Background(), client, prompt.Default(prompt.SyntaxError), e.Bench.Syntax[ds])
-	if err != nil {
-		return nil, err
-	}
-	e.syntax[k] = res
-	return res, nil
+	return e.syntax.Do(key(model, ds), func() ([]core.SyntaxResult, error) {
+		client, err := e.Registry.Get(model)
+		if err != nil {
+			return nil, err
+		}
+		return core.RunSyntax(e.ctx(), client, prompt.Default(prompt.SyntaxError), e.Bench.Syntax[ds])
+	})
 }
 
 // TokenResults runs (or returns cached) miss_token results.
 func (e *Env) TokenResults(model, ds string) ([]core.TokenResult, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	k := key(model, ds)
-	if res, ok := e.tokens[k]; ok {
-		return res, nil
-	}
-	client, err := e.Registry.Get(model)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.RunTokens(context.Background(), client, prompt.Default(prompt.MissToken), e.Bench.Tokens[ds])
-	if err != nil {
-		return nil, err
-	}
-	e.tokens[k] = res
-	return res, nil
+	return e.tokens.Do(key(model, ds), func() ([]core.TokenResult, error) {
+		client, err := e.Registry.Get(model)
+		if err != nil {
+			return nil, err
+		}
+		return core.RunTokens(e.ctx(), client, prompt.Default(prompt.MissToken), e.Bench.Tokens[ds])
+	})
 }
 
 // EquivResults runs (or returns cached) query_equiv results.
 func (e *Env) EquivResults(model, ds string) ([]core.EquivResult, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	k := key(model, ds)
-	if res, ok := e.equivs[k]; ok {
-		return res, nil
-	}
-	client, err := e.Registry.Get(model)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.RunEquiv(context.Background(), client, prompt.Default(prompt.QueryEquiv), e.Bench.Equiv[ds])
-	if err != nil {
-		return nil, err
-	}
-	e.equivs[k] = res
-	return res, nil
+	return e.equivs.Do(key(model, ds), func() ([]core.EquivResult, error) {
+		client, err := e.Registry.Get(model)
+		if err != nil {
+			return nil, err
+		}
+		return core.RunEquiv(e.ctx(), client, prompt.Default(prompt.QueryEquiv), e.Bench.Equiv[ds])
+	})
 }
 
 // PerfResults runs (or returns cached) performance_pred results (SDSS only).
 func (e *Env) PerfResults(model string) ([]core.PerfResult, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if res, ok := e.perf[model]; ok {
-		return res, nil
-	}
-	client, err := e.Registry.Get(model)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.RunPerf(context.Background(), client, prompt.Default(prompt.PerfPred), e.Bench.Perf)
-	if err != nil {
-		return nil, err
-	}
-	e.perf[model] = res
-	return res, nil
+	return e.perf.Do(model, func() ([]core.PerfResult, error) {
+		client, err := e.Registry.Get(model)
+		if err != nil {
+			return nil, err
+		}
+		return core.RunPerf(e.ctx(), client, prompt.Default(prompt.PerfPred), e.Bench.Perf)
+	})
 }
 
 // ExplainResults runs (or returns cached) query_exp results (Spider only).
 func (e *Env) ExplainResults(model string) ([]core.ExplainResult, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if res, ok := e.explain[model]; ok {
-		return res, nil
+	return e.explain.Do(model, func() ([]core.ExplainResult, error) {
+		client, err := e.Registry.Get(model)
+		if err != nil {
+			return nil, err
+		}
+		return core.RunExplain(e.ctx(), client, prompt.Default(prompt.QueryExp), e.Bench.Explain)
+	})
+}
+
+// cell identifies one model×dataset unit of work in a prefetch.
+type cell struct{ model, ds string }
+
+// prefetch computes the given cells concurrently (bounded by Env.Parallel)
+// so the serial rendering loops that follow hit warm caches. Cells already
+// cached cost nothing; duplicate in-flight cells coalesce.
+func (e *Env) prefetch(cells []cell, fetch func(cell) error) error {
+	_, err := runner.Map(e.ctx(), 0, cells, func(_ context.Context, _ int, c cell) (struct{}, error) {
+		return struct{}{}, fetch(c)
+	})
+	return err
+}
+
+// cross builds the model×dataset cell grid.
+func cross(models, datasets []string) []cell {
+	cells := make([]cell, 0, len(models)*len(datasets))
+	for _, m := range models {
+		for _, ds := range datasets {
+			cells = append(cells, cell{m, ds})
+		}
 	}
-	client, err := e.Registry.Get(model)
-	if err != nil {
-		return nil, err
+	return cells
+}
+
+// warmSyntax precomputes syntax_error cells for all models over datasets.
+func (e *Env) warmSyntax(datasets ...string) error {
+	return e.prefetch(cross(e.Models, datasets), func(c cell) error {
+		_, err := e.SyntaxResults(c.model, c.ds)
+		return err
+	})
+}
+
+// warmTokens precomputes miss_token cells for all models over datasets.
+func (e *Env) warmTokens(datasets ...string) error {
+	return e.prefetch(cross(e.Models, datasets), func(c cell) error {
+		_, err := e.TokenResults(c.model, c.ds)
+		return err
+	})
+}
+
+// warmEquiv precomputes query_equiv cells for all models over datasets.
+func (e *Env) warmEquiv(datasets ...string) error {
+	return e.prefetch(cross(e.Models, datasets), func(c cell) error {
+		_, err := e.EquivResults(c.model, c.ds)
+		return err
+	})
+}
+
+// modelCells wraps model-only work (tasks with a fixed dataset) as cells.
+func modelCells(models []string) []cell {
+	cells := make([]cell, len(models))
+	for i, m := range models {
+		cells[i] = cell{model: m}
 	}
-	res, err := core.RunExplain(context.Background(), client, prompt.Default(prompt.QueryExp), e.Bench.Explain)
-	if err != nil {
-		return nil, err
-	}
-	e.explain[model] = res
-	return res, nil
+	return cells
+}
+
+// warmPerf precomputes performance_pred results for the given models.
+func (e *Env) warmPerf(models ...string) error {
+	return e.prefetch(modelCells(models), func(c cell) error {
+		_, err := e.PerfResults(c.model)
+		return err
+	})
+}
+
+// warmExplain precomputes query_exp results for the given models.
+func (e *Env) warmExplain(models ...string) error {
+	return e.prefetch(modelCells(models), func(c cell) error {
+		_, err := e.ExplainResults(c.model)
+		return err
+	})
 }
 
 // Experiment is one regenerable paper artifact.

@@ -1,0 +1,201 @@
+// Package runner provides the bounded-concurrency primitives behind the
+// evaluation pipeline: an order-preserving parallel map over a slice, a
+// heterogeneous task group, and per-key singleflight memoization. All
+// experiment fan-out (examples within a task run, model×dataset cells,
+// benchmark build stages, equivalence-check seeds) goes through this package
+// so that results stay deterministic regardless of goroutine scheduling.
+// Budgets are per-Map call: nested fan-out (a prefetch whose cells each run
+// their own Map) multiplies in-flight goroutines, which is intentional —
+// goroutines are cheap, OS-thread parallelism stays capped at GOMAXPROCS by
+// the Go runtime, and per-call budgets avoid the nested-pool deadlocks a
+// single shared semaphore would invite.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+type parallelismKey struct{}
+
+// WithParallelism returns a context carrying a worker budget for runner
+// calls that do not specify one explicitly. n <= 0 leaves the default
+// (GOMAXPROCS) in effect.
+func WithParallelism(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, parallelismKey{}, n)
+}
+
+// FromContext returns the worker budget carried by ctx, or 0 when none is
+// set.
+func FromContext(ctx context.Context) int {
+	if n, ok := ctx.Value(parallelismKey{}).(int); ok {
+		return n
+	}
+	return 0
+}
+
+// Parallelism returns the effective worker budget for ctx: the carried
+// value when positive, else GOMAXPROCS. Use this when handing the budget to
+// code outside runner (e.g. a struct field) so that "unset" keeps meaning
+// "default" rather than "sequential".
+func Parallelism(ctx context.Context) int {
+	return resolve(ctx, 0)
+}
+
+// resolve picks the effective worker count: the explicit argument if
+// positive, else the context's budget, else GOMAXPROCS.
+func resolve(ctx context.Context, n int) int {
+	if n > 0 {
+		return n
+	}
+	if c := FromContext(ctx); c > 0 {
+		return c
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies fn to every item with at most `parallel` concurrent workers
+// (0 means the context's budget, or GOMAXPROCS) and returns the results in
+// input order. The first error cancels the remaining work; among the items
+// that did run, the error with the lowest index is returned, so error
+// reporting matches a sequential run whenever fn is deterministic. fn
+// receives a context that is cancelled once any item fails.
+func Map[T, R any](ctx context.Context, parallel int, items []T, fn func(ctx context.Context, idx int, item T) (R, error)) ([]R, error) {
+	if len(items) == 0 {
+		return nil, ctx.Err()
+	}
+	workers := resolve(ctx, parallel)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]R, len(items))
+	if workers <= 1 {
+		for i, item := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := fn(ctx, i, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = len(items)
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				if err := cctx.Err(); err != nil {
+					return
+				}
+				r, err := fn(cctx, i, items[i])
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Do runs the given task functions with at most `parallel` concurrent
+// workers and returns the lowest-index error, if any.
+func Do(ctx context.Context, parallel int, fns ...func(ctx context.Context) error) error {
+	_, err := Map(ctx, parallel, fns, func(ctx context.Context, _ int, fn func(ctx context.Context) error) (struct{}, error) {
+		return struct{}{}, fn(ctx)
+	})
+	return err
+}
+
+// Flight memoizes the result of an expensive computation per key, coalescing
+// concurrent duplicate requests onto a single execution. Unlike classic
+// singleflight, successful results are cached for the lifetime of the
+// Flight; failed calls are forgotten so a later request retries.
+type Flight[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the cached value for key, or runs fn to compute it. Concurrent
+// calls for the same key block until the single in-flight fn returns and
+// share its result.
+func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[K]*flightCall[V])
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+	if c.err != nil {
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+	}
+	close(c.done)
+	return c.val, c.err
+}
+
+// Cached reports whether a completed successful result exists for key.
+func (f *Flight[K, V]) Cached(key K) bool {
+	f.mu.Lock()
+	c, ok := f.calls[key]
+	f.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-c.done:
+		return c.err == nil
+	default:
+		return false
+	}
+}
