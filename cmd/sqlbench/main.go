@@ -51,6 +51,18 @@ func main() {
 		}
 	}
 
+	// Validate every requested ID before the (expensive) benchmark build so
+	// a typo fails in milliseconds, not after minutes of verification.
+	var exps []experiments.Experiment
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sqlbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		exps = append(exps, e)
+	}
+
 	env, err := experiments.NewEnvConfig(experiments.Config{
 		Seed:               *seed,
 		VerifyEquivalences: !*noVerify,
@@ -60,14 +72,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sqlbench: building benchmark:", err)
 		os.Exit(1)
 	}
-	for _, id := range ids {
-		e, ok := experiments.ByID(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "sqlbench: unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
-		}
+	for _, e := range exps {
 		if err := e.Run(env, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "sqlbench: %s: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "sqlbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,88 @@
+// Command sqlserved runs the benchmark as an HTTP evaluation service.
+//
+// Usage:
+//
+//	sqlserved -addr :8080
+//	sqlserved -addr :8080 -seed 2 -verify -parallel 16
+//
+// Endpoints:
+//
+//	POST /v1/eval/{syntax,tokens,equiv,perf,explain}  evaluate SQL, NDJSON stream
+//	GET  /v1/experiments                              list paper artifacts
+//	GET  /v1/experiments/{id}?seed=N&verify=0         rendered artifact (cached)
+//	GET  /v1/healthz                                  liveness
+//	GET  /v1/metrics                                  service counters (JSON)
+//	GET  /debug/vars                                  expvar (counters + memstats)
+//
+// See README.md for request shapes and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		seed     = flag.Int64("seed", 1, "default benchmark seed (per-request override via seed)")
+		verify   = flag.Bool("verify", false, "engine-verify equivalence pairs when building benchmarks (slower cold start)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for benchmark builds and eval fan-out")
+		quiet    = flag.Bool("quiet", false, "disable request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "sqlserved: ", log.LstdFlags)
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+	s := serve.NewServer(serve.Config{
+		DefaultSeed: *seed,
+		Verify:      *verify,
+		Parallel:    *parallel,
+		Logger:      reqLogger,
+	})
+	s.Metrics().Publish("sqlserved")
+
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain connections. Streaming eval
+	// responses get a grace period to finish their prefixes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Printf("listening on %s (seed=%d verify=%v parallel=%d)", *addr, *seed, *verify, *parallel)
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+}

@@ -334,7 +334,7 @@ func lexicalFallback(sql string) Properties {
 		return p
 	}
 	if toks[0].Kind == sqllex.Keyword {
-		p.QueryType = toks[0].Upper
+		p.QueryType = toks[0].Upper()
 	}
 	for i, t := range toks {
 		switch {

@@ -12,10 +12,35 @@ import (
 	"repro/internal/runner"
 )
 
-// The Run* drivers fan each example out through runner.Map: completions run
-// on a bounded worker pool (budget taken from the context via
-// runner.WithParallelism, defaulting to GOMAXPROCS) while results come back
-// in dataset order, so the output is identical to a sequential run.
+// The Run* drivers fan each example out through runner.MapStream:
+// completions run on a bounded worker pool (budget taken from the context
+// via runner.WithParallelism, defaulting to GOMAXPROCS) while results are
+// delivered to a sink in dataset order as soon as each prefix completes, so
+// output order is identical to a sequential run. Every driver has a
+// streaming form (RunSyntaxStream, ...) that pushes results to a caller
+// sink — the serve layer's NDJSON responses hang off these — and a buffered
+// form (RunSyntax, ...) that is nothing but the streaming form with a
+// slice-collecting sink, so the whole pipeline, experiments.Env cell
+// fetching included, funnels through one code path.
+
+// dropIdx adapts a result-only sink to runner.MapStream's indexed sink.
+func dropIdx[R any](sink func(R) error) func(int, R) error {
+	return func(_ int, r R) error { return sink(r) }
+}
+
+// collect runs a streaming driver with a slice-appending sink and returns
+// the buffered results — the bridge from the streaming drivers back to the
+// buffered Run* contract.
+func collect[R any](n int, stream func(sink func(R) error) error) ([]R, error) {
+	out := make([]R, 0, n)
+	if err := stream(func(r R) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // SyntaxResult is one model prediction on a SyntaxExample.
 type SyntaxResult struct {
@@ -40,26 +65,36 @@ func syntaxResult(ex SyntaxExample, resp string) SyntaxResult {
 	}
 }
 
-// RunSyntax drives one model over a syntax dataset.
-func RunSyntax(ctx context.Context, client llm.Client, tpl prompt.Template, ds []SyntaxExample) ([]SyntaxResult, error) {
-	return runner.Map(ctx, 0, ds, func(ctx context.Context, _ int, ex SyntaxExample) (SyntaxResult, error) {
+// RunSyntaxStream drives one model over a syntax dataset, delivering each
+// result to sink in dataset order as soon as its prefix completes.
+func RunSyntaxStream(ctx context.Context, client llm.Client, tpl prompt.Template, ds []SyntaxExample, sink func(SyntaxResult) error) error {
+	return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex SyntaxExample) (SyntaxResult, error) {
 		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
 		if err != nil {
 			return SyntaxResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
 		}
 		return syntaxResult(ex, resp), nil
+	}, dropIdx(sink))
+}
+
+// RunSyntax drives one model over a syntax dataset and buffers the results.
+func RunSyntax(ctx context.Context, client llm.Client, tpl prompt.Template, ds []SyntaxExample) ([]SyntaxResult, error) {
+	return collect(len(ds), func(sink func(SyntaxResult) error) error {
+		return RunSyntaxStream(ctx, client, tpl, ds, sink)
 	})
 }
 
 // RunSyntaxFewShot is RunSyntax with worked examples prepended to every
 // prompt — the few-shot mitigation the paper's conclusion anticipates.
 func RunSyntaxFewShot(ctx context.Context, client llm.Client, tpl prompt.Template, shots []prompt.Shot, ds []SyntaxExample) ([]SyntaxResult, error) {
-	return runner.Map(ctx, 0, ds, func(ctx context.Context, _ int, ex SyntaxExample) (SyntaxResult, error) {
-		resp, err := client.Complete(ctx, tpl.RenderFewShot(ex.SQL, shots))
-		if err != nil {
-			return SyntaxResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
-		}
-		return syntaxResult(ex, resp), nil
+	return collect(len(ds), func(sink func(SyntaxResult) error) error {
+		return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex SyntaxExample) (SyntaxResult, error) {
+			resp, err := client.Complete(ctx, tpl.RenderFewShot(ex.SQL, shots))
+			if err != nil {
+				return SyntaxResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
+			}
+			return syntaxResult(ex, resp), nil
+		}, dropIdx(sink))
 	})
 }
 
@@ -72,9 +107,10 @@ type TokenResult struct {
 	Response string
 }
 
-// RunTokens drives one model over a miss_token dataset.
-func RunTokens(ctx context.Context, client llm.Client, tpl prompt.Template, ds []TokenExample) ([]TokenResult, error) {
-	return runner.Map(ctx, 0, ds, func(ctx context.Context, _ int, ex TokenExample) (TokenResult, error) {
+// RunTokensStream drives one model over a miss_token dataset, delivering
+// each result to sink in dataset order.
+func RunTokensStream(ctx context.Context, client llm.Client, tpl prompt.Template, ds []TokenExample, sink func(TokenResult) error) error {
+	return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex TokenExample) (TokenResult, error) {
 		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
 		if err != nil {
 			return TokenResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
@@ -90,6 +126,14 @@ func RunTokens(ctx context.Context, client llm.Client, tpl prompt.Template, ds [
 			PredPos:  verdict.Position,
 			Response: resp,
 		}, nil
+	}, dropIdx(sink))
+}
+
+// RunTokens drives one model over a miss_token dataset and buffers the
+// results.
+func RunTokens(ctx context.Context, client llm.Client, tpl prompt.Template, ds []TokenExample) ([]TokenResult, error) {
+	return collect(len(ds), func(sink func(TokenResult) error) error {
+		return RunTokensStream(ctx, client, tpl, ds, sink)
 	})
 }
 
@@ -101,9 +145,10 @@ type EquivResult struct {
 	Response  string
 }
 
-// RunEquiv drives one model over a query_equiv dataset.
-func RunEquiv(ctx context.Context, client llm.Client, tpl prompt.Template, ds []EquivExample) ([]EquivResult, error) {
-	return runner.Map(ctx, 0, ds, func(ctx context.Context, _ int, ex EquivExample) (EquivResult, error) {
+// RunEquivStream drives one model over a query_equiv dataset, delivering
+// each result to sink in dataset order.
+func RunEquivStream(ctx context.Context, client llm.Client, tpl prompt.Template, ds []EquivExample, sink func(EquivResult) error) error {
+	return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex EquivExample) (EquivResult, error) {
 		resp, err := client.Complete(ctx, tpl.RenderPair(ex.SQL1, ex.SQL2))
 		if err != nil {
 			return EquivResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
@@ -118,6 +163,14 @@ func RunEquiv(ctx context.Context, client llm.Client, tpl prompt.Template, ds []
 			PredType:  verdict.Type,
 			Response:  resp,
 		}, nil
+	}, dropIdx(sink))
+}
+
+// RunEquiv drives one model over a query_equiv dataset and buffers the
+// results.
+func RunEquiv(ctx context.Context, client llm.Client, tpl prompt.Template, ds []EquivExample) ([]EquivResult, error) {
+	return collect(len(ds), func(sink func(EquivResult) error) error {
+		return RunEquivStream(ctx, client, tpl, ds, sink)
 	})
 }
 
@@ -128,9 +181,10 @@ type PerfResult struct {
 	Response   string
 }
 
-// RunPerf drives one model over the performance_pred dataset.
-func RunPerf(ctx context.Context, client llm.Client, tpl prompt.Template, ds []PerfExample) ([]PerfResult, error) {
-	return runner.Map(ctx, 0, ds, func(ctx context.Context, _ int, ex PerfExample) (PerfResult, error) {
+// RunPerfStream drives one model over the performance_pred dataset,
+// delivering each result to sink in dataset order.
+func RunPerfStream(ctx context.Context, client llm.Client, tpl prompt.Template, ds []PerfExample, sink func(PerfResult) error) error {
+	return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex PerfExample) (PerfResult, error) {
 		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
 		if err != nil {
 			return PerfResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
@@ -140,6 +194,14 @@ func RunPerf(ctx context.Context, client llm.Client, tpl prompt.Template, ds []P
 			costly = false
 		}
 		return PerfResult{Example: ex, PredCostly: costly, Response: resp}, nil
+	}, dropIdx(sink))
+}
+
+// RunPerf drives one model over the performance_pred dataset and buffers
+// the results.
+func RunPerf(ctx context.Context, client llm.Client, tpl prompt.Template, ds []PerfExample) ([]PerfResult, error) {
+	return collect(len(ds), func(sink func(PerfResult) error) error {
+		return RunPerfStream(ctx, client, tpl, ds, sink)
 	})
 }
 
@@ -150,9 +212,10 @@ type ExplainResult struct {
 	Coverage    float64 // fraction of reference facts mentioned
 }
 
-// RunExplain drives one model over the query_exp dataset.
-func RunExplain(ctx context.Context, client llm.Client, tpl prompt.Template, ds []ExplainExample) ([]ExplainResult, error) {
-	return runner.Map(ctx, 0, ds, func(ctx context.Context, _ int, ex ExplainExample) (ExplainResult, error) {
+// RunExplainStream drives one model over the query_exp dataset, delivering
+// each result to sink in dataset order.
+func RunExplainStream(ctx context.Context, client llm.Client, tpl prompt.Template, ds []ExplainExample, sink func(ExplainResult) error) error {
+	return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex ExplainExample) (ExplainResult, error) {
 		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
 		if err != nil {
 			return ExplainResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
@@ -163,6 +226,14 @@ func RunExplain(ctx context.Context, client llm.Client, tpl prompt.Template, ds 
 			Explanation: expl,
 			Coverage:    nlgen.Coverage(expl, ex.Facts),
 		}, nil
+	}, dropIdx(sink))
+}
+
+// RunExplain drives one model over the query_exp dataset and buffers the
+// results.
+func RunExplain(ctx context.Context, client llm.Client, tpl prompt.Template, ds []ExplainExample) ([]ExplainResult, error) {
+	return collect(len(ds), func(sink func(ExplainResult) error) error {
+		return RunExplainStream(ctx, client, tpl, ds, sink)
 	})
 }
 

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/llm/sim"
+	"repro/internal/prompt"
+	"repro/internal/runner"
+)
+
+// TestStreamingMatchesBuffered is the serving layer's determinism
+// guarantee, the streaming analogue of the experiments package's
+// TestParallelismDoesNotChangeOutput: for every task, concatenating the
+// results a Run*Stream sink receives must be byte-identical to the buffered
+// Run* result, at parallel=1 and on a worker pool (parallel=8). An NDJSON
+// response is therefore the same bytes whatever the server's concurrency.
+func TestStreamingMatchesBuffered(t *testing.T) {
+	b := bench(t)
+	k := sim.NewKnowledge(b.SchemasByDataset())
+	client, err := sim.New("GPT4", k)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+
+	// Each case renders the buffered slice and the streamed concatenation
+	// with the same %#v serialization so any field-level divergence shows.
+	cases := []struct {
+		name     string
+		buffered func(ctx context.Context) (string, error)
+		streamed func(ctx context.Context) (string, error)
+	}{
+		{
+			name: "syntax",
+			buffered: func(ctx context.Context) (string, error) {
+				rs, err := RunSyntax(ctx, client, prompt.Default(prompt.SyntaxError), b.Syntax[SDSS])
+				return dump(rs), err
+			},
+			streamed: func(ctx context.Context) (string, error) {
+				var buf bytes.Buffer
+				err := RunSyntaxStream(ctx, client, prompt.Default(prompt.SyntaxError), b.Syntax[SDSS], func(r SyntaxResult) error {
+					fmt.Fprintf(&buf, "%#v\n", r)
+					return nil
+				})
+				return buf.String(), err
+			},
+		},
+		{
+			name: "tokens",
+			buffered: func(ctx context.Context) (string, error) {
+				rs, err := RunTokens(ctx, client, prompt.Default(prompt.MissToken), b.Tokens[SDSS])
+				return dump(rs), err
+			},
+			streamed: func(ctx context.Context) (string, error) {
+				var buf bytes.Buffer
+				err := RunTokensStream(ctx, client, prompt.Default(prompt.MissToken), b.Tokens[SDSS], func(r TokenResult) error {
+					fmt.Fprintf(&buf, "%#v\n", r)
+					return nil
+				})
+				return buf.String(), err
+			},
+		},
+		{
+			name: "equiv",
+			buffered: func(ctx context.Context) (string, error) {
+				rs, err := RunEquiv(ctx, client, prompt.Default(prompt.QueryEquiv), b.Equiv[SDSS])
+				return dump(rs), err
+			},
+			streamed: func(ctx context.Context) (string, error) {
+				var buf bytes.Buffer
+				err := RunEquivStream(ctx, client, prompt.Default(prompt.QueryEquiv), b.Equiv[SDSS], func(r EquivResult) error {
+					fmt.Fprintf(&buf, "%#v\n", r)
+					return nil
+				})
+				return buf.String(), err
+			},
+		},
+		{
+			name: "perf",
+			buffered: func(ctx context.Context) (string, error) {
+				rs, err := RunPerf(ctx, client, prompt.Default(prompt.PerfPred), b.Perf)
+				return dump(rs), err
+			},
+			streamed: func(ctx context.Context) (string, error) {
+				var buf bytes.Buffer
+				err := RunPerfStream(ctx, client, prompt.Default(prompt.PerfPred), b.Perf, func(r PerfResult) error {
+					fmt.Fprintf(&buf, "%#v\n", r)
+					return nil
+				})
+				return buf.String(), err
+			},
+		},
+		{
+			name: "explain",
+			buffered: func(ctx context.Context) (string, error) {
+				rs, err := RunExplain(ctx, client, prompt.Default(prompt.QueryExp), b.Explain[:40])
+				return dump(rs), err
+			},
+			streamed: func(ctx context.Context) (string, error) {
+				var buf bytes.Buffer
+				err := RunExplainStream(ctx, client, prompt.Default(prompt.QueryExp), b.Explain[:40], func(r ExplainResult) error {
+					fmt.Fprintf(&buf, "%#v\n", r)
+					return nil
+				})
+				return buf.String(), err
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seqCtx := runner.WithParallelism(context.Background(), 1)
+			want, err := tc.buffered(seqCtx)
+			if err != nil {
+				t.Fatalf("buffered: %v", err)
+			}
+			if want == "" {
+				t.Fatal("buffered output empty")
+			}
+			for _, parallel := range []int{1, 8} {
+				ctx := runner.WithParallelism(context.Background(), parallel)
+				got, err := tc.streamed(ctx)
+				if err != nil {
+					t.Fatalf("streamed (parallel=%d): %v", parallel, err)
+				}
+				if got != want {
+					t.Errorf("streamed output differs from buffered at parallel=%d (%d vs %d bytes)",
+						parallel, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// dump serializes a result slice the same way the streamed side does.
+func dump[R any](rs []R) string {
+	var buf bytes.Buffer
+	for _, r := range rs {
+		fmt.Fprintf(&buf, "%#v\n", r)
+	}
+	return buf.String()
+}

@@ -67,7 +67,7 @@ func tokenCounts(sql string) map[string]int {
 		return out
 	}
 	for _, t := range toks {
-		out[t.Upper]++
+		out[t.Upper()]++
 	}
 	return out
 }

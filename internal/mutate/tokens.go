@@ -173,7 +173,7 @@ func collectNames(stmt sqlast.Stmt) nameSets {
 func classify(t sqllex.Token, toks []sqllex.Token, i int, ns nameSets) TokenKind {
 	switch t.Kind {
 	case sqllex.Keyword:
-		if structuralKeywords[t.Upper] {
+		if structuralKeywords[t.Upper()] {
 			return TokKeyword
 		}
 		return ""

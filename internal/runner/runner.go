@@ -161,6 +161,15 @@ type flightCall[V any] struct {
 // calls for the same key block until the single in-flight fn returns and
 // share its result.
 func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	v, _, err := f.DoShared(key, fn)
+	return v, err
+}
+
+// DoShared is Do, additionally reporting whether the result was shared —
+// served from the completed cache or coalesced onto another caller's
+// in-flight computation — rather than computed by this call. The flag is
+// what lets callers (e.g. the serve layer's metrics) count coalescing hits.
+func (f *Flight[K, V]) DoShared(key K, fn func() (V, error)) (V, bool, error) {
 	f.mu.Lock()
 	if f.calls == nil {
 		f.calls = make(map[K]*flightCall[V])
@@ -168,7 +177,7 @@ func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	if c, ok := f.calls[key]; ok {
 		f.mu.Unlock()
 		<-c.done
-		return c.val, c.err
+		return c.val, true, c.err
 	}
 	c := &flightCall[V]{done: make(chan struct{})}
 	f.calls[key] = c
@@ -181,7 +190,14 @@ func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 		f.mu.Unlock()
 	}
 	close(c.done)
-	return c.val, c.err
+	return c.val, false, c.err
+}
+
+// Len reports the number of successfully completed or in-flight entries.
+func (f *Flight[K, V]) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
 }
 
 // Cached reports whether a completed successful result exists for key.

@@ -1,0 +1,228 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Streamed delivery must be exactly the input order, whatever the worker
+// count and however unevenly items take to compute.
+func TestMapStreamOrdered(t *testing.T) {
+	items := make([]int, 200)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 64} {
+		var got []int
+		err := MapStream(context.Background(), workers, items, func(_ context.Context, _ int, v int) (int, error) {
+			time.Sleep(time.Duration(rand.Intn(300)) * time.Microsecond)
+			return v * 3, nil
+		}, func(idx int, r int) error {
+			if r != idx*3 {
+				t.Errorf("workers=%d: idx %d got %d", workers, idx, r)
+			}
+			got = append(got, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(items) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(items))
+		}
+		for i, v := range got {
+			if v != i*3 {
+				t.Fatalf("workers=%d: out of order at %d: %v", workers, i, got[:i+1])
+			}
+		}
+	}
+}
+
+// The sink must see a clean prefix: every index before the failing one,
+// nothing at or after it, even when later items finish first.
+func TestMapStreamErrorPrefix(t *testing.T) {
+	items := make([]int, 50)
+	boom := errors.New("boom")
+	const failAt = 23
+	var delivered []int
+	err := MapStream(context.Background(), 8, items, func(_ context.Context, idx int, _ int) (int, error) {
+		if idx == failAt {
+			return 0, boom
+		}
+		time.Sleep(time.Duration(rand.Intn(200)) * time.Microsecond)
+		return idx, nil
+	}, func(idx int, _ int) error {
+		delivered = append(delivered, idx)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(delivered) > failAt {
+		t.Fatalf("delivered %d results, want <= %d", len(delivered), failAt)
+	}
+	for i, idx := range delivered {
+		if idx != i {
+			t.Fatalf("delivery out of order: %v", delivered)
+		}
+	}
+}
+
+// A sink error must cancel remaining work and surface to the caller.
+func TestMapStreamSinkError(t *testing.T) {
+	items := make([]int, 100)
+	stop := errors.New("stop")
+	var calls int
+	err := MapStream(context.Background(), 4, items, func(_ context.Context, idx int, _ int) (int, error) {
+		return idx, nil
+	}, func(idx int, _ int) error {
+		calls++
+		if idx == 10 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want stop", err)
+	}
+	if calls != 11 {
+		t.Fatalf("sink called %d times, want 11", calls)
+	}
+}
+
+// The sink must never run concurrently with itself.
+func TestMapStreamSinkSerialized(t *testing.T) {
+	items := make([]int, 300)
+	var mu sync.Mutex
+	inSink := false
+	err := MapStream(context.Background(), 16, items, func(_ context.Context, idx int, _ int) (int, error) {
+		return idx, nil
+	}, func(int, int) error {
+		mu.Lock()
+		if inSink {
+			mu.Unlock()
+			return errors.New("concurrent sink call")
+		}
+		inSink = true
+		mu.Unlock()
+		time.Sleep(5 * time.Microsecond)
+		mu.Lock()
+		inSink = false
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("MapStream: %v", err)
+	}
+}
+
+// A slow early item must not let the pool buffer the whole result set:
+// workers stall at the reorder window until the frontier advances, then the
+// full stream still arrives complete and in order.
+func TestMapStreamBoundedWindow(t *testing.T) {
+	const n, workers = 500, 8
+	window := 4 * workers // must match MapStream's sizing
+	items := make([]int, n)
+	release := make(chan struct{})
+	var maxStarted atomic.Int64
+	var delivered int
+	done := make(chan error, 1)
+	go func() {
+		done <- MapStream(context.Background(), workers, items, func(_ context.Context, idx int, _ int) (int, error) {
+			for {
+				cur := maxStarted.Load()
+				if int64(idx) <= cur || maxStarted.CompareAndSwap(cur, int64(idx)) {
+					break
+				}
+			}
+			if idx == 0 {
+				<-release // stall the frontier; everyone else runs ahead
+			}
+			return idx, nil
+		}, func(idx int, _ int) error {
+			if idx != delivered {
+				return fmt.Errorf("out of order: got %d, want %d", idx, delivered)
+			}
+			delivered++
+			return nil
+		})
+	}()
+	// Let the pool run as far ahead as it can while item 0 blocks.
+	time.Sleep(50 * time.Millisecond)
+	if got := maxStarted.Load(); got >= int64(window) {
+		t.Errorf("worker started index %d while frontier stalled at 0 (window %d)", got, window)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("MapStream: %v", err)
+	}
+	if delivered != n {
+		t.Fatalf("delivered %d results, want %d", delivered, n)
+	}
+}
+
+func TestMapStreamEmpty(t *testing.T) {
+	err := MapStream(context.Background(), 4, nil, func(_ context.Context, _ int, v int) (int, error) {
+		return v, nil
+	}, func(int, int) error {
+		t.Fatal("sink called for empty input")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("MapStream: %v", err)
+	}
+}
+
+// DoShared must report exactly one computing caller per key; everyone else
+// is a coalescing or cache hit.
+func TestFlightDoShared(t *testing.T) {
+	var f Flight[string, int]
+	const callers = 16
+	var wg sync.WaitGroup
+	computed := make(chan struct{}) // closed when the single fn runs
+	shared := make(chan bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, sh, err := f.DoShared("k", func() (int, error) {
+				close(computed)
+				time.Sleep(2 * time.Millisecond)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("DoShared = %d, %v", v, err)
+			}
+			shared <- sh
+		}()
+	}
+	wg.Wait()
+	close(shared)
+	var computers int
+	for sh := range shared {
+		if !sh {
+			computers++
+		}
+	}
+	if computers != 1 {
+		t.Fatalf("%d callers computed, want exactly 1", computers)
+	}
+	select {
+	case <-computed:
+	default:
+		t.Fatal("fn never ran")
+	}
+	// A later call is a cache hit.
+	if _, sh, _ := f.DoShared("k", func() (int, error) { return 0, fmt.Errorf("must not run") }); !sh {
+		t.Fatal("warm call not reported as shared")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", f.Len())
+	}
+}

@@ -1,0 +1,414 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/llm"
+	"repro/internal/nlgen"
+	"repro/internal/prompt"
+	"repro/internal/runner"
+	"repro/internal/sqlparse"
+)
+
+// maxEvalBody bounds eval request bodies (1 MiB of JSON is thousands of
+// queries; anything larger is a mistake or abuse).
+const maxEvalBody = 1 << 20
+
+// evalTasks names the five task endpoints.
+var evalTasks = map[string]bool{
+	"syntax": true, "tokens": true, "equiv": true, "perf": true, "explain": true,
+}
+
+// httpError writes a JSON error object with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorLine{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.EnvCacheSize.Store(int64(s.envs.Len()))
+	s.metrics.ArtifactCacheSize.Store(int64(s.artifacts.Len()))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.metrics)
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	var out []ExperimentInfo
+	for _, e := range experiments.All() {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleExperiment serves one rendered paper artifact from the seed-keyed
+// cache; concurrent cold requests coalesce onto a single render.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := experiments.ByID(id); !ok {
+		httpError(w, http.StatusNotFound, "unknown experiment %q", id)
+		return
+	}
+	key := artifactKey{envKey: envKey{seed: s.cfg.DefaultSeed, verify: s.cfg.Verify}, id: id}
+	if q := r.URL.Query().Get("seed"); q != "" {
+		seed, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || seed <= 0 {
+			httpError(w, http.StatusBadRequest, "invalid seed %q", q)
+			return
+		}
+		key.seed = seed
+	}
+	if q := r.URL.Query().Get("verify"); q != "" {
+		v, err := strconv.ParseBool(q)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "invalid verify %q", q)
+			return
+		}
+		key.verify = v
+	}
+	out, err := s.artifact(key)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "rendering %s: %v", id, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(out)
+}
+
+// handleEval evaluates submitted SQL or benchmark examples against one model
+// and streams results back as NDJSON in example order.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	task := r.PathValue("task")
+	if !evalTasks[task] {
+		httpError(w, http.StatusNotFound, "unknown eval task %q (syntax, tokens, equiv, perf, explain)", task)
+		return
+	}
+	var req EvalRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEvalBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Model == "" {
+		httpError(w, http.StatusBadRequest, "model is required")
+		return
+	}
+	// Reject example sources that don't apply to this task instead of
+	// silently ignoring them — a stray field would otherwise stream the
+	// whole labeled cell where the caller meant to submit two queries.
+	if task == "equiv" {
+		if req.SQL != nil {
+			httpError(w, http.StatusBadRequest, "the equiv task takes \"pairs\", not \"sql\"")
+			return
+		}
+		if len(req.Pairs) > 0 && len(req.IDs) > 0 {
+			httpError(w, http.StatusBadRequest, "pairs and ids are mutually exclusive")
+			return
+		}
+		if req.Pairs != nil && len(req.Pairs) == 0 {
+			httpError(w, http.StatusBadRequest, "pairs is empty")
+			return
+		}
+	} else {
+		if req.Pairs != nil {
+			httpError(w, http.StatusBadRequest, "only the equiv task takes \"pairs\"; use \"sql\"")
+			return
+		}
+		if len(req.SQL) > 0 && len(req.IDs) > 0 {
+			httpError(w, http.StatusBadRequest, "sql and ids are mutually exclusive")
+			return
+		}
+		if req.SQL != nil && len(req.SQL) == 0 {
+			httpError(w, http.StatusBadRequest, "sql is empty")
+			return
+		}
+	}
+	if req.Seed < 0 {
+		httpError(w, http.StatusBadRequest, "invalid seed %d", req.Seed)
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.cfg.DefaultSeed
+	}
+	env, err := s.env(envKey{seed: seed, verify: s.cfg.Verify})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "building benchmark: %v", err)
+		return
+	}
+	client, err := env.Registry.Get(req.Model)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ds := req.Dataset
+	if ds == "" {
+		ds = core.SDSS
+	}
+	switch task {
+	case "syntax", "tokens", "equiv":
+		if env.Bench.Syntax[ds] == nil {
+			httpError(w, http.StatusBadRequest, "unknown dataset %q (SDSS, SQLShare, Join-Order)", ds)
+			return
+		}
+	case "perf":
+		ds = core.SDSS // performance_pred is SDSS-only
+	case "explain":
+		ds = core.Spider // query_exp is Spider-only
+	}
+
+	ctx := runner.WithParallelism(r.Context(), env.Parallel)
+	st := &stream{w: w, metrics: s.metrics, task: task}
+	switch task {
+	case "syntax":
+		s.evalSyntax(ctx, st, env, client, req, ds)
+	case "tokens":
+		s.evalTokens(ctx, st, env, client, req, ds)
+	case "equiv":
+		s.evalEquiv(ctx, st, env, client, req, ds)
+	case "perf":
+		s.evalPerf(ctx, st, env, client, req)
+	case "explain":
+		s.evalExplain(ctx, st, env, client, req)
+	}
+}
+
+// stream writes NDJSON eval lines, flushing after each so results reach the
+// client as they complete. Headers go out lazily on the first line, which
+// lets example-selection errors still return a clean 4xx.
+type stream struct {
+	w       http.ResponseWriter
+	metrics *Metrics
+	task    string
+	started bool
+	index   int
+}
+
+// fail reports an error: as a 4xx/5xx when nothing has been written, as a
+// terminal NDJSON error line when the stream is already flowing.
+func (st *stream) fail(status int, format string, args ...any) {
+	if !st.started {
+		httpError(st.w, status, format, args...)
+		return
+	}
+	json.NewEncoder(st.w).Encode(ErrorLine{Error: fmt.Sprintf(format, args...)})
+}
+
+// send writes one result line.
+func (st *stream) send(line *EvalLine) error {
+	if !st.started {
+		st.w.Header().Set("Content-Type", "application/x-ndjson")
+		st.w.WriteHeader(http.StatusOK)
+		st.started = true
+	}
+	line.Index = st.index
+	line.Task = st.task
+	st.index++
+	if err := json.NewEncoder(st.w).Encode(line); err != nil {
+		return err
+	}
+	if f, ok := st.w.(http.Flusher); ok {
+		f.Flush()
+	}
+	st.metrics.ResultsStreamed.Add(1)
+	return nil
+}
+
+// selectExamples picks the request's examples from a benchmark dataset:
+// the whole cell when no IDs are given, else the named labeled examples.
+func selectExamples[E any](all []E, id func(E) string, ids []string) ([]E, error) {
+	if len(ids) == 0 {
+		return all, nil
+	}
+	byID := make(map[string]E, len(all))
+	for _, ex := range all {
+		byID[id(ex)] = ex
+	}
+	out := make([]E, 0, len(ids))
+	for _, want := range ids {
+		ex, ok := byID[want]
+		if !ok {
+			return nil, fmt.Errorf("unknown example ID %q", want)
+		}
+		out = append(out, ex)
+	}
+	return out, nil
+}
+
+func (s *Server) evalSyntax(ctx context.Context, st *stream, env *experiments.Env, client llm.Client, req EvalRequest, ds string) {
+	labeled := len(req.SQL) == 0
+	var examples []core.SyntaxExample
+	if !labeled {
+		for i, q := range req.SQL {
+			examples = append(examples, core.SyntaxExample{ID: fmt.Sprintf("adhoc/%d", i), SQL: q})
+		}
+	} else {
+		var err error
+		examples, err = selectExamples(env.Bench.Syntax[ds], func(e core.SyntaxExample) string { return e.ID }, req.IDs)
+		if err != nil {
+			st.fail(http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	err := core.RunSyntaxStream(ctx, client, prompt.Default(prompt.SyntaxError), examples, func(r core.SyntaxResult) error {
+		line := &EvalLine{
+			ID: r.Example.ID, SQL: r.Example.SQL,
+			PredHasError: boolp(r.PredHas), PredErrorType: r.PredType,
+			Response: r.Response,
+		}
+		if labeled {
+			line.WantHasError = boolp(r.Example.HasError)
+			line.WantErrorType = string(r.Example.Type)
+			line.Correct = boolp(r.PredHas == r.Example.HasError)
+		}
+		return st.send(line)
+	})
+	if err != nil {
+		st.fail(http.StatusInternalServerError, "eval: %v", err)
+	}
+}
+
+func (s *Server) evalTokens(ctx context.Context, st *stream, env *experiments.Env, client llm.Client, req EvalRequest, ds string) {
+	labeled := len(req.SQL) == 0
+	var examples []core.TokenExample
+	if !labeled {
+		for i, q := range req.SQL {
+			examples = append(examples, core.TokenExample{ID: fmt.Sprintf("adhoc/%d", i), SQL: q, Position: -1})
+		}
+	} else {
+		var err error
+		examples, err = selectExamples(env.Bench.Tokens[ds], func(e core.TokenExample) string { return e.ID }, req.IDs)
+		if err != nil {
+			st.fail(http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	err := core.RunTokensStream(ctx, client, prompt.Default(prompt.MissToken), examples, func(r core.TokenResult) error {
+		line := &EvalLine{
+			ID: r.Example.ID, SQL: r.Example.SQL,
+			PredMissing: boolp(r.PredMiss), PredKind: r.PredKind, PredPosition: intp(r.PredPos),
+			Response: r.Response,
+		}
+		if labeled {
+			line.WantMissing = boolp(r.Example.Missing)
+			line.WantKind = string(r.Example.Kind)
+			line.WantPosition = intp(r.Example.Position)
+			line.Correct = boolp(r.PredMiss == r.Example.Missing)
+		}
+		return st.send(line)
+	})
+	if err != nil {
+		st.fail(http.StatusInternalServerError, "eval: %v", err)
+	}
+}
+
+func (s *Server) evalEquiv(ctx context.Context, st *stream, env *experiments.Env, client llm.Client, req EvalRequest, ds string) {
+	labeled := len(req.Pairs) == 0
+	var examples []core.EquivExample
+	if !labeled {
+		for i, p := range req.Pairs {
+			examples = append(examples, core.EquivExample{ID: fmt.Sprintf("adhoc/%d", i), SQL1: p[0], SQL2: p[1]})
+		}
+	} else {
+		var err error
+		examples, err = selectExamples(env.Bench.Equiv[ds], func(e core.EquivExample) string { return e.ID }, req.IDs)
+		if err != nil {
+			st.fail(http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	err := core.RunEquivStream(ctx, client, prompt.Default(prompt.QueryEquiv), examples, func(r core.EquivResult) error {
+		line := &EvalLine{
+			ID: r.Example.ID, SQL: r.Example.SQL1, SQL2: r.Example.SQL2,
+			PredEquivalent: boolp(r.PredEquiv), PredEquivType: r.PredType,
+			Response: r.Response,
+		}
+		if labeled {
+			line.WantEquivalent = boolp(r.Example.Equivalent)
+			line.WantEquivType = string(r.Example.Type)
+			line.Correct = boolp(r.PredEquiv == r.Example.Equivalent)
+		}
+		return st.send(line)
+	})
+	if err != nil {
+		st.fail(http.StatusInternalServerError, "eval: %v", err)
+	}
+}
+
+func (s *Server) evalPerf(ctx context.Context, st *stream, env *experiments.Env, client llm.Client, req EvalRequest) {
+	labeled := len(req.SQL) == 0
+	var examples []core.PerfExample
+	if !labeled {
+		for i, q := range req.SQL {
+			examples = append(examples, core.PerfExample{ID: fmt.Sprintf("adhoc/%d", i), SQL: q})
+		}
+	} else {
+		var err error
+		examples, err = selectExamples(env.Bench.Perf, func(e core.PerfExample) string { return e.ID }, req.IDs)
+		if err != nil {
+			st.fail(http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	err := core.RunPerfStream(ctx, client, prompt.Default(prompt.PerfPred), examples, func(r core.PerfResult) error {
+		line := &EvalLine{
+			ID: r.Example.ID, SQL: r.Example.SQL,
+			PredCostly: boolp(r.PredCostly),
+			Response:   r.Response,
+		}
+		if labeled {
+			line.WantCostly = boolp(r.Example.Costly)
+			line.Correct = boolp(r.PredCostly == r.Example.Costly)
+		}
+		return st.send(line)
+	})
+	if err != nil {
+		st.fail(http.StatusInternalServerError, "eval: %v", err)
+	}
+}
+
+func (s *Server) evalExplain(ctx context.Context, st *stream, env *experiments.Env, client llm.Client, req EvalRequest) {
+	labeled := len(req.SQL) == 0
+	var examples []core.ExplainExample
+	if !labeled {
+		for i, q := range req.SQL {
+			ex := core.ExplainExample{ID: fmt.Sprintf("adhoc/%d", i), SQL: q}
+			// Reference facts for ad-hoc queries come from our own parser;
+			// unparseable input gets no facts and coverage is then vacuous.
+			if sel, err := sqlparse.ParseSelect(q); err == nil {
+				ex.Facts = nlgen.Extract(sel)
+			}
+			examples = append(examples, ex)
+		}
+	} else {
+		var err error
+		examples, err = selectExamples(env.Bench.Explain, func(e core.ExplainExample) string { return e.ID }, req.IDs)
+		if err != nil {
+			st.fail(http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	err := core.RunExplainStream(ctx, client, prompt.Default(prompt.QueryExp), examples, func(r core.ExplainResult) error {
+		return st.send(&EvalLine{
+			ID: r.Example.ID, SQL: r.Example.SQL,
+			Explanation: r.Explanation,
+			Coverage:    floatp(r.Coverage),
+		})
+	})
+	if err != nil {
+		st.fail(http.StatusInternalServerError, "eval: %v", err)
+	}
+}

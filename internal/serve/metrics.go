@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync/atomic"
+)
+
+// Metrics holds the service's operational counters. All fields are atomics;
+// a Metrics value is safe for concurrent use. Snapshot() is what both the
+// /v1/metrics endpoint and the expvar bridge serialize.
+type Metrics struct {
+	// Requests counts every HTTP request received, including errors.
+	Requests atomic.Int64
+	// EvalRequests counts POST /v1/eval/* requests.
+	EvalRequests atomic.Int64
+	// ExperimentRequests counts GET /v1/experiments/* requests.
+	ExperimentRequests atomic.Int64
+	// ResultsStreamed counts NDJSON result lines written across all eval
+	// responses.
+	ResultsStreamed atomic.Int64
+	// CoalesceHits counts requests served by joining an in-flight or
+	// completed Flight computation (environment builds and artifact
+	// renders) instead of computing themselves.
+	CoalesceHits atomic.Int64
+	// InFlight is the number of requests currently being served.
+	InFlight atomic.Int64
+	// EnvCacheSize and ArtifactCacheSize mirror the Flight cache sizes as
+	// of the last artifact render.
+	EnvCacheSize      atomic.Int64
+	ArtifactCacheSize atomic.Int64
+}
+
+// NewMetrics returns zeroed metrics.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Snapshot returns a point-in-time view suitable for JSON encoding.
+func (m *Metrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"requests_total":      m.Requests.Load(),
+		"eval_requests":       m.EvalRequests.Load(),
+		"experiment_requests": m.ExperimentRequests.Load(),
+		"results_streamed":    m.ResultsStreamed.Load(),
+		"coalesce_hits":       m.CoalesceHits.Load(),
+		"in_flight":           m.InFlight.Load(),
+		"env_cache_size":      m.EnvCacheSize.Load(),
+		"artifact_cache_size": m.ArtifactCacheSize.Load(),
+	}
+}
+
+// Publish registers the metrics under the given expvar name so they appear
+// on /debug/vars alongside the runtime's memstats. Calling Publish twice
+// with the same name panics (expvar semantics), so the binary does it once.
+func (m *Metrics) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}
+
+// MarshalJSON lets a Metrics pointer be encoded directly.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Snapshot())
+}

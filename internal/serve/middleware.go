@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// middleware wraps a handler.
+type middleware func(http.Handler) http.Handler
+
+// chain applies middlewares so the first listed runs outermost.
+func chain(h http.Handler, mws ...middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// statusWriter records the response status for logging. It deliberately
+// does not wrap Flush/Hijack generically: the eval handlers need Flusher,
+// so it forwards that one interface explicitly.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer so NDJSON streaming works through
+// the middleware stack.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestLog logs one line per request: method, path, status, duration.
+func requestLog(logger *log.Logger) middleware {
+	return func(next http.Handler) http.Handler {
+		if logger == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+		})
+	}
+}
+
+// recovery converts handler panics into 500s instead of killing the
+// connection, logging the stack when a logger is configured.
+func recovery(logger *log.Logger) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if logger != nil {
+						logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+					}
+					// Headers may already be out on a streaming response;
+					// WriteHeader is then a no-op warning, which is fine.
+					http.Error(w, "internal server error", http.StatusInternalServerError)
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// count maintains the request counters around each request.
+func count(m *Metrics) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			m.Requests.Add(1)
+			m.InFlight.Add(1)
+			defer m.InFlight.Add(-1)
+			switch {
+			case strings.HasPrefix(r.URL.Path, "/v1/eval/"):
+				m.EvalRequests.Add(1)
+			case strings.HasPrefix(r.URL.Path, "/v1/experiments"):
+				m.ExperimentRequests.Add(1)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}

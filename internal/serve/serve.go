@@ -1,0 +1,130 @@
+// Package serve turns the benchmark pipeline into a long-running evaluation
+// service: benchmark-as-a-service instead of a one-shot table printer. It
+// exposes the five paper tasks as HTTP/JSON eval endpoints whose batch
+// responses stream back as NDJSON in example order while completions are
+// still running (built on core.Run*Stream / runner.MapStream), serves
+// rendered paper artifacts from a seed-keyed cache whose cold starts
+// coalesce through runner.Flight, and reports request/coalescing/cache
+// counters for operability. cmd/sqlserved is the thin binary around it.
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+// Config controls service construction.
+type Config struct {
+	// Seed is the benchmark seed used when a request does not specify one.
+	// 0 means 1, matching core.Build.
+	DefaultSeed int64
+	// Verify engine-checks generated equivalence pairs during environment
+	// builds. Off by default for service latency; artifact output then
+	// matches `sqlbench -noverify`.
+	Verify bool
+	// Parallel is the worker budget for environment builds and eval fan-out
+	// (0 = GOMAXPROCS, 1 = sequential).
+	Parallel int
+	// Logger receives request logs; nil disables logging.
+	Logger *log.Logger
+}
+
+// envKey identifies one cached evaluation environment.
+type envKey struct {
+	seed   int64
+	verify bool
+}
+
+// artifactKey identifies one rendered experiment artifact.
+type artifactKey struct {
+	envKey
+	id string
+}
+
+// Server is the evaluation service. It is safe for concurrent use; all
+// shared state lives behind runner.Flight caches or atomic counters.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	// envs caches fully built evaluation environments per (seed, verify):
+	// the benchmark plus simulated model registry plus memoized cell
+	// results. artifacts caches rendered experiment output per environment
+	// and experiment ID. Both coalesce concurrent cold-start requests onto
+	// a single computation via Flight.
+	envs      runner.Flight[envKey, *experiments.Env]
+	artifacts runner.Flight[artifactKey, []byte]
+}
+
+// NewServer builds the service and its routing table.
+func NewServer(cfg Config) *Server {
+	if cfg.DefaultSeed == 0 {
+		cfg.DefaultSeed = 1
+	}
+	s := &Server{cfg: cfg, metrics: NewMetrics(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/eval/{task}", s.handleEval)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's root handler with middleware applied.
+func (s *Server) Handler() http.Handler {
+	return chain(s.mux, recovery(s.cfg.Logger), requestLog(s.cfg.Logger), count(s.metrics))
+}
+
+// Metrics exposes the server's counters (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// env returns the cached evaluation environment for key, building it on
+// first use. Concurrent cold requests coalesce; hits are counted.
+func (s *Server) env(key envKey) (*experiments.Env, error) {
+	env, shared, err := s.envs.DoShared(key, func() (*experiments.Env, error) {
+		return experiments.NewEnvConfig(experiments.Config{
+			Seed:               key.seed,
+			VerifyEquivalences: key.verify,
+			Parallel:           s.cfg.Parallel,
+		})
+	})
+	if shared {
+		s.metrics.CoalesceHits.Add(1)
+	}
+	return env, err
+}
+
+// artifact returns the rendered output of one experiment for key, running
+// the experiment on first use. Concurrent cold requests for the same
+// artifact trigger exactly one render; hits are counted.
+func (s *Server) artifact(key artifactKey) ([]byte, error) {
+	out, shared, err := s.artifacts.DoShared(key, func() ([]byte, error) {
+		exp, ok := experiments.ByID(key.id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", key.id)
+		}
+		env, err := s.env(key.envKey)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := exp.Run(env, &buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	if shared {
+		s.metrics.CoalesceHits.Add(1)
+	}
+	if err == nil {
+		s.metrics.ArtifactCacheSize.Store(int64(s.artifacts.Len()))
+		s.metrics.EnvCacheSize.Store(int64(s.envs.Len()))
+	}
+	return out, err
+}

@@ -1,0 +1,98 @@
+package serve
+
+// EvalRequest is the body of POST /v1/eval/{task}. Exactly one source of
+// examples applies, checked in this order:
+//
+//   - SQL (or Pairs, for the equiv task): ad-hoc statements submitted by the
+//     caller. No ground-truth labels exist, so result lines carry only the
+//     model's predictions.
+//   - IDs: benchmark example IDs (e.g. "sdss-0017/syn") resolved against the
+//     seed's benchmark. Result lines include the expected label and a
+//     correctness verdict.
+//   - neither: the whole model×dataset cell streams back, labeled.
+//
+// Sources are mutually exclusive, and a source the task does not take
+// (Pairs outside equiv, SQL on equiv) is rejected with 400 rather than
+// silently ignored.
+type EvalRequest struct {
+	// Model is the registered model name (GPT4, GPT3.5, Llama3, MistralAI,
+	// Gemini). Required.
+	Model string `json:"model"`
+	// Dataset selects the benchmark dataset for the syntax, tokens, and
+	// equiv tasks (SDSS, SQLShare, Join-Order; default SDSS). The perf task
+	// is SDSS-only and the explain task Spider-only, as in the paper.
+	Dataset string `json:"dataset,omitempty"`
+	// Seed selects the benchmark seed (0 = server default).
+	Seed int64 `json:"seed,omitempty"`
+	// IDs selects labeled benchmark examples by ID.
+	IDs []string `json:"ids,omitempty"`
+	// SQL holds ad-hoc statements (all tasks except equiv).
+	SQL []string `json:"sql,omitempty"`
+	// Pairs holds ad-hoc [left, right] query pairs (equiv task only).
+	Pairs [][2]string `json:"pairs,omitempty"`
+}
+
+// EvalLine is one NDJSON line of an eval response: one example's outcome,
+// written as soon as every earlier example has completed. Prediction fields
+// are task-specific; Want* fields appear only for labeled benchmark
+// examples.
+type EvalLine struct {
+	Index int    `json:"index"`
+	ID    string `json:"id"`
+	Task  string `json:"task"`
+	SQL   string `json:"sql"`
+	SQL2  string `json:"sql2,omitempty"` // equiv: right-hand query
+
+	// syntax task
+	PredHasError  *bool  `json:"pred_has_error,omitempty"`
+	PredErrorType string `json:"pred_error_type,omitempty"`
+	WantHasError  *bool  `json:"want_has_error,omitempty"`
+	WantErrorType string `json:"want_error_type,omitempty"`
+
+	// tokens task
+	PredMissing  *bool  `json:"pred_missing,omitempty"`
+	PredKind     string `json:"pred_kind,omitempty"`
+	PredPosition *int   `json:"pred_position,omitempty"`
+	WantMissing  *bool  `json:"want_missing,omitempty"`
+	WantKind     string `json:"want_kind,omitempty"`
+	WantPosition *int   `json:"want_position,omitempty"`
+
+	// equiv task
+	PredEquivalent *bool  `json:"pred_equivalent,omitempty"`
+	PredEquivType  string `json:"pred_equiv_type,omitempty"`
+	WantEquivalent *bool  `json:"want_equivalent,omitempty"`
+	WantEquivType  string `json:"want_equiv_type,omitempty"`
+
+	// perf task
+	PredCostly *bool `json:"pred_costly,omitempty"`
+	WantCostly *bool `json:"want_costly,omitempty"`
+
+	// explain task
+	Explanation string   `json:"explanation,omitempty"`
+	Coverage    *float64 `json:"coverage,omitempty"`
+
+	// Correct compares the primary binary prediction against the label on
+	// labeled examples.
+	Correct *bool `json:"correct,omitempty"`
+
+	// Response is the raw model response (omitted for explain, whose
+	// response is the explanation itself).
+	Response string `json:"response,omitempty"`
+}
+
+// ErrorLine terminates an NDJSON stream that failed after results started
+// flowing (the status code is already committed by then).
+type ErrorLine struct {
+	Error string `json:"error"`
+}
+
+// ExperimentInfo is one entry of GET /v1/experiments.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// boolp, intp, and floatp build the optional-field pointers EvalLine uses.
+func boolp(b bool) *bool        { return &b }
+func intp(i int) *int           { return &i }
+func floatp(f float64) *float64 { return &f }

@@ -67,12 +67,18 @@ func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
 
 // Token is a single lexical element.
 type Token struct {
-	Kind  Kind
-	Text  string // exactly as written, including quotes/brackets
-	Upper string // uppercase form of Text for case-insensitive matching
-	Pos   Pos
-	Word  int // index among non-comment tokens, 0-based
+	Kind Kind
+	Text string // exactly as written, including quotes/brackets
+	Pos  Pos
+	Word int // index among non-comment tokens, 0-based
 }
+
+// Upper returns the uppercase form of Text for case-insensitive matching.
+// It is computed on demand rather than stored per token: for text with no
+// lowercase ASCII letters (keywords, operators, numbers — the bulk of SQL)
+// it returns Text itself without allocating, and consumers that never look
+// at a token's case pay nothing at all.
+func (t Token) Upper() string { return upper(t.Text) }
 
 // Val returns the semantic value: unquoted identifier text, string contents
 // without quotes, or Text otherwise.
@@ -98,7 +104,26 @@ func (t Token) Val() string {
 }
 
 // Is reports whether the token is a keyword with the given uppercase name.
-func (t Token) Is(kw string) bool { return t.Kind == Keyword && t.Upper == kw }
+func (t Token) Is(kw string) bool { return t.Kind == Keyword && MatchUpper(t.Text, kw) }
+
+// MatchUpper reports whether text equals word ignoring ASCII case, without
+// allocating. word must already be uppercase ASCII (the form keywords and
+// operators are written in); non-ASCII text never matches.
+func MatchUpper(text, word string) bool {
+	if len(text) != len(word) {
+		return false
+	}
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != word[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // keywords is the set of reserved words recognized by the scanner. Function
 // names (COUNT, AVG, ...) are deliberately not keywords; they lex as Ident.
@@ -119,6 +144,41 @@ var keywords = map[string]bool{
 
 // IsKeyword reports whether the uppercase word is a reserved keyword.
 func IsKeyword(upper string) bool { return keywords[upper] }
+
+// maxKeywordLen bounds the stack buffer isKeywordWord uppercases into;
+// INTERSECT (9 bytes) is the longest current keyword. init asserts the
+// table fits so a future addition cannot silently stop matching.
+const maxKeywordLen = 12
+
+func init() {
+	for kw := range keywords {
+		if len(kw) > maxKeywordLen {
+			panic("sqllex: keyword " + kw + " exceeds maxKeywordLen")
+		}
+	}
+}
+
+// isKeywordWord reports whether text names a keyword, ignoring ASCII case,
+// without allocating: the candidate is uppercased into a stack buffer and
+// looked up directly (the compiler elides the string conversion in the map
+// access).
+func isKeywordWord(text string) bool {
+	if len(text) > maxKeywordLen {
+		return false
+	}
+	var buf [maxKeywordLen]byte
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c >= 0x80 {
+			return false // keywords are pure ASCII
+		}
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	return keywords[string(buf[:len(text)])]
+}
 
 // Error is a lexical error with a position.
 type Error struct {
@@ -262,7 +322,7 @@ func (s *scanner) next() (Token, error) {
 }
 
 func (s *scanner) emit(k Kind, text string, pos Pos) Token {
-	t := Token{Kind: k, Text: text, Upper: upper(text), Pos: pos, Word: s.word}
+	t := Token{Kind: k, Text: text, Pos: pos, Word: s.word}
 	s.word++
 	return t
 }
@@ -285,8 +345,7 @@ func (s *scanner) lineComment(start Pos) Token {
 	for s.off < len(s.src) && s.src[s.off] != '\n' {
 		s.advance()
 	}
-	text := s.src[begin:s.off]
-	return Token{Kind: Comment, Text: text, Upper: upper(text), Pos: start, Word: s.word}
+	return Token{Kind: Comment, Text: s.src[begin:s.off], Pos: start, Word: s.word}
 }
 
 func (s *scanner) blockComment(start Pos) (Token, error) {
@@ -297,8 +356,7 @@ func (s *scanner) blockComment(start Pos) (Token, error) {
 		if s.peek() == '*' && s.peekAt(1) == '/' {
 			s.advance()
 			s.advance()
-			text := s.src[begin:s.off]
-			return Token{Kind: Comment, Text: text, Upper: upper(text), Pos: start, Word: s.word}, nil
+			return Token{Kind: Comment, Text: s.src[begin:s.off], Pos: start, Word: s.word}, nil
 		}
 		s.advance()
 	}
@@ -311,12 +369,11 @@ func (s *scanner) identifier(start Pos) Token {
 		s.advance()
 	}
 	text := s.src[begin:s.off]
-	up := upper(text)
 	kind := Ident
-	if keywords[up] {
+	if isKeywordWord(text) {
 		kind = Keyword
 	}
-	t := Token{Kind: kind, Text: text, Upper: up, Pos: start, Word: s.word}
+	t := Token{Kind: kind, Text: text, Pos: start, Word: s.word}
 	s.word++
 	return t
 }

@@ -40,8 +40,8 @@ func TestLexKeywordCaseInsensitive(t *testing.T) {
 			t.Errorf("%q should be keyword, got %v", tok.Text, tok.Kind)
 		}
 	}
-	if toks[0].Upper != "SELECT" {
-		t.Errorf("Upper = %q, want SELECT", toks[0].Upper)
+	if toks[0].Upper() != "SELECT" {
+		t.Errorf("Upper = %q, want SELECT", toks[0].Upper())
 	}
 }
 

@@ -127,7 +127,7 @@ func (p *parser) accept(kind sqllex.Kind, text string) bool {
 	if t.Kind != kind {
 		return false
 	}
-	if text != "" && t.Upper != text {
+	if text != "" && !sqllex.MatchUpper(t.Text, text) {
 		return false
 	}
 	p.pos++
@@ -183,7 +183,7 @@ func (p *parser) parseStatement() (sqlast.Stmt, error) {
 	if t.Kind != sqllex.Keyword {
 		return nil, p.errorf("expected a statement keyword")
 	}
-	switch t.Upper {
+	switch t.Upper() {
 	case "SELECT", "WITH":
 		return p.parseSelect()
 	case "CREATE":
@@ -205,7 +205,7 @@ func (p *parser) parseStatement() (sqlast.Stmt, error) {
 	case "WAITFOR":
 		return p.parseWaitfor()
 	default:
-		return nil, p.errorf("unsupported statement %s", t.Upper)
+		return nil, p.errorf("unsupported statement %s", t.Upper())
 	}
 }
 
@@ -447,7 +447,7 @@ func (p *parser) parseTableRef() (sqlast.TableRef, error) {
 			}
 			joinType = "INNER"
 		case p.cur().Is("LEFT"), p.cur().Is("RIGHT"), p.cur().Is("FULL"):
-			joinType = p.advance().Upper
+			joinType = p.advance().Upper()
 			p.acceptKw("OUTER")
 			if err := p.expectKw("JOIN"); err != nil {
 				return nil, err
@@ -1102,13 +1102,13 @@ func (p *parser) parsePrimary() (sqlast.Expr, error) {
 		}
 		return e, nil
 	case sqllex.Keyword:
-		switch t.Upper {
+		switch t.Upper() {
 		case "NULL":
 			p.pos++
 			return sqlast.Null(), nil
 		case "TRUE", "FALSE":
 			p.pos++
-			return &sqlast.Literal{Kind: sqlast.LitBool, Text: t.Upper}, nil
+			return &sqlast.Literal{Kind: sqlast.LitBool, Text: t.Upper()}, nil
 		case "EXISTS":
 			p.pos++
 			if _, err := p.expect(sqllex.LParen, "'('"); err != nil {
@@ -1145,7 +1145,7 @@ func (p *parser) parsePrimary() (sqlast.Expr, error) {
 			}
 			return &sqlast.Cast{X: x, Type: typ}, nil
 		}
-		return nil, p.errorf("unexpected keyword %s in expression", t.Upper)
+		return nil, p.errorf("unexpected keyword %s in expression", t.Upper())
 	case sqllex.Ident, sqllex.QuotedIdent:
 		return p.parseNameExpr()
 	}
