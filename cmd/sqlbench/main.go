@@ -8,9 +8,14 @@
 //	sqlbench -exp table3,table4 -seed 2
 //	sqlbench -exp all -noverify
 //	sqlbench -exp all -parallel 16
+//	sqlbench -exp all -stats
 //
 // Output is byte-identical at every -parallel setting; -parallel 1
-// reproduces the fully sequential pipeline.
+// reproduces the fully sequential pipeline. The -parallel budget reaches
+// every layer: workload generation, per-dataset labeling, example fan-out,
+// and the engine's own grouped aggregation and set operations during
+// equivalence verification. -stats reports wall times and per-dataset
+// engine op counts to stderr so engine speedups are visible from the CLI.
 package main
 
 import (
@@ -19,7 +24,9 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -29,7 +36,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "benchmark seed")
 		noVerify = flag.Bool("noverify", false, "skip engine verification of equivalence pairs (faster)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for benchmark build and task runs (1 = sequential)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for benchmark build, task runs, and intra-query engine execution (1 = sequential)")
+		stats    = flag.Bool("stats", false, "report build/run wall times and per-dataset engine op counts to stderr")
 	)
 	flag.Parse()
 
@@ -63,6 +71,7 @@ func main() {
 		exps = append(exps, e)
 	}
 
+	buildStart := time.Now()
 	env, err := experiments.NewEnvConfig(experiments.Config{
 		Seed:               *seed,
 		VerifyEquivalences: !*noVerify,
@@ -72,10 +81,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sqlbench: building benchmark:", err)
 		os.Exit(1)
 	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "sqlbench: benchmark build took %v (parallel=%d)\n",
+			time.Since(buildStart).Round(time.Millisecond), *parallel)
+		var total int64
+		for _, ds := range core.TaskDatasets {
+			ops := env.Bench.EngineOps[ds]
+			total += ops
+			fmt.Fprintf(os.Stderr, "sqlbench: engine ops (equiv verification, %s): %d\n", ds, ops)
+		}
+		fmt.Fprintf(os.Stderr, "sqlbench: engine ops (equiv verification, total): %d\n", total)
+	}
 	for _, e := range exps {
+		runStart := time.Now()
 		if err := e.Run(env, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "sqlbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "sqlbench: %s took %v\n", e.ID, time.Since(runStart).Round(time.Millisecond))
 		}
 	}
 }

@@ -39,6 +39,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "default benchmark seed (per-request override via seed)")
 		verify   = flag.Bool("verify", false, "engine-verify equivalence pairs when building benchmarks (slower cold start)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for benchmark builds and eval fan-out")
+		envCap   = flag.Int("env-cache", 0, "max cached evaluation environments, LRU-evicted (0 = default 4, negative = unbounded)")
+		artCap   = flag.Int("artifact-cache", 0, "max cached rendered artifacts, LRU-evicted (0 = default 256, negative = unbounded)")
 		quiet    = flag.Bool("quiet", false, "disable request logging")
 	)
 	flag.Parse()
@@ -49,10 +51,12 @@ func main() {
 		reqLogger = nil
 	}
 	s := serve.NewServer(serve.Config{
-		DefaultSeed: *seed,
-		Verify:      *verify,
-		Parallel:    *parallel,
-		Logger:      reqLogger,
+		DefaultSeed:      *seed,
+		Verify:           *verify,
+		Parallel:         *parallel,
+		EnvCacheCap:      *envCap,
+		ArtifactCacheCap: *artCap,
+		Logger:           reqLogger,
 	})
 	s.Metrics().Publish("sqlserved")
 

@@ -95,6 +95,10 @@ type Benchmark struct {
 	Equiv     map[string][]EquivExample
 	Perf      []PerfExample
 	Explain   []ExplainExample
+	// EngineOps records, per dataset, the engine row operations executed
+	// while verifying equivalence pairs (zero when verification is off) —
+	// the per-task work counter cmd/sqlbench -stats reports.
+	EngineOps map[string]int64
 }
 
 // BuildConfig controls benchmark construction.
@@ -152,9 +156,10 @@ func Build(cfg BuildConfig) (*Benchmark, error) {
 	// dataset the syntax → tokens → equiv stages stay sequential because they
 	// consume one shared rand stream.
 	type labeled struct {
-		syntax []SyntaxExample
-		tokens []TokenExample
-		equiv  []EquivExample
+		syntax    []SyntaxExample
+		tokens    []TokenExample
+		equiv     []EquivExample
+		engineOps int64
 	}
 	outs, err := runner.Map(ctx, 0, TaskDatasets, func(ctx context.Context, _ int, ds string) (labeled, error) {
 		w := b.Workloads[ds]
@@ -162,20 +167,23 @@ func Build(cfg BuildConfig) (*Benchmark, error) {
 		var l labeled
 		l.syntax = buildSyntax(w, r)
 		l.tokens = buildTokens(w, r)
-		pairs, err := buildEquiv(ctx, w, r, cfg.VerifyEquivalences)
+		pairs, ops, err := buildEquiv(ctx, w, r, cfg.VerifyEquivalences)
 		if err != nil {
 			return labeled{}, fmt.Errorf("building %s equivalence pairs: %w", ds, err)
 		}
 		l.equiv = pairs
+		l.engineOps = ops
 		return l, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	b.EngineOps = make(map[string]int64, len(TaskDatasets))
 	for i, ds := range TaskDatasets {
 		b.Syntax[ds] = outs[i].syntax
 		b.Tokens[ds] = outs[i].tokens
 		b.Equiv[ds] = outs[i].equiv
+		b.EngineOps[ds] = outs[i].engineOps
 	}
 	b.Perf = buildPerf(b.Workloads[SDSS])
 	b.Explain = buildExplain(b.Workloads[Spider])
@@ -263,8 +271,9 @@ func buildTokens(w *workload.Workload, r *rand.Rand) []TokenExample {
 // buildEquiv derives labeled pairs: equivalence types on even queries,
 // non-equivalence types on odd ones. Equivalence-labeled pairs are
 // optionally verified with the execution engine; unverifiable pairs fall
-// back to the next applicable type.
-func buildEquiv(ctx context.Context, w *workload.Workload, r *rand.Rand, verify bool) ([]EquivExample, error) {
+// back to the next applicable type. The second result is the engine row
+// operations the verification executed (zero when verify is off).
+func buildEquiv(ctx context.Context, w *workload.Workload, r *rand.Rand, verify bool) ([]EquivExample, int64, error) {
 	eqTypes := equiv.EquivTypes()
 	neTypes := equiv.NonEquivTypes()
 	var checker *equiv.Checker
@@ -291,7 +300,7 @@ func buildEquiv(ctx context.Context, w *workload.Workload, r *rand.Rand, verify 
 				}
 				printed := sqlast.Print(out2)
 				if _, err := sqlparse.ParseSelect(printed); err != nil {
-					return nil, fmt.Errorf("transform %s produced unparsable SQL %q: %w", typ, printed, err)
+					return nil, 0, fmt.Errorf("transform %s produced unparsable SQL %q: %w", typ, printed, err)
 				}
 				if verify {
 					equal, err := checker.Equivalent(sel, out2)
@@ -315,7 +324,7 @@ func buildEquiv(ctx context.Context, w *workload.Workload, r *rand.Rand, verify 
 				}
 				printed := sqlast.Print(out2)
 				if _, err := sqlparse.ParseSelect(printed); err != nil {
-					return nil, fmt.Errorf("transform %s produced unparsable SQL %q: %w", typ, printed, err)
+					return nil, 0, fmt.Errorf("transform %s produced unparsable SQL %q: %w", typ, printed, err)
 				}
 				neCursor = (neCursor + attempt + 1) % len(neTypes)
 				pair = &EquivExample{
@@ -332,7 +341,11 @@ func buildEquiv(ctx context.Context, w *workload.Workload, r *rand.Rand, verify 
 		pair.Props = q.Props
 		out = append(out, *pair)
 	}
-	return out, nil
+	var ops int64
+	if checker != nil {
+		ops = checker.Ops()
+	}
+	return out, ops, nil
 }
 
 // buildPerf labels SDSS queries by the 200 ms threshold from Figure 5.

@@ -1,5 +1,12 @@
 package engine
 
+// Grouped expression evaluation: groupEnv evaluates expressions in a
+// grouping context for one group of rows (the groupOp in op_group.go holds
+// the group-building and parallel fan-out machinery). Aggregates fold over
+// the group's rows in input order through streaming accumulators, so the
+// result — including float accumulation order — is identical no matter how
+// groups are scheduled across workers.
+
 import (
 	"math"
 	"strings"
@@ -7,114 +14,6 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/sqlast"
 )
-
-// execGrouped evaluates a SELECT with GROUP BY and/or aggregate functions.
-// Sort keys for ORDER BY are computed per output group so ORDER BY may
-// reference aggregates or projection aliases.
-func (e *Engine) execGrouped(sel *sqlast.SelectStmt, src *Relation, scanEnv *env) (*Relation, [][]Value, error) {
-	type group struct {
-		rows [][]Value
-	}
-	groups := make(map[string]*group)
-	var order []string
-
-	if len(sel.GroupBy) == 0 {
-		// Global aggregate: one group over everything (even zero rows).
-		groups[""] = &group{rows: src.Rows}
-		order = append(order, "")
-	} else {
-		for _, row := range src.Rows {
-			e.ops++
-			scanEnv.row = row
-			keyVals := make([]Value, len(sel.GroupBy))
-			for i, g := range sel.GroupBy {
-				v, err := e.evalExpr(g, scanEnv)
-				if err != nil {
-					return nil, nil, err
-				}
-				keyVals[i] = v
-			}
-			k := Key(keyVals)
-			grp, ok := groups[k]
-			if !ok {
-				grp = &group{}
-				groups[k] = grp
-				order = append(order, k)
-			}
-			grp.rows = append(grp.rows, row)
-		}
-	}
-
-	// Output header.
-	cols := make([]Col, len(sel.Items))
-	for i, item := range sel.Items {
-		name := item.Alias
-		if name == "" {
-			if cr, ok := item.Expr.(*sqlast.ColumnRef); ok {
-				name = cr.Name
-			} else if fc, ok := item.Expr.(*sqlast.FuncCall); ok {
-				name = strings.ToLower(fc.Name)
-			} else {
-				name = "expr"
-			}
-		}
-		cols[i] = Col{Name: name, Type: catalog.TypeAny}
-	}
-	out := &Relation{Cols: cols}
-	var sortKeys [][]Value
-
-	for _, k := range order {
-		grp := groups[k]
-		gctx := &groupEnv{engine: e, rows: grp.rows, scanEnv: scanEnv}
-		if sel.Having != nil {
-			hv, err := gctx.eval(sel.Having)
-			if err != nil {
-				return nil, nil, err
-			}
-			if !hv.Truthy() {
-				continue
-			}
-		}
-		rowOut := make([]Value, len(sel.Items))
-		for i, item := range sel.Items {
-			v, err := gctx.eval(item.Expr)
-			if err != nil {
-				return nil, nil, err
-			}
-			rowOut[i] = v
-		}
-		out.Rows = append(out.Rows, rowOut)
-		if len(sel.OrderBy) > 0 {
-			keys := make([]Value, len(sel.OrderBy))
-			for j, ob := range sel.OrderBy {
-				// Aliases refer to projected values.
-				if cr, ok := ob.Expr.(*sqlast.ColumnRef); ok && cr.Table == "" {
-					found := false
-					for i, c := range cols {
-						if strings.EqualFold(c.Name, cr.Name) {
-							keys[j] = rowOut[i]
-							found = true
-							break
-						}
-					}
-					if found {
-						continue
-					}
-				}
-				v, err := gctx.eval(ob.Expr)
-				if err != nil {
-					return nil, nil, err
-				}
-				keys[j] = v
-			}
-			sortKeys = append(sortKeys, keys)
-		}
-	}
-	if len(sel.OrderBy) == 0 {
-		sortKeys = nil
-	}
-	return out, sortKeys, nil
-}
 
 // groupEnv evaluates expressions in a grouped context: aggregates fold over
 // the group's rows; everything else evaluates against the group's first row
@@ -237,6 +136,52 @@ func (g *groupEnv) repEnv() *env {
 	return ev
 }
 
+// foldArg streams the aggregate argument's non-NULL values (deduplicated
+// under DISTINCT) through visit, in input row order. When the argument is a
+// plain column reference resolving uniquely in the group's source relation,
+// values are read straight from the rows without entering the expression
+// evaluator — the hot path for every aggregate over a base column.
+func (g *groupEnv) foldArg(fc *sqlast.FuncCall, visit func(Value)) error {
+	arg := fc.Args[0]
+	g.engine.ops.Add(int64(len(g.rows)))
+	var seen map[string]bool
+	if fc.Distinct {
+		seen = make(map[string]bool)
+	}
+	emit := func(v Value) {
+		if v.Null {
+			return
+		}
+		if seen != nil {
+			k := v.String()
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+		}
+		visit(v)
+	}
+	if cr, ok := arg.(*sqlast.ColumnRef); ok {
+		if idx := g.scanEnv.rel.find(cr.Table, cr.Name); len(idx) == 1 {
+			ci := idx[0]
+			for _, row := range g.rows {
+				emit(row[ci])
+			}
+			return nil
+		}
+	}
+	ev := &env{rel: g.scanEnv.rel, outer: g.scanEnv.outer, ctes: g.scanEnv.ctes}
+	for _, row := range g.rows {
+		ev.row = row
+		v, err := g.engine.evalExpr(arg, ev)
+		if err != nil {
+			return err
+		}
+		emit(v)
+	}
+	return nil
+}
+
 func (g *groupEnv) aggregate(fc *sqlast.FuncCall) (Value, error) {
 	name := strings.ToUpper(fc.Name)
 	if name == "COUNT" && fc.Star {
@@ -245,84 +190,78 @@ func (g *groupEnv) aggregate(fc *sqlast.FuncCall) (Value, error) {
 	if len(fc.Args) != 1 {
 		return NullValue, execErrorf("%s expects exactly one argument", name)
 	}
-	arg := fc.Args[0]
-
-	var vals []Value
-	seen := map[string]bool{}
-	ev := &env{rel: g.scanEnv.rel, outer: g.scanEnv.outer, ctes: g.scanEnv.ctes}
-	for _, row := range g.rows {
-		g.engine.ops++
-		ev.row = row
-		v, err := g.engine.evalExpr(arg, ev)
-		if err != nil {
-			return NullValue, err
-		}
-		if v.Null {
-			continue
-		}
-		if fc.Distinct {
-			k := v.String()
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-		}
-		vals = append(vals, v)
-	}
 
 	switch name {
 	case "COUNT":
-		return IntVal(int64(len(vals))), nil
-	case "SUM":
-		if len(vals) == 0 {
-			return NullValue, nil
+		var n int64
+		if err := g.foldArg(fc, func(Value) { n++ }); err != nil {
+			return NullValue, err
 		}
-		allInt := true
+		return IntVal(n), nil
+	case "SUM":
+		var n, isum int64
 		var fsum float64
-		var isum int64
-		for _, v := range vals {
+		allInt := true
+		err := g.foldArg(fc, func(v Value) {
+			n++
 			if v.Kind != catalog.TypeInt {
 				allInt = false
 			}
 			fsum += v.AsFloat()
 			isum += v.I
+		})
+		if err != nil {
+			return NullValue, err
+		}
+		if n == 0 {
+			return NullValue, nil
 		}
 		if allInt {
 			return IntVal(isum), nil
 		}
 		return FloatVal(fsum), nil
 	case "AVG":
-		if len(vals) == 0 {
-			return NullValue, nil
-		}
+		var n int64
 		var sum float64
-		for _, v := range vals {
+		err := g.foldArg(fc, func(v Value) {
+			n++
 			sum += v.AsFloat()
+		})
+		if err != nil {
+			return NullValue, err
 		}
-		return FloatVal(sum / float64(len(vals))), nil
-	case "MIN":
-		if len(vals) == 0 {
+		if n == 0 {
 			return NullValue, nil
 		}
-		min := vals[0]
-		for _, v := range vals[1:] {
-			if Compare(v, min) < 0 {
-				min = v
+		return FloatVal(sum / float64(n)), nil
+	case "MIN", "MAX":
+		var best Value
+		var has bool
+		wantMax := name == "MAX"
+		err := g.foldArg(fc, func(v Value) {
+			if !has {
+				best, has = v, true
+				return
 			}
+			c := Compare(v, best)
+			if (wantMax && c > 0) || (!wantMax && c < 0) {
+				best = v
+			}
+		})
+		if err != nil {
+			return NullValue, err
 		}
-		return min, nil
-	case "MAX":
-		if len(vals) == 0 {
+		if !has {
 			return NullValue, nil
 		}
-		max := vals[0]
-		for _, v := range vals[1:] {
-			if Compare(v, max) > 0 {
-				max = v
-			}
-		}
-		return max, nil
+		return best, nil
 	case "STDEV", "VAR":
+		// Two passes over the materialized values, preserving the exact
+		// accumulation order (a streaming variance would round differently).
+		var vals []Value
+		if err := g.foldArg(fc, func(v Value) { vals = append(vals, v) }); err != nil {
+			return NullValue, err
+		}
 		if len(vals) < 2 {
 			return NullValue, nil
 		}

@@ -48,11 +48,13 @@ func SDSSStats() Stats {
 	return s
 }
 
-// CostModel estimates plan execution cost. The model follows the classic
-// textbook shape: scans cost their input cardinality, equi-joins hash in
-// linear time, non-equi joins cost a capped product, predicates reduce
-// cardinality by fixed selectivities, and correlated subqueries multiply by
-// the outer cardinality.
+// CostModel estimates plan execution cost. SELECT statements are lowered to
+// the same logical plan the executor runs (BuildPlan), and cost is computed
+// bottom-up over the plan nodes — the model never re-walks the AST. The
+// per-node formulas follow the classic textbook shape: scans cost their
+// input cardinality, equi-joins hash in linear time, non-equi joins cost a
+// capped product, predicates reduce cardinality by fixed selectivities, and
+// correlated subqueries multiply by the outer cardinality.
 type CostModel struct {
 	Stats Stats
 	// RowsPerMS converts estimated row operations to milliseconds. The
@@ -89,17 +91,17 @@ type planCost struct {
 func (m *CostModel) EstimateCost(stmt sqlast.Stmt) float64 {
 	switch t := stmt.(type) {
 	case *sqlast.SelectStmt:
-		return m.selectCost(t, 1).work
+		return m.selectCost(t).work
 	case *sqlast.CreateTableStmt:
 		if t.AsSelect != nil {
-			return m.selectCost(t.AsSelect, 1).work
+			return m.selectCost(t.AsSelect).work
 		}
 		return 100
 	case *sqlast.CreateViewStmt:
 		return 100 // metadata only
 	case *sqlast.InsertStmt:
 		if t.Select != nil {
-			return m.selectCost(t.Select, 1).work
+			return m.selectCost(t.Select).work
 		}
 		return float64(100 * (len(t.Rows) + 1))
 	case *sqlast.UpdateStmt:
@@ -132,101 +134,156 @@ func (m *CostModel) ElapsedMS(stmt sqlast.Stmt, sql string) float64 {
 	return ms
 }
 
-func (m *CostModel) selectCost(sel *sqlast.SelectStmt, outerMult float64) planCost {
-	var work float64
-	cteRows := map[string]float64{}
-	for _, cte := range sel.With {
-		pc := m.selectCost(cte.Select, 1)
-		work += pc.work
-		cteRows[strings.ToLower(cte.Name)] = pc.outRows
-	}
+func (m *CostModel) selectCost(sel *sqlast.SelectStmt) planCost {
+	return m.costPlan(BuildPlan(sel, PlanConfig{}), costScope{})
+}
 
-	rows := 1.0
-	first := true
-	for _, ref := range sel.From {
-		rc, w := m.refCost(ref, cteRows)
-		work += w
-		if first {
-			rows = rc
-			first = false
+// costScope carries the estimated cardinality of in-scope CTEs down the
+// plan walk.
+type costScope struct {
+	cteRows map[string]float64
+}
+
+func (s costScope) child(extra map[string]float64) costScope {
+	if len(extra) == 0 {
+		return s
+	}
+	merged := make(map[string]float64, len(s.cteRows)+len(extra))
+	for k, v := range s.cteRows {
+		merged[k] = v
+	}
+	for k, v := range extra {
+		merged[k] = v
+	}
+	return costScope{cteRows: merged}
+}
+
+// costPlan estimates a full plan: CTEs are charged once each, then the node
+// tree is costed with their cardinalities in scope.
+func (m *CostModel) costPlan(p *Plan, scope costScope) planCost {
+	var work float64
+	local := make(map[string]float64, len(p.CTEs))
+	for _, cte := range p.CTEs {
+		pc := m.costPlan(cte.Plan, scope.child(local))
+		work += pc.work
+		local[strings.ToLower(cte.Name)] = pc.outRows
+	}
+	pc := m.costNode(p.Root, scope.child(local))
+	pc.work += work
+	return pc
+}
+
+// costNode estimates one plan node bottom-up.
+func (m *CostModel) costNode(n PlanNode, scope costScope) planCost {
+	switch t := n.(type) {
+	case *OneRowNode:
+		return planCost{outRows: 1}
+	case *ScanNode:
+		if r, ok := scope.cteRows[strings.ToLower(catalog.BareName(t.Name))]; ok {
+			return planCost{outRows: r, work: r}
+		}
+		rows := float64(m.Stats.Rows(t.Name))
+		return planCost{outRows: rows, work: rows} // full scan
+	case *SubqueryScanNode:
+		return m.costPlan(t.Plan, scope)
+	case *JoinNode:
+		return m.costJoin(t, scope)
+	case *CrossNode:
+		return m.costCommaJoin(t.Inputs, nil, scope)
+	case *ImplicitJoinNode:
+		return m.costCommaJoin(t.Inputs, t.Where, scope)
+	case *FilterNode:
+		in := m.costNode(t.Input, scope)
+		return m.costPredicate(t.Cond, in)
+	case *ProjectNode:
+		return m.costNode(t.Input, scope) // projection is free in this model
+	case *GroupNode:
+		in := m.costNode(t.Input, scope)
+		in.work += in.outRows * math.Log2(math.Max(in.outRows, 2)) * 0.1 // hash/sort aggregation
+		if len(t.GroupBy) > 0 {
+			in.outRows = math.Max(1, in.outRows*0.1)
 		} else {
-			// Comma join: assume join predicates in WHERE make it linear in
-			// the larger side rather than a full cross product.
-			rows = math.Max(rows, rc) * joinFanout
+			in.outRows = 1
+		}
+		return in
+	case *DistinctNode:
+		return m.costNode(t.Input, scope)
+	case *SetOpNode:
+		left := m.costNode(t.Left, scope)
+		right := m.costPlan(t.Right, scope)
+		return planCost{outRows: left.outRows + right.outRows, work: left.work + right.work}
+	case *SortNode:
+		in := m.costNode(t.Input, scope)
+		in.work += in.outRows * math.Log2(math.Max(in.outRows, 2)) * 0.05
+		return in
+	case *LimitNode:
+		in := m.costNode(t.Input, scope)
+		if t.Limit >= 0 && float64(t.Limit) < in.outRows {
+			in.outRows = float64(t.Limit)
+		}
+		return in
+	default:
+		return planCost{outRows: 1000, work: 1000}
+	}
+}
+
+// costCommaJoin estimates a comma-joined FROM list: join predicates in the
+// WHERE clause are assumed to keep each step linear in the larger side
+// rather than a full cross product, and the WHERE clause (when present, i.e.
+// for ImplicitJoinNode) then filters the joined result.
+func (m *CostModel) costCommaJoin(inputs []PlanNode, where sqlast.Expr, scope costScope) planCost {
+	var work float64
+	rows := 1.0
+	for i, in := range inputs {
+		pc := m.costNode(in, scope)
+		work += pc.work
+		if i == 0 {
+			rows = pc.outRows
+		} else {
+			rows = math.Max(rows, pc.outRows) * joinFanout
 			work += rows
 		}
 	}
-
-	// WHERE selectivity and evaluation work; correlated subqueries inside
-	// the predicate re-execute per row.
-	if sel.Where != nil {
-		sel2, subWork := m.predicateCost(sel.Where, rows)
-		work += rows // predicate evaluation pass
-		work += subWork
-		rows *= sel2
+	out := planCost{outRows: rows, work: work}
+	if where != nil {
+		out = m.costPredicate(where, out)
 	}
-
-	if len(sel.GroupBy) > 0 || selectHasAggregates(sel) {
-		work += rows * math.Log2(math.Max(rows, 2)) * 0.1 // hash/sort aggregation
-		if len(sel.GroupBy) > 0 {
-			rows = math.Max(1, rows*0.1)
-		} else {
-			rows = 1
-		}
-	}
-	if len(sel.OrderBy) > 0 {
-		work += rows * math.Log2(math.Max(rows, 2)) * 0.05
-	}
-	if sel.SetOp != nil {
-		pc := m.selectCost(sel.SetOp.Right, outerMult)
-		work += pc.work
-		rows += pc.outRows
-	}
-	if sel.Limit != nil && float64(*sel.Limit) < rows {
-		rows = float64(*sel.Limit)
-	}
-	if sel.Top != nil && float64(*sel.Top) < rows {
-		rows = float64(*sel.Top)
-	}
-	return planCost{outRows: rows, work: work * outerMult}
+	return out
 }
 
-func (m *CostModel) refCost(ref sqlast.TableRef, cteRows map[string]float64) (rows, work float64) {
-	switch t := ref.(type) {
-	case *sqlast.TableName:
-		if r, ok := cteRows[strings.ToLower(catalog.BareName(t.Name))]; ok {
-			return r, r
-		}
-		n := float64(m.Stats.Rows(t.Name))
-		return n, n // full scan
-	case *sqlast.SubqueryTable:
-		pc := m.selectCost(t.Select, 1)
-		return pc.outRows, pc.work
-	case *sqlast.Join:
-		lr, lw := m.refCost(t.Left, cteRows)
-		rr, rw := m.refCost(t.Right, cteRows)
-		work = lw + rw
-		if isEquiOn(t.On) {
-			// Hash join: build + probe.
-			work += lr + rr
-			rows = math.Max(lr, rr) * joinFanout
-		} else {
-			// Nested loop, capped so a single pathological query does not
-			// dominate the scale.
-			product := lr * rr
-			work += math.Min(product, 1e12)
-			rows = math.Min(product*selDefault, 1e9)
-		}
-		if t.Type == "LEFT" || t.Type == "FULL" {
-			rows = math.Max(rows, lr)
-		}
-		if t.Type == "RIGHT" || t.Type == "FULL" {
-			rows = math.Max(rows, rr)
-		}
-		return rows, work
-	default:
-		return 1000, 1000
+// costPredicate charges one evaluation pass plus any subquery work over the
+// input, and reduces cardinality by the predicate's selectivity.
+func (m *CostModel) costPredicate(cond sqlast.Expr, in planCost) planCost {
+	sel, subWork := m.predicateCost(cond, in.outRows)
+	in.work += in.outRows // predicate evaluation pass
+	in.work += subWork
+	in.outRows *= sel
+	return in
+}
+
+func (m *CostModel) costJoin(j *JoinNode, scope costScope) planCost {
+	left := m.costNode(j.Left, scope)
+	right := m.costNode(j.Right, scope)
+	work := left.work + right.work
+	var rows float64
+	if isEquiOn(j.On) {
+		// Hash join: build + probe.
+		work += left.outRows + right.outRows
+		rows = math.Max(left.outRows, right.outRows) * joinFanout
+	} else {
+		// Nested loop, capped so a single pathological query does not
+		// dominate the scale.
+		product := left.outRows * right.outRows
+		work += math.Min(product, 1e12)
+		rows = math.Min(product*selDefault, 1e9)
 	}
+	if j.Type == "LEFT" || j.Type == "FULL" {
+		rows = math.Max(rows, left.outRows)
+	}
+	if j.Type == "RIGHT" || j.Type == "FULL" {
+		rows = math.Max(rows, right.outRows)
+	}
+	return planCost{outRows: rows, work: work}
 }
 
 func isEquiOn(on sqlast.Expr) bool {
@@ -262,9 +319,9 @@ func (m *CostModel) predicateCost(e sqlast.Expr, outerRows float64) (selectivity
 			s := s1 + s2 - s1*s2
 			return s, w1 + w2
 		case "=":
-			return selEquality, m.sideSubqueryWork(t.L, t.R, outerRows)
+			return selEquality, m.sideSubqueryWork(t.L, t.R)
 		case "<", ">", "<=", ">=", "<>":
-			return selRange, m.sideSubqueryWork(t.L, t.R, outerRows)
+			return selRange, m.sideSubqueryWork(t.L, t.R)
 		case "LIKE":
 			return selLike, 0
 		default:
@@ -279,12 +336,12 @@ func (m *CostModel) predicateCost(e sqlast.Expr, outerRows float64) (selectivity
 	case *sqlast.In:
 		var w float64
 		if t.Sub != nil {
-			pc := m.selectCost(t.Sub, 1)
+			pc := m.selectCost(t.Sub)
 			w = pc.work // uncorrelated IN evaluates once (semi-join)
 		}
 		return selIn * math.Max(1, float64(len(t.List))), w
 	case *sqlast.Exists:
-		pc := m.selectCost(t.Sub, 1)
+		pc := m.selectCost(t.Sub)
 		// EXISTS subqueries in the workloads are typically correlated:
 		// charge a per-outer-row probe against the subquery's input.
 		return 0.5, pc.work + outerRows*math.Sqrt(math.Max(pc.work, 1))
@@ -300,14 +357,13 @@ func (m *CostModel) predicateCost(e sqlast.Expr, outerRows float64) (selectivity
 // sideSubqueryWork charges scalar subqueries appearing on either side of a
 // comparison; they evaluate once (uncorrelated scalar subqueries dominate in
 // the workloads).
-func (m *CostModel) sideSubqueryWork(l, r sqlast.Expr, outerRows float64) float64 {
+func (m *CostModel) sideSubqueryWork(l, r sqlast.Expr) float64 {
 	var w float64
 	for _, side := range []sqlast.Expr{l, r} {
 		if sub, ok := side.(*sqlast.Subquery); ok {
-			pc := m.selectCost(sub.Select, 1)
+			pc := m.selectCost(sub.Select)
 			w += pc.work
 		}
 	}
-	_ = outerRows
 	return w
 }

@@ -1,17 +1,24 @@
 package engine
 
-import (
-	"math"
-	"sort"
-	"strconv"
-	"strings"
+// The executor: Engine holds the database and execution knobs, lowers each
+// SELECT into a cached logical plan (plan.go), instantiates the physical
+// operator tree (operator.go and op_*.go), and drains it into a materialized
+// Relation. Scalar expression evaluation lives in eval.go; grouped
+// evaluation in agg.go.
 
-	"repro/internal/catalog"
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/sqlast"
 	"repro/internal/sqlparse"
 )
 
-// Engine executes SELECT statements against a DB.
+// Engine executes SELECT statements against a DB. An Engine is safe for
+// concurrent use by multiple goroutines (it never mutates base tables), and
+// additionally parallelizes inside single queries when Parallel > 1.
 type Engine struct {
 	DB *DB
 	// MaxRows caps intermediate result sizes; exceeding it aborts the query.
@@ -21,18 +28,26 @@ type Engine struct {
 	// strategy ablation benchmark).
 	ForceNestedLoop bool
 	// DisablePlanner turns off implicit-join planning, so comma joins fall
-	// back to cross products with a post-filter (ablation).
+	// back to cross products with a post-filter (ablation). Set it before
+	// the first query: logical plans are cached per statement.
 	DisablePlanner bool
+	// Parallel bounds the intra-query worker pool used by grouped
+	// aggregation and set operations. 0 or 1 executes serially; results are
+	// byte-identical at any setting.
+	Parallel int
 
-	ops int64
+	ops atomic.Int64
+
+	planMu sync.RWMutex
+	plans  map[*sqlast.SelectStmt]*Plan
 }
 
 // New returns an Engine over the database.
 func New(db *DB) *Engine { return &Engine{DB: db} }
 
 // Ops returns the number of row operations performed since construction;
-// a cheap proxy for work done.
-func (e *Engine) Ops() int64 { return e.ops }
+// a cheap proxy for work done. The count does not depend on Parallel.
+func (e *Engine) Ops() int64 { return e.ops.Load() }
 
 func (e *Engine) maxRows() int {
 	if e.MaxRows > 0 {
@@ -55,6 +70,40 @@ func (e *Engine) Query(sel *sqlast.SelectStmt) (*Relation, error) {
 	return e.execSelect(sel, nil, nil)
 }
 
+// PlanOf returns the (cached) logical plan the engine would execute for the
+// statement — the EXPLAIN entry point.
+func (e *Engine) PlanOf(sel *sqlast.SelectStmt) *Plan { return e.planFor(sel) }
+
+// maxCachedPlans bounds the per-Engine plan cache. Long-lived engines that
+// parse fresh SQL per call (every statement is a new AST pointer) would
+// otherwise grow the cache — and GC scan work — without limit; on overflow
+// the whole map is dropped, which at worst costs a cheap re-plan.
+const maxCachedPlans = 4096
+
+// planFor returns the cached logical plan for a statement, building it on
+// first use. Plans are immutable and shared across concurrent executions
+// (correlated subqueries re-plan per statement pointer, not per row).
+func (e *Engine) planFor(sel *sqlast.SelectStmt) *Plan {
+	e.planMu.RLock()
+	p := e.plans[sel]
+	e.planMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	p = BuildPlan(sel, PlanConfig{DisablePlanner: e.DisablePlanner})
+	e.planMu.Lock()
+	if e.plans == nil || len(e.plans) >= maxCachedPlans {
+		e.plans = make(map[*sqlast.SelectStmt]*Plan)
+	}
+	if cached, ok := e.plans[sel]; ok {
+		p = cached
+	} else {
+		e.plans[sel] = p
+	}
+	e.planMu.Unlock()
+	return p
+}
+
 // env is the row-evaluation context: the current relation and row, an
 // optional outer context for correlated subqueries, and visible CTEs.
 type env struct {
@@ -75,13 +124,20 @@ func (v *env) lookupCTE(name string) (*Relation, bool) {
 	return nil, false
 }
 
+// execSelect plans (or reuses the plan of) one query block and executes it.
 func (e *Engine) execSelect(sel *sqlast.SelectStmt, outer *env, parentCTEs map[string]*Relation) (*Relation, error) {
-	ctes := make(map[string]*Relation, len(sel.With))
+	return e.execPlan(e.planFor(sel), outer, parentCTEs)
+}
+
+// execPlan executes a logical plan: CTEs are materialized first (each
+// seeing the bindings before it), then the operator tree runs.
+func (e *Engine) execPlan(p *Plan, outer *env, parentCTEs map[string]*Relation) (*Relation, error) {
+	ctes := make(map[string]*Relation, len(parentCTEs)+len(p.CTEs))
 	for k, v := range parentCTEs {
 		ctes[k] = v
 	}
-	for _, cte := range sel.With {
-		rel, err := e.execSelect(cte.Select, outer, ctes)
+	for _, cte := range p.CTEs {
+		rel, err := e.execPlan(cte.Plan, outer, ctes)
 		if err != nil {
 			return nil, err
 		}
@@ -99,166 +155,65 @@ func (e *Engine) execSelect(sel *sqlast.SelectStmt, outer *env, parentCTEs map[s
 		ctes[strings.ToLower(cte.Name)] = rel
 	}
 
-	src, residual, err := e.planImplicitJoins(sel, outer, ctes)
+	oe := &opEnv{e: e, outer: outer, ctes: ctes, parentCTEs: parentCTEs}
+	op := buildOperator(p.Root, oe)
+	defer op.close()
+	rel, err := drainInput(op)
 	if err != nil {
 		return nil, err
 	}
-
-	scanEnv := &env{rel: src, outer: outer, ctes: ctes}
-
-	// Residual WHERE (join-planning may have consumed some conjuncts).
-	if residual != nil {
-		filtered := &Relation{Cols: src.Cols}
-		for _, row := range src.Rows {
-			e.ops++
-			scanEnv.row = row
-			v, err := e.evalExpr(residual, scanEnv)
-			if err != nil {
-				return nil, err
-			}
-			if v.Truthy() {
-				filtered.Rows = append(filtered.Rows, row)
-			}
-		}
-		src = filtered
-		scanEnv.rel = src
+	if op.hiddenCols() != 0 {
+		// Cannot happen: every Project/Group with ORDER BY keys sits under a
+		// SortNode or SetOpNode that consumes them.
+		return nil, execErrorf("internal: hidden columns escaped the plan root")
 	}
-
-	hasAgg := selectHasAggregates(sel)
-	var out *Relation
-	var sortKeys [][]Value
-	if len(sel.GroupBy) > 0 || hasAgg {
-		out, sortKeys, err = e.execGrouped(sel, src, scanEnv)
-	} else {
-		out, sortKeys, err = e.execProjection(sel, src, scanEnv)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	if sel.Distinct {
-		out, sortKeys = distinct(out, sortKeys)
-	}
-
-	if sel.SetOp != nil {
-		right, err := e.execSelect(sel.SetOp.Right, outer, parentCTEs)
-		if err != nil {
-			return nil, err
-		}
-		out, err = combine(out, right, sel.SetOp.Op, sel.SetOp.All)
-		if err != nil {
-			return nil, err
-		}
-		sortKeys = nil
-	}
-
-	if len(sel.OrderBy) > 0 {
-		if sortKeys == nil {
-			// Post set-op ordering: resolve keys against output columns.
-			sortKeys = make([][]Value, len(out.Rows))
-			oenv := &env{rel: out, ctes: ctes}
-			for i, row := range out.Rows {
-				oenv.row = row
-				keys := make([]Value, len(sel.OrderBy))
-				for j, ob := range sel.OrderBy {
-					v, err := e.evalExpr(ob.Expr, oenv)
-					if err != nil {
-						return nil, err
-					}
-					keys[j] = v
-				}
-				sortKeys[i] = keys
-			}
-		}
-		out = sortRelation(out, sortKeys, sel.OrderBy)
-	}
-
-	// TOP / LIMIT / OFFSET
-	offset := 0
-	if sel.Offset != nil {
-		offset = *sel.Offset
-	}
-	limit := -1
-	if sel.Limit != nil {
-		limit = *sel.Limit
-	}
-	if sel.Top != nil && (limit < 0 || *sel.Top < limit) {
-		limit = *sel.Top
-	}
-	if offset > 0 {
-		if offset >= len(out.Rows) {
-			out.Rows = nil
-		} else {
-			out.Rows = out.Rows[offset:]
-		}
-	}
-	if limit >= 0 && limit < len(out.Rows) {
-		out.Rows = out.Rows[:limit]
-	}
-	return out, nil
+	return rel, nil
 }
 
-// ---------------------------------------------------------------------------
-// FROM clause
-
-func (e *Engine) buildFrom(refs []sqlast.TableRef, outer *env, ctes map[string]*Relation) (*Relation, error) {
-	if len(refs) == 0 {
-		// SELECT without FROM: one empty row.
-		return &Relation{Rows: [][]Value{{}}}, nil
-	}
-	var acc *Relation
-	for _, ref := range refs {
-		rel, err := e.evalTableRef(ref, outer, ctes)
-		if err != nil {
-			return nil, err
-		}
-		if acc == nil {
-			acc = rel
-			continue
-		}
-		acc, err = e.crossProduct(acc, rel)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return acc, nil
-}
-
-func (e *Engine) evalTableRef(ref sqlast.TableRef, outer *env, ctes map[string]*Relation) (*Relation, error) {
-	switch t := ref.(type) {
-	case *sqlast.TableName:
-		qualifier := t.Alias
-		if qualifier == "" {
-			qualifier = catalog.BareName(t.Name)
-		}
-		probe := &env{ctes: ctes, outer: outer}
-		if rel, ok := probe.lookupCTE(catalog.BareName(t.Name)); ok {
-			return requalify(rel, qualifier), nil
-		}
-		rel, ok := e.DB.Table(t.Name)
-		if !ok {
-			return nil, execErrorf("table %q does not exist", t.Name)
-		}
-		return requalify(rel, qualifier), nil
-	case *sqlast.SubqueryTable:
-		rel, err := e.execSelect(t.Select, outer, ctes)
-		if err != nil {
-			return nil, err
-		}
-		return requalify(rel, t.Alias), nil
-	case *sqlast.Join:
-		left, err := e.evalTableRef(t.Left, outer, ctes)
-		if err != nil {
-			return nil, err
-		}
-		right, err := e.evalTableRef(t.Right, outer, ctes)
-		if err != nil {
-			return nil, err
-		}
-		return e.join(left, right, t, outer, ctes)
+// buildOperator instantiates the physical operator for a logical node.
+func buildOperator(n PlanNode, oe *opEnv) operator {
+	switch t := n.(type) {
+	case *OneRowNode:
+		return &oneRowOp{}
+	case *ScanNode:
+		return &scanOp{oe: oe, node: t}
+	case *SubqueryScanNode:
+		return &subqueryScanOp{oe: oe, node: t}
+	case *JoinNode:
+		return &joinOp{oe: oe, node: t,
+			left:  buildOperator(t.Left, oe),
+			right: buildOperator(t.Right, oe)}
+	case *CrossNode:
+		return &crossOp{oe: oe, inputs: buildOperators(t.Inputs, oe)}
+	case *ImplicitJoinNode:
+		return &implicitJoinOp{oe: oe, node: t, inputs: buildOperators(t.Inputs, oe)}
+	case *FilterNode:
+		return &filterOp{oe: oe, node: t, child: buildOperator(t.Input, oe)}
+	case *ProjectNode:
+		return &projectOp{oe: oe, node: t, child: buildOperator(t.Input, oe)}
+	case *GroupNode:
+		return &groupOp{oe: oe, node: t, child: buildOperator(t.Input, oe)}
+	case *DistinctNode:
+		return &distinctOp{oe: oe, child: buildOperator(t.Input, oe)}
+	case *SetOpNode:
+		return &setOpOp{oe: oe, node: t, left: buildOperator(t.Left, oe)}
+	case *SortNode:
+		return &sortOp{oe: oe, node: t, child: buildOperator(t.Input, oe)}
+	case *LimitNode:
+		return &limitOp{node: t, child: buildOperator(t.Input, oe)}
+	case *unsupportedRefNode:
+		return &errorOp{err: execErrorf("unsupported table reference %T", t.ref)}
 	default:
-		return nil, execErrorf("unsupported table reference %T", ref)
+		return &errorOp{err: execErrorf("unsupported plan node %T", n)}
 	}
+}
+
+func buildOperators(nodes []PlanNode, oe *opEnv) []operator {
+	ops := make([]operator, len(nodes))
+	for i, n := range nodes {
+		ops[i] = buildOperator(n, oe)
+	}
+	return ops
 }
 
 // requalify stamps every column of rel with the given qualifier.
@@ -271,403 +226,7 @@ func requalify(rel *Relation, qualifier string) *Relation {
 	return out
 }
 
-func (e *Engine) crossProduct(a, b *Relation) (*Relation, error) {
-	out := &Relation{Cols: append(append([]Col{}, a.Cols...), b.Cols...)}
-	n := len(a.Rows) * len(b.Rows)
-	if n > e.maxRows() {
-		return nil, execErrorf("cross product exceeds row cap (%d x %d)", len(a.Rows), len(b.Rows))
-	}
-	arena := newRowArena(len(out.Cols))
-	out.Rows = make([][]Value, 0, n)
-	for _, ra := range a.Rows {
-		for _, rb := range b.Rows {
-			e.ops++
-			out.Rows = append(out.Rows, arena.concat(ra, rb))
-		}
-	}
-	return out, nil
-}
-
-func concatRows(a, b []Value) []Value {
-	row := make([]Value, 0, len(a)+len(b))
-	row = append(row, a...)
-	return append(row, b...)
-}
-
-// rowArena block-allocates fixed-width result rows, replacing the per-row
-// make in the join and cross-product inner loops with one allocation per
-// block. Rows handed out are capacity-clipped so an append on one can never
-// bleed into the next.
-type rowArena struct {
-	width int
-	buf   []Value
-}
-
-const arenaBlockRows = 256
-
-func newRowArena(width int) *rowArena { return &rowArena{width: width} }
-
-func (a *rowArena) next() []Value {
-	if a.width == 0 {
-		return nil
-	}
-	if cap(a.buf)-len(a.buf) < a.width {
-		a.buf = make([]Value, 0, a.width*arenaBlockRows)
-	}
-	n := len(a.buf)
-	a.buf = a.buf[:n+a.width]
-	return a.buf[n : n+a.width : n+a.width]
-}
-
-// concat returns l++r as an arena-backed row.
-func (a *rowArena) concat(l, r []Value) []Value {
-	row := a.next()
-	copy(row, l)
-	copy(row[len(l):], r)
-	return row
-}
-
-// join executes an explicit join. Equi-joins on plain column references use
-// a hash join unless ForceNestedLoop is set; everything else is nested-loop.
-func (e *Engine) join(left, right *Relation, j *sqlast.Join, outer *env, ctes map[string]*Relation) (*Relation, error) {
-	out := &Relation{Cols: append(append([]Col{}, left.Cols...), right.Cols...)}
-	if j.Type == "CROSS" || j.On == nil {
-		return e.crossProduct(left, right)
-	}
-
-	if li, ri, ok := equiJoinCols(j.On, left, right); ok && !e.ForceNestedLoop {
-		return e.hashJoin(left, right, li, ri, j.Type, out)
-	}
-
-	// Nested-loop join with outer-join padding. The ON predicate evaluates
-	// against one scratch row reused across candidates (expression
-	// evaluation only reads the current row); only matching rows are
-	// materialized, from the arena.
-	joined := &env{rel: out, outer: outer, ctes: ctes}
-	rightMatched := make([]bool, len(right.Rows))
-	arena := newRowArena(len(out.Cols))
-	scratch := make([]Value, len(left.Cols)+len(right.Cols))
-	rightNulls := nullRow(len(right.Cols))
-	for _, lr := range left.Rows {
-		matched := false
-		copy(scratch, lr)
-		for ri, rr := range right.Rows {
-			e.ops++
-			copy(scratch[len(lr):], rr)
-			joined.row = scratch
-			v, err := e.evalExpr(j.On, joined)
-			if err != nil {
-				return nil, err
-			}
-			if v.Truthy() {
-				matched = true
-				rightMatched[ri] = true
-				out.Rows = append(out.Rows, arena.concat(lr, rr))
-				if len(out.Rows) > e.maxRows() {
-					return nil, execErrorf("join result exceeds row cap")
-				}
-			}
-		}
-		if !matched && (j.Type == "LEFT" || j.Type == "FULL") {
-			out.Rows = append(out.Rows, arena.concat(lr, rightNulls))
-		}
-	}
-	if j.Type == "RIGHT" || j.Type == "FULL" {
-		leftNulls := nullRow(len(left.Cols))
-		for ri, rr := range right.Rows {
-			if !rightMatched[ri] {
-				out.Rows = append(out.Rows, arena.concat(leftNulls, rr))
-			}
-		}
-	}
-	return out, nil
-}
-
-// equiJoinCols recognizes ON a.x = b.y patterns and returns the column
-// indexes on each side.
-func equiJoinCols(on sqlast.Expr, left, right *Relation) (li, ri int, ok bool) {
-	bin, isBin := on.(*sqlast.Binary)
-	if !isBin || bin.Op != "=" {
-		return 0, 0, false
-	}
-	lc, lok := bin.L.(*sqlast.ColumnRef)
-	rc, rok := bin.R.(*sqlast.ColumnRef)
-	if !lok || !rok {
-		return 0, 0, false
-	}
-	tryResolve := func(rel *Relation, cr *sqlast.ColumnRef) (int, bool) {
-		idx := rel.find(cr.Table, cr.Name)
-		if len(idx) == 1 {
-			return idx[0], true
-		}
-		return 0, false
-	}
-	if i, ok1 := tryResolve(left, lc); ok1 {
-		if jx, ok2 := tryResolve(right, rc); ok2 {
-			return i, jx, true
-		}
-	}
-	if i, ok1 := tryResolve(left, rc); ok1 {
-		if jx, ok2 := tryResolve(right, lc); ok2 {
-			return i, jx, true
-		}
-	}
-	return 0, 0, false
-}
-
-func (e *Engine) hashJoin(left, right *Relation, li, ri int, joinType string, out *Relation) (*Relation, error) {
-	index := make(map[string][]int, len(right.Rows))
-	for idx, rr := range right.Rows {
-		e.ops++
-		v := rr[ri]
-		if v.Null {
-			continue
-		}
-		k := v.String()
-		index[k] = append(index[k], idx)
-	}
-	rightMatched := make([]bool, len(right.Rows))
-	arena := newRowArena(len(out.Cols))
-	rightNulls := nullRow(len(right.Cols))
-	out.Rows = make([][]Value, 0, len(left.Rows))
-	for _, lr := range left.Rows {
-		e.ops++
-		v := lr[li]
-		matched := false
-		if !v.Null {
-			for _, idx := range index[v.String()] {
-				// Guard against hash collisions across kinds via Equal.
-				if Equal(v, right.Rows[idx][ri]) {
-					matched = true
-					rightMatched[idx] = true
-					out.Rows = append(out.Rows, arena.concat(lr, right.Rows[idx]))
-					if len(out.Rows) > e.maxRows() {
-						return nil, execErrorf("join result exceeds row cap")
-					}
-				}
-			}
-		}
-		if !matched && (joinType == "LEFT" || joinType == "FULL") {
-			out.Rows = append(out.Rows, arena.concat(lr, rightNulls))
-		}
-	}
-	if joinType == "RIGHT" || joinType == "FULL" {
-		leftNulls := nullRow(len(left.Cols))
-		for idx, rr := range right.Rows {
-			if !rightMatched[idx] {
-				out.Rows = append(out.Rows, arena.concat(leftNulls, rr))
-			}
-		}
-	}
-	return out, nil
-}
-
-func nullRow(n int) []Value {
-	row := make([]Value, n)
-	for i := range row {
-		row[i] = NullValue
-	}
-	return row
-}
-
-// ---------------------------------------------------------------------------
-// Projection
-
-// execProjection projects each source row, also computing ORDER BY sort keys
-// in the same context (so keys may reference non-projected columns).
-func (e *Engine) execProjection(sel *sqlast.SelectStmt, src *Relation, scanEnv *env) (*Relation, [][]Value, error) {
-	cols, starIdx, err := projectionHeader(sel, src)
-	if err != nil {
-		return nil, nil, err
-	}
-	out := &Relation{Cols: cols, Rows: make([][]Value, 0, len(src.Rows))}
-	// Every output row is exactly len(cols) wide (star expansions are
-	// counted in the header), so one backing allocation serves all rows;
-	// the exact capacity guarantees appends never reallocate mid-build.
-	backing := make([]Value, 0, len(src.Rows)*len(cols))
-	var sortKeys [][]Value
-	var keyBacking []Value
-	nOrder := len(sel.OrderBy)
-	if nOrder > 0 {
-		sortKeys = make([][]Value, 0, len(src.Rows))
-		keyBacking = make([]Value, 0, len(src.Rows)*nOrder)
-	}
-	for _, row := range src.Rows {
-		e.ops++
-		scanEnv.row = row
-		base := len(backing)
-		for itemIdx, item := range sel.Items {
-			if idxs, isStar := starIdx[itemIdx]; isStar {
-				for _, i := range idxs {
-					backing = append(backing, row[i])
-				}
-				continue
-			}
-			v, err := e.evalExpr(item.Expr, scanEnv)
-			if err != nil {
-				return nil, nil, err
-			}
-			backing = append(backing, v)
-		}
-		outRow := backing[base:len(backing):len(backing)]
-		out.Rows = append(out.Rows, outRow)
-		if nOrder > 0 {
-			kbase := len(keyBacking)
-			keyBacking = keyBacking[:kbase+nOrder]
-			keys := keyBacking[kbase : kbase+nOrder : kbase+nOrder]
-			if err := e.orderKeys(sel, scanEnv, out.Cols, outRow, keys); err != nil {
-				return nil, nil, err
-			}
-			sortKeys = append(sortKeys, keys)
-		}
-	}
-	return out, sortKeys, nil
-}
-
-// projectionHeader computes output columns and, for star items, the source
-// column indexes they expand to.
-func projectionHeader(sel *sqlast.SelectStmt, src *Relation) ([]Col, map[int][]int, error) {
-	var cols []Col
-	starIdx := make(map[int][]int)
-	for itemIdx, item := range sel.Items {
-		if star, ok := item.Expr.(*sqlast.Star); ok {
-			var idxs []int
-			for i, c := range src.Cols {
-				if star.Table == "" || strings.EqualFold(c.Qualifier, star.Table) {
-					idxs = append(idxs, i)
-					cols = append(cols, Col{Name: c.Name, Type: c.Type})
-				}
-			}
-			if len(idxs) == 0 && star.Table != "" {
-				return nil, nil, execErrorf("star qualifier %q matches no table", star.Table)
-			}
-			starIdx[itemIdx] = idxs
-			continue
-		}
-		name := item.Alias
-		if name == "" {
-			if cr, ok := item.Expr.(*sqlast.ColumnRef); ok {
-				name = cr.Name
-			} else {
-				name = "expr"
-			}
-		}
-		cols = append(cols, Col{Name: name, Type: catalog.TypeAny})
-	}
-	return cols, starIdx, nil
-}
-
-// orderKeys evaluates ORDER BY expressions for one row into keys (len
-// len(sel.OrderBy), caller-allocated). Projection aliases take precedence
-// over source columns.
-func (e *Engine) orderKeys(sel *sqlast.SelectStmt, scanEnv *env, outCols []Col, outRow []Value, keys []Value) error {
-	for j, ob := range sel.OrderBy {
-		if cr, ok := ob.Expr.(*sqlast.ColumnRef); ok && cr.Table == "" {
-			found := false
-			for i, c := range outCols {
-				if strings.EqualFold(c.Name, cr.Name) {
-					keys[j] = outRow[i]
-					found = true
-					break
-				}
-			}
-			if found {
-				continue
-			}
-		}
-		v, err := e.evalExpr(ob.Expr, scanEnv)
-		if err != nil {
-			return err
-		}
-		keys[j] = v
-	}
-	return nil
-}
-
-func distinct(rel *Relation, sortKeys [][]Value) (*Relation, [][]Value) {
-	seen := make(map[string]bool, len(rel.Rows))
-	out := &Relation{Cols: rel.Cols}
-	var keys [][]Value
-	for i, row := range rel.Rows {
-		k := Key(row)
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out.Rows = append(out.Rows, row)
-		if sortKeys != nil {
-			keys = append(keys, sortKeys[i])
-		}
-	}
-	if sortKeys == nil {
-		return out, nil
-	}
-	return out, keys
-}
-
-func combine(a, b *Relation, op string, all bool) (*Relation, error) {
-	if len(a.Cols) != len(b.Cols) {
-		return nil, execErrorf("%s operands have different widths (%d vs %d)", op, len(a.Cols), len(b.Cols))
-	}
-	out := &Relation{Cols: a.Cols}
-	switch op {
-	case "UNION":
-		rows := append(append([][]Value{}, a.Rows...), b.Rows...)
-		if all {
-			out.Rows = rows
-			return out, nil
-		}
-		seen := map[string]bool{}
-		for _, row := range rows {
-			k := Key(row)
-			if !seen[k] {
-				seen[k] = true
-				out.Rows = append(out.Rows, row)
-			}
-		}
-	case "INTERSECT":
-		inB := map[string]int{}
-		for _, row := range b.Rows {
-			inB[Key(row)]++
-		}
-		seen := map[string]bool{}
-		for _, row := range a.Rows {
-			k := Key(row)
-			if inB[k] > 0 {
-				if all {
-					inB[k]--
-					out.Rows = append(out.Rows, row)
-				} else if !seen[k] {
-					seen[k] = true
-					out.Rows = append(out.Rows, row)
-				}
-			}
-		}
-	case "EXCEPT":
-		inB := map[string]int{}
-		for _, row := range b.Rows {
-			inB[Key(row)]++
-		}
-		seen := map[string]bool{}
-		for _, row := range a.Rows {
-			k := Key(row)
-			if all {
-				if inB[k] > 0 {
-					inB[k]--
-					continue
-				}
-				out.Rows = append(out.Rows, row)
-			} else if inB[k] == 0 && !seen[k] {
-				seen[k] = true
-				out.Rows = append(out.Rows, row)
-			}
-		}
-	default:
-		return nil, execErrorf("unknown set operation %q", op)
-	}
-	return out, nil
-}
-
+// sortRelation stably orders rel's rows by the per-row key vectors.
 func sortRelation(rel *Relation, keys [][]Value, order []sqlast.OrderItem) *Relation {
 	idx := make([]int, len(rel.Rows))
 	for i := range idx {
@@ -692,619 +251,4 @@ func sortRelation(rel *Relation, keys [][]Value, order []sqlast.OrderItem) *Rela
 		out.Rows[i] = rel.Rows[j]
 	}
 	return out
-}
-
-// ---------------------------------------------------------------------------
-// Scalar expression evaluation
-
-func (e *Engine) evalExpr(x sqlast.Expr, ev *env) (Value, error) {
-	switch t := x.(type) {
-	case *sqlast.ColumnRef:
-		return e.resolveColumn(t, ev)
-	case *sqlast.Literal:
-		return literalValue(t)
-	case *sqlast.VarRef:
-		return NullValue, nil // variables are opaque in this executor
-	case *sqlast.Binary:
-		return e.evalBinary(t, ev)
-	case *sqlast.Unary:
-		v, err := e.evalExpr(t.X, ev)
-		if err != nil {
-			return NullValue, err
-		}
-		switch t.Op {
-		case "NOT":
-			if v.Null {
-				return NullValue, nil
-			}
-			return BoolVal(!v.Truthy()), nil
-		case "-":
-			if v.Null {
-				return NullValue, nil
-			}
-			if v.Kind == catalog.TypeInt {
-				return IntVal(-v.I), nil
-			}
-			return FloatVal(-v.AsFloat()), nil
-		default:
-			return v, nil
-		}
-	case *sqlast.FuncCall:
-		return e.evalScalarFunc(t, ev)
-	case *sqlast.Subquery:
-		rel, err := e.execSelect(t.Select, ev, nil)
-		if err != nil {
-			return NullValue, err
-		}
-		if len(rel.Cols) != 1 {
-			return NullValue, execErrorf("scalar subquery returns %d columns", len(rel.Cols))
-		}
-		switch len(rel.Rows) {
-		case 0:
-			return NullValue, nil
-		case 1:
-			return rel.Rows[0][0], nil
-		default:
-			return NullValue, execErrorf("scalar subquery returned %d rows", len(rel.Rows))
-		}
-	case *sqlast.In:
-		return e.evalIn(t, ev)
-	case *sqlast.Exists:
-		rel, err := e.execSelect(t.Sub, ev, nil)
-		if err != nil {
-			return NullValue, err
-		}
-		res := len(rel.Rows) > 0
-		if t.Not {
-			res = !res
-		}
-		return BoolVal(res), nil
-	case *sqlast.Between:
-		v, err := e.evalExpr(t.X, ev)
-		if err != nil {
-			return NullValue, err
-		}
-		lo, err := e.evalExpr(t.Lo, ev)
-		if err != nil {
-			return NullValue, err
-		}
-		hi, err := e.evalExpr(t.Hi, ev)
-		if err != nil {
-			return NullValue, err
-		}
-		if v.Null || lo.Null || hi.Null {
-			return NullValue, nil
-		}
-		res := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
-		if t.Not {
-			res = !res
-		}
-		return BoolVal(res), nil
-	case *sqlast.IsNull:
-		v, err := e.evalExpr(t.X, ev)
-		if err != nil {
-			return NullValue, err
-		}
-		res := v.Null
-		if t.Not {
-			res = !res
-		}
-		return BoolVal(res), nil
-	case *sqlast.Case:
-		return e.evalCase(t, ev)
-	case *sqlast.Cast:
-		v, err := e.evalExpr(t.X, ev)
-		if err != nil {
-			return NullValue, err
-		}
-		return castValue(v, t.Type)
-	case *sqlast.Star:
-		return NullValue, execErrorf("* is not valid in a scalar context")
-	default:
-		return NullValue, execErrorf("unsupported expression %T", x)
-	}
-}
-
-func (e *Engine) resolveColumn(cr *sqlast.ColumnRef, ev *env) (Value, error) {
-	for cur := ev; cur != nil; cur = cur.outer {
-		if cur.rel == nil {
-			continue
-		}
-		idx := cur.rel.find(cr.Table, cr.Name)
-		if len(idx) == 1 {
-			if cur.row == nil {
-				return NullValue, execErrorf("no current row for column %s", sqlast.PrintExpr(cr))
-			}
-			return cur.row[idx[0]], nil
-		}
-		if len(idx) > 1 {
-			return NullValue, execErrorf("ambiguous column %s", sqlast.PrintExpr(cr))
-		}
-	}
-	return NullValue, execErrorf("unknown column %s", sqlast.PrintExpr(cr))
-}
-
-func literalValue(l *sqlast.Literal) (Value, error) {
-	switch l.Kind {
-	case sqlast.LitNull:
-		return NullValue, nil
-	case sqlast.LitBool:
-		return BoolVal(strings.EqualFold(l.Text, "TRUE")), nil
-	case sqlast.LitString:
-		return TextVal(l.Text), nil
-	case sqlast.LitNumber:
-		if !strings.ContainsAny(l.Text, ".eE") {
-			if i, err := strconv.ParseInt(l.Text, 10, 64); err == nil {
-				return IntVal(i), nil
-			}
-		}
-		f, err := strconv.ParseFloat(l.Text, 64)
-		if err != nil {
-			return NullValue, execErrorf("bad numeric literal %q", l.Text)
-		}
-		return FloatVal(f), nil
-	default:
-		return NullValue, execErrorf("unknown literal kind")
-	}
-}
-
-func (e *Engine) evalBinary(b *sqlast.Binary, ev *env) (Value, error) {
-	switch b.Op {
-	case "AND":
-		l, err := e.evalExpr(b.L, ev)
-		if err != nil {
-			return NullValue, err
-		}
-		if !l.Null && !l.Truthy() {
-			return BoolVal(false), nil
-		}
-		r, err := e.evalExpr(b.R, ev)
-		if err != nil {
-			return NullValue, err
-		}
-		if !r.Null && !r.Truthy() {
-			return BoolVal(false), nil
-		}
-		if l.Null || r.Null {
-			return NullValue, nil
-		}
-		return BoolVal(true), nil
-	case "OR":
-		l, err := e.evalExpr(b.L, ev)
-		if err != nil {
-			return NullValue, err
-		}
-		if l.Truthy() {
-			return BoolVal(true), nil
-		}
-		r, err := e.evalExpr(b.R, ev)
-		if err != nil {
-			return NullValue, err
-		}
-		if r.Truthy() {
-			return BoolVal(true), nil
-		}
-		if l.Null || r.Null {
-			return NullValue, nil
-		}
-		return BoolVal(false), nil
-	}
-	l, err := e.evalExpr(b.L, ev)
-	if err != nil {
-		return NullValue, err
-	}
-	r, err := e.evalExpr(b.R, ev)
-	if err != nil {
-		return NullValue, err
-	}
-	switch b.Op {
-	case "=", "<>", "<", ">", "<=", ">=":
-		if l.Null || r.Null {
-			return NullValue, nil
-		}
-		c := Compare(l, r)
-		var res bool
-		switch b.Op {
-		case "=":
-			res = c == 0
-		case "<>":
-			res = c != 0
-		case "<":
-			res = c < 0
-		case ">":
-			res = c > 0
-		case "<=":
-			res = c <= 0
-		case ">=":
-			res = c >= 0
-		}
-		return BoolVal(res), nil
-	case "LIKE":
-		if l.Null || r.Null {
-			return NullValue, nil
-		}
-		return BoolVal(likeMatch(l.String(), r.String())), nil
-	case "||":
-		if l.Null || r.Null {
-			return NullValue, nil
-		}
-		return TextVal(l.String() + r.String()), nil
-	case "+", "-", "*", "/", "%":
-		if l.Null || r.Null {
-			return NullValue, nil
-		}
-		return arith(b.Op, l, r)
-	default:
-		return NullValue, execErrorf("unsupported operator %q", b.Op)
-	}
-}
-
-func arith(op string, l, r Value) (Value, error) {
-	if !l.IsNumeric() || !r.IsNumeric() {
-		return NullValue, execErrorf("arithmetic %s on non-numeric operands", op)
-	}
-	if l.Kind == catalog.TypeInt && r.Kind == catalog.TypeInt && op != "/" {
-		switch op {
-		case "+":
-			return IntVal(l.I + r.I), nil
-		case "-":
-			return IntVal(l.I - r.I), nil
-		case "*":
-			return IntVal(l.I * r.I), nil
-		case "%":
-			if r.I == 0 {
-				return NullValue, nil
-			}
-			return IntVal(l.I % r.I), nil
-		}
-	}
-	lf, rf := l.AsFloat(), r.AsFloat()
-	switch op {
-	case "+":
-		return FloatVal(lf + rf), nil
-	case "-":
-		return FloatVal(lf - rf), nil
-	case "*":
-		return FloatVal(lf * rf), nil
-	case "/":
-		if rf == 0 {
-			return NullValue, nil
-		}
-		return FloatVal(lf / rf), nil
-	case "%":
-		if rf == 0 {
-			return NullValue, nil
-		}
-		return FloatVal(math.Mod(lf, rf)), nil
-	}
-	return NullValue, execErrorf("unknown arithmetic operator %q", op)
-}
-
-// likeMatch implements SQL LIKE with % and _ wildcards (case-insensitive,
-// matching common collations in the source systems).
-func likeMatch(s, pattern string) bool {
-	s = strings.ToLower(s)
-	pattern = strings.ToLower(pattern)
-	return likeRec(s, pattern)
-}
-
-func likeRec(s, p string) bool {
-	for len(p) > 0 {
-		switch p[0] {
-		case '%':
-			for len(p) > 0 && p[0] == '%' {
-				p = p[1:]
-			}
-			if len(p) == 0 {
-				return true
-			}
-			for i := 0; i <= len(s); i++ {
-				if likeRec(s[i:], p) {
-					return true
-				}
-			}
-			return false
-		case '_':
-			if len(s) == 0 {
-				return false
-			}
-			s, p = s[1:], p[1:]
-		default:
-			if len(s) == 0 || s[0] != p[0] {
-				return false
-			}
-			s, p = s[1:], p[1:]
-		}
-	}
-	return len(s) == 0
-}
-
-func (e *Engine) evalIn(in *sqlast.In, ev *env) (Value, error) {
-	x, err := e.evalExpr(in.X, ev)
-	if err != nil {
-		return NullValue, err
-	}
-	if x.Null {
-		return NullValue, nil
-	}
-	found := false
-	if in.Sub != nil {
-		rel, err := e.execSelect(in.Sub, ev, nil)
-		if err != nil {
-			return NullValue, err
-		}
-		if len(rel.Cols) != 1 {
-			return NullValue, execErrorf("IN subquery returns %d columns", len(rel.Cols))
-		}
-		for _, row := range rel.Rows {
-			e.ops++
-			if Equal(x, row[0]) {
-				found = true
-				break
-			}
-		}
-	} else {
-		for _, item := range in.List {
-			v, err := e.evalExpr(item, ev)
-			if err != nil {
-				return NullValue, err
-			}
-			if Equal(x, v) {
-				found = true
-				break
-			}
-		}
-	}
-	if in.Not {
-		found = !found
-	}
-	return BoolVal(found), nil
-}
-
-func (e *Engine) evalCase(c *sqlast.Case, ev *env) (Value, error) {
-	if c.Operand != nil {
-		op, err := e.evalExpr(c.Operand, ev)
-		if err != nil {
-			return NullValue, err
-		}
-		for _, w := range c.Whens {
-			cv, err := e.evalExpr(w.Cond, ev)
-			if err != nil {
-				return NullValue, err
-			}
-			if Equal(op, cv) {
-				return e.evalExpr(w.Result, ev)
-			}
-		}
-	} else {
-		for _, w := range c.Whens {
-			cv, err := e.evalExpr(w.Cond, ev)
-			if err != nil {
-				return NullValue, err
-			}
-			if cv.Truthy() {
-				return e.evalExpr(w.Result, ev)
-			}
-		}
-	}
-	if c.Else != nil {
-		return e.evalExpr(c.Else, ev)
-	}
-	return NullValue, nil
-}
-
-func (e *Engine) evalScalarFunc(fc *sqlast.FuncCall, ev *env) (Value, error) {
-	name := strings.ToUpper(fc.Name)
-	if sqlast.IsAggregate(name) {
-		return NullValue, execErrorf("aggregate %s used outside grouping context", name)
-	}
-	// Scalar calls rarely exceed four arguments; a stack buffer avoids the
-	// per-call slice allocation on the row-evaluation hot path.
-	var argBuf [4]Value
-	var args []Value
-	if len(fc.Args) <= len(argBuf) {
-		args = argBuf[:len(fc.Args)]
-	} else {
-		args = make([]Value, len(fc.Args))
-	}
-	for i, a := range fc.Args {
-		v, err := e.evalExpr(a, ev)
-		if err != nil {
-			return NullValue, err
-		}
-		args[i] = v
-	}
-	need := func(n int) error {
-		if len(args) != n {
-			return execErrorf("%s expects %d argument(s), got %d", name, n, len(args))
-		}
-		return nil
-	}
-	switch name {
-	case "ABS":
-		if err := need(1); err != nil {
-			return NullValue, err
-		}
-		if args[0].Null {
-			return NullValue, nil
-		}
-		if args[0].Kind == catalog.TypeInt {
-			if args[0].I < 0 {
-				return IntVal(-args[0].I), nil
-			}
-			return args[0], nil
-		}
-		return FloatVal(math.Abs(args[0].AsFloat())), nil
-	case "ROUND":
-		if len(args) == 0 || args[0].Null {
-			return NullValue, nil
-		}
-		return FloatVal(math.Round(args[0].AsFloat())), nil
-	case "FLOOR":
-		if err := need(1); err != nil {
-			return NullValue, err
-		}
-		return FloatVal(math.Floor(args[0].AsFloat())), nil
-	case "CEILING", "CEIL":
-		if err := need(1); err != nil {
-			return NullValue, err
-		}
-		return FloatVal(math.Ceil(args[0].AsFloat())), nil
-	case "SQRT":
-		if err := need(1); err != nil {
-			return NullValue, err
-		}
-		return FloatVal(math.Sqrt(args[0].AsFloat())), nil
-	case "POWER":
-		if err := need(2); err != nil {
-			return NullValue, err
-		}
-		return FloatVal(math.Pow(args[0].AsFloat(), args[1].AsFloat())), nil
-	case "LOG":
-		if err := need(1); err != nil {
-			return NullValue, err
-		}
-		return FloatVal(math.Log(args[0].AsFloat())), nil
-	case "UPPER":
-		if err := need(1); err != nil {
-			return NullValue, err
-		}
-		return TextVal(strings.ToUpper(args[0].String())), nil
-	case "LOWER":
-		if err := need(1); err != nil {
-			return NullValue, err
-		}
-		return TextVal(strings.ToLower(args[0].String())), nil
-	case "LEN", "LENGTH":
-		if err := need(1); err != nil {
-			return NullValue, err
-		}
-		return IntVal(int64(len(args[0].String()))), nil
-	case "CONCAT":
-		var b strings.Builder
-		for _, a := range args {
-			if !a.Null {
-				b.WriteString(a.String())
-			}
-		}
-		return TextVal(b.String()), nil
-	case "COALESCE":
-		for _, a := range args {
-			if !a.Null {
-				return a, nil
-			}
-		}
-		return NullValue, nil
-	default:
-		// Unknown (e.g. domain-specific SDSS) functions evaluate to a
-		// deterministic numeric digest of their arguments so queries using
-		// them remain executable.
-		var h int64 = 1469598103934665603
-		for _, a := range args {
-			for _, c := range a.String() {
-				h ^= int64(c)
-				h *= 1099511628211
-			}
-		}
-		return FloatVal(float64(h%1000) / 10), nil
-	}
-}
-
-func castValue(v Value, typ string) (Value, error) {
-	if v.Null {
-		return NullValue, nil
-	}
-	u := strings.ToUpper(typ)
-	switch {
-	case strings.HasPrefix(u, "INT") || strings.HasPrefix(u, "BIGINT") || strings.HasPrefix(u, "SMALLINT"):
-		switch v.Kind {
-		case catalog.TypeInt:
-			return v, nil
-		case catalog.TypeFloat:
-			return IntVal(int64(v.F)), nil
-		case catalog.TypeText:
-			i, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
-			if err != nil {
-				return NullValue, nil
-			}
-			return IntVal(i), nil
-		case catalog.TypeBool:
-			if v.B {
-				return IntVal(1), nil
-			}
-			return IntVal(0), nil
-		}
-	case strings.HasPrefix(u, "FLOAT") || strings.HasPrefix(u, "REAL") || strings.HasPrefix(u, "DECIMAL") || strings.HasPrefix(u, "NUMERIC"):
-		switch v.Kind {
-		case catalog.TypeFloat:
-			return v, nil
-		case catalog.TypeInt:
-			return FloatVal(float64(v.I)), nil
-		case catalog.TypeText:
-			f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
-			if err != nil {
-				return NullValue, nil
-			}
-			return FloatVal(f), nil
-		}
-	case strings.HasPrefix(u, "VARCHAR") || strings.HasPrefix(u, "CHAR") || strings.HasPrefix(u, "TEXT") || strings.HasPrefix(u, "NVARCHAR"):
-		return TextVal(v.String()), nil
-	}
-	return v, nil
-}
-
-// selectHasAggregates reports whether the SELECT uses aggregate functions in
-// its projection, HAVING, or ORDER BY (without descending into subqueries).
-func selectHasAggregates(sel *sqlast.SelectStmt) bool {
-	for _, item := range sel.Items {
-		if exprHasAggregate(item.Expr) {
-			return true
-		}
-	}
-	if exprHasAggregate(sel.Having) {
-		return true
-	}
-	for _, ob := range sel.OrderBy {
-		if exprHasAggregate(ob.Expr) {
-			return true
-		}
-	}
-	return false
-}
-
-func exprHasAggregate(x sqlast.Expr) bool {
-	if x == nil {
-		return false
-	}
-	switch t := x.(type) {
-	case *sqlast.FuncCall:
-		if sqlast.IsAggregate(t.Name) {
-			return true
-		}
-		for _, a := range t.Args {
-			if exprHasAggregate(a) {
-				return true
-			}
-		}
-	case *sqlast.Binary:
-		return exprHasAggregate(t.L) || exprHasAggregate(t.R)
-	case *sqlast.Unary:
-		return exprHasAggregate(t.X)
-	case *sqlast.Case:
-		if exprHasAggregate(t.Operand) || exprHasAggregate(t.Else) {
-			return true
-		}
-		for _, w := range t.Whens {
-			if exprHasAggregate(w.Cond) || exprHasAggregate(w.Result) {
-				return true
-			}
-		}
-	case *sqlast.Cast:
-		return exprHasAggregate(t.X)
-	case *sqlast.Between:
-		return exprHasAggregate(t.X) || exprHasAggregate(t.Lo) || exprHasAggregate(t.Hi)
-	case *sqlast.IsNull:
-		return exprHasAggregate(t.X)
-	}
-	return false
 }

@@ -1,0 +1,331 @@
+package engine
+
+// groupOp: the grouped-aggregation operator. Rows are bucketed by their
+// GROUP BY key, then each group is folded through HAVING and the SELECT
+// items (aggregates fold over the group's rows in input order).
+//
+// Both stages parallelize under Engine.Parallel with byte-identical output:
+//
+//   - Key computation splits the input into contiguous chunks; each worker
+//     evaluates the grouping keys for its own rows (row-independent work),
+//     writing into a disjoint slice range. The group map itself is then
+//     built by one cheap serial scan over the precomputed keys, so group
+//     order (first appearance) and within-group row order are exactly the
+//     serial engine's.
+//   - Group evaluation fans out one task per group. Every group runs to
+//     completion and results combine in first-appearance order (the same
+//     runner.Map discipline the equivalence checker uses for its seeds), so
+//     HAVING filtering, float accumulation order, and error selection all
+//     match a sequential run.
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/runner"
+	"repro/internal/sqlast"
+)
+
+type groupOp struct {
+	oe    *opEnv
+	node  *GroupNode
+	child operator
+
+	cols   []Col // visible output columns
+	all    []Col // cols plus hidden order-key columns
+	rel    *Relation
+	cursor relCursor
+}
+
+func (o *groupOp) columns() []Col           { return o.all }
+func (o *groupOp) hiddenCols() int          { return len(o.node.OrderBy) }
+func (o *groupOp) materialized() *Relation  { return o.rel }
+func (o *groupOp) next() ([][]Value, error) { return o.cursor.next(), nil }
+func (o *groupOp) close()                   { o.child.close() }
+
+func (o *groupOp) open() error {
+	src, err := drainInput(o.child)
+	if err != nil {
+		return err
+	}
+	o.cols = groupHeader(o.node.Items)
+	o.all = o.cols
+	if n := len(o.node.OrderBy); n > 0 {
+		o.all = make([]Col, len(o.cols), len(o.cols)+n)
+		copy(o.all, o.cols)
+		for j := range o.node.OrderBy {
+			o.all = append(o.all, orderKeyCol(j))
+		}
+	}
+
+	groups, err := o.buildGroups(src)
+	if err != nil {
+		return err
+	}
+	rows, err := o.evalGroups(src, groups)
+	if err != nil {
+		return err
+	}
+	o.rel = &Relation{Cols: o.all, Rows: rows}
+	o.cursor = relCursor{rows: rows}
+	return nil
+}
+
+// groupHeader names the output columns of a grouped projection.
+func groupHeader(items []sqlast.SelectItem) []Col {
+	cols := make([]Col, len(items))
+	for i, item := range items {
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(*sqlast.ColumnRef); ok {
+				name = cr.Name
+			} else if fc, ok := item.Expr.(*sqlast.FuncCall); ok {
+				name = strings.ToLower(fc.Name)
+			} else {
+				name = "expr"
+			}
+		}
+		cols[i] = Col{Name: name, Type: catalog.TypeAny}
+	}
+	return cols
+}
+
+// buildGroups buckets the source rows by GROUP BY key, preserving first-
+// appearance group order and input row order within each group. With no
+// GROUP BY there is one global group over everything (even zero rows).
+func (o *groupOp) buildGroups(src *Relation) ([][][]Value, error) {
+	if len(o.node.GroupBy) == 0 {
+		return [][][]Value{src.Rows}, nil
+	}
+	keys, err := o.groupKeys(src)
+	if err != nil {
+		return nil, err
+	}
+	byKey := make(map[string]int, 64)
+	var groups [][][]Value
+	for i, row := range src.Rows {
+		gi, ok := byKey[keys[i]]
+		if !ok {
+			gi = len(groups)
+			byKey[keys[i]] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], row)
+	}
+	return groups, nil
+}
+
+// groupKeys computes the canonical grouping key of every source row.
+// When every GROUP BY expression is a plain column reference that resolves
+// uniquely in the source, keys are built straight from row values without
+// going through the expression evaluator.
+func (o *groupOp) groupKeys(src *Relation) ([]string, error) {
+	e := o.oe.e
+	n := len(src.Rows)
+	keys := make([]string, n)
+
+	colIdx, fastOK := groupKeyColumns(o.node.GroupBy, src)
+
+	// keyChunk fills keys[lo:hi] and returns the first error with the row
+	// it occurred on. Every row is evaluated even after an error — work
+	// (and hence the ops counter, including any correlated subqueries
+	// inside key expressions) must not depend on how the input is chunked
+	// across workers.
+	keyChunk := func(lo, hi int) (int, error) {
+		e.ops.Add(int64(hi - lo))
+		var buf []byte
+		if fastOK {
+			scratch := make([]Value, len(colIdx))
+			for i := lo; i < hi; i++ {
+				row := src.Rows[i]
+				for j, ci := range colIdx {
+					scratch[j] = row[ci]
+				}
+				buf = rowKey(buf[:0], scratch)
+				keys[i] = string(buf)
+			}
+			return 0, nil
+		}
+		ev := o.oe.evalEnv(src.Cols)
+		scratch := make([]Value, len(o.node.GroupBy))
+		errRow, firstErr := hi, error(nil)
+		for i := lo; i < hi; i++ {
+			ev.row = src.Rows[i]
+			for j, g := range o.node.GroupBy {
+				v, err := e.evalExpr(g, ev)
+				if err != nil {
+					if firstErr == nil {
+						errRow, firstErr = i, err
+					}
+					v = NullValue
+				}
+				scratch[j] = v
+			}
+			buf = rowKey(buf[:0], scratch)
+			keys[i] = string(buf)
+		}
+		return errRow, firstErr
+	}
+
+	workers := e.intraQueryWorkers(n)
+	if workers <= 1 {
+		_, err := keyChunk(0, n)
+		return keys, err
+	}
+	type chunkErr struct {
+		row int
+		err error
+	}
+	bounds := chunkBounds(n, workers)
+	verdicts, _ := runner.Map(context.Background(), workers, bounds, func(_ context.Context, _ int, b [2]int) (chunkErr, error) {
+		row, err := keyChunk(b[0], b[1])
+		return chunkErr{row, err}, nil
+	})
+	first := chunkErr{row: n}
+	for _, v := range verdicts {
+		if v.err != nil && v.row < first.row {
+			first = v
+		}
+	}
+	return keys, first.err
+}
+
+// groupKeyColumns resolves GROUP BY expressions to source column indexes
+// when they are all unambiguous plain column references.
+func groupKeyColumns(groupBy []sqlast.Expr, src *Relation) ([]int, bool) {
+	idxs := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		cr, ok := g.(*sqlast.ColumnRef)
+		if !ok {
+			return nil, false
+		}
+		found := src.find(cr.Table, cr.Name)
+		if len(found) != 1 {
+			return nil, false
+		}
+		idxs[i] = found[0]
+	}
+	return idxs, true
+}
+
+// groupResult is one group's evaluated output: its projected row with
+// hidden order keys, or skip when HAVING rejected it, or the error its
+// evaluation hit.
+type groupResult struct {
+	skip bool
+	row  []Value
+	err  error
+}
+
+// evalGroups folds HAVING, the SELECT items, and the ORDER BY keys over
+// every group, in first-appearance order.
+func (o *groupOp) evalGroups(src *Relation, groups [][][]Value) ([][]Value, error) {
+	scanEnv := o.oe.evalEnv(src.Cols)
+	evalOne := func(rows [][]Value) groupResult {
+		gctx := &groupEnv{engine: o.oe.e, rows: rows, scanEnv: scanEnv}
+		if o.node.Having != nil {
+			hv, err := gctx.eval(o.node.Having)
+			if err != nil {
+				return groupResult{err: err}
+			}
+			if !hv.Truthy() {
+				return groupResult{skip: true}
+			}
+		}
+		row := make([]Value, len(o.all))
+		for i, item := range o.node.Items {
+			v, err := gctx.eval(item.Expr)
+			if err != nil {
+				return groupResult{err: err}
+			}
+			row[i] = v
+		}
+		if err := o.groupOrderKeys(gctx, row); err != nil {
+			return groupResult{err: err}
+		}
+		return groupResult{row: row}
+	}
+
+	var results []groupResult
+	workers := o.oe.e.intraQueryWorkers(len(src.Rows))
+	if workers > 1 && len(groups) > 1 {
+		// Each group runs to completion; verdicts combine in group order so
+		// the outcome (including which group's error wins) matches a
+		// sequential run exactly.
+		results, _ = runner.Map(context.Background(), workers, groups, func(_ context.Context, _ int, rows [][]Value) (groupResult, error) {
+			return evalOne(rows), nil
+		})
+	} else {
+		// Every group is evaluated even after an error, mirroring the
+		// parallel path, so the work done (and the ops counter) does not
+		// depend on the parallelism setting.
+		results = make([]groupResult, len(groups))
+		for i, rows := range groups {
+			results[i] = evalOne(rows)
+		}
+	}
+
+	out := make([][]Value, 0, len(groups))
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.skip {
+			continue
+		}
+		out = append(out, r.row)
+	}
+	return out, nil
+}
+
+// groupOrderKeys evaluates the ORDER BY expressions for one output group
+// into the hidden tail of row. Aliases refer to projected values.
+func (o *groupOp) groupOrderKeys(gctx *groupEnv, row []Value) error {
+	nVis := len(o.cols)
+	for j, ob := range o.node.OrderBy {
+		if cr, ok := ob.Expr.(*sqlast.ColumnRef); ok && cr.Table == "" {
+			found := false
+			for i, c := range o.cols {
+				if strings.EqualFold(c.Name, cr.Name) {
+					row[nVis+j] = row[i]
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+		}
+		v, err := gctx.eval(ob.Expr)
+		if err != nil {
+			return err
+		}
+		row[nVis+j] = v
+	}
+	return nil
+}
+
+// intraQueryWorkers returns the worker budget for a pipeline-breaking
+// operator over n input rows: Engine.Parallel when the input is large
+// enough to amortize fan-out, else 1.
+func (e *Engine) intraQueryWorkers(n int) int {
+	if e.Parallel <= 1 || n < minParallelRows {
+		return 1
+	}
+	return e.Parallel
+}
+
+// chunkBounds splits [0, n) into at most `workers` contiguous ranges.
+func chunkBounds(n, workers int) [][2]int {
+	size := (n + workers - 1) / workers
+	var bounds [][2]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+	}
+	return bounds
+}

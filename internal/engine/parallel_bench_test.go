@@ -1,0 +1,67 @@
+package engine_test
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+)
+
+// benchDB is a synthetic IMDB instance large enough that grouped aggregation
+// and set operations dominate query time (matching the scale the PERF.md
+// hot-path notes are written against).
+func benchDB(b *testing.B) *engine.DB {
+	b.Helper()
+	return datagen.Instance(catalog.IMDB(), datagen.Config{Seed: 13, Rows: 4000})
+}
+
+func benchQuery(b *testing.B, parallel int, sql string) {
+	db := benchDB(b)
+	e := engine.New(db)
+	e.Parallel = parallel
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.QuerySQL(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const groupedAggSQL = "SELECT kind_id , COUNT(*) , AVG( production_year ) , MIN( title ) , MAX( production_year ) " +
+	"FROM title GROUP BY kind_id ORDER BY kind_id ASC"
+
+const groupedManySQL = "SELECT production_year , COUNT(*) , AVG( kind_id ) FROM title " +
+	"GROUP BY production_year ORDER BY production_year ASC"
+
+const unionSQL = "SELECT movie_id FROM movie_companies UNION SELECT movie_id FROM movie_keyword"
+
+const intersectSQL = "SELECT movie_id FROM movie_companies INTERSECT SELECT movie_id FROM movie_keyword"
+
+const exceptSQL = "SELECT movie_id FROM movie_companies EXCEPT SELECT movie_id FROM movie_keyword"
+
+// BenchmarkGroupedAggregation measures grouped aggregation over a wide input
+// (few groups, large groups: the aggregate-fold hot path).
+func BenchmarkGroupedAggregation(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchQuery(b, 1, groupedAggSQL) })
+	b.Run("parallel8", func(b *testing.B) { benchQuery(b, 8, groupedAggSQL) })
+}
+
+// BenchmarkGroupedManyGroups measures grouped aggregation with many small
+// groups (the group-map and per-group evaluation hot path).
+func BenchmarkGroupedManyGroups(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchQuery(b, 1, groupedManySQL) })
+	b.Run("parallel8", func(b *testing.B) { benchQuery(b, 8, groupedManySQL) })
+}
+
+// BenchmarkSetOperations measures UNION/INTERSECT/EXCEPT over two large
+// inputs (the row-keying and dedup hot path).
+func BenchmarkSetOperations(b *testing.B) {
+	b.Run("union/serial", func(b *testing.B) { benchQuery(b, 1, unionSQL) })
+	b.Run("union/parallel8", func(b *testing.B) { benchQuery(b, 8, unionSQL) })
+	b.Run("intersect/serial", func(b *testing.B) { benchQuery(b, 1, intersectSQL) })
+	b.Run("intersect/parallel8", func(b *testing.B) { benchQuery(b, 8, intersectSQL) })
+	b.Run("except/serial", func(b *testing.B) { benchQuery(b, 1, exceptSQL) })
+	b.Run("except/parallel8", func(b *testing.B) { benchQuery(b, 8, exceptSQL) })
+}

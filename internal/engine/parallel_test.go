@@ -1,0 +1,97 @@
+package engine_test
+
+// Cross-parallelism determinism: the engine's partitioned parallel grouped
+// aggregation and set operations must be byte-identical to serial
+// execution, including row order, float accumulation, and the ops counter.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+)
+
+// parallelismQueries exercises every parallelized engine path (grouped
+// aggregation with few and many groups, HAVING, DISTINCT aggregates,
+// expression group keys, DISTINCT, UNION/INTERSECT/EXCEPT with and without
+// ALL, ORDER BY before and after set operations) over inputs large enough
+// to cross the engine's parallel threshold.
+var parallelismQueries = []string{
+	"SELECT kind_id , COUNT(*) , AVG( production_year ) , MIN( title ) , MAX( production_year ) FROM title GROUP BY kind_id ORDER BY kind_id ASC",
+	"SELECT production_year , COUNT(*) , SUM( kind_id ) FROM title GROUP BY production_year ORDER BY production_year ASC",
+	"SELECT production_year , COUNT(*) FROM title GROUP BY production_year HAVING COUNT(*) > 3 ORDER BY COUNT(*) DESC , production_year ASC",
+	"SELECT COUNT( DISTINCT production_year ) , STDEV( production_year ) , VAR( kind_id ) FROM title",
+	"SELECT production_year > 1980 , COUNT(*) FROM title GROUP BY production_year > 1980 ORDER BY COUNT(*) ASC",
+	"SELECT DISTINCT production_year FROM title ORDER BY production_year DESC",
+	"SELECT movie_id FROM movie_companies UNION SELECT movie_id FROM movie_keyword ORDER BY movie_id ASC",
+	"SELECT movie_id FROM movie_companies UNION ALL SELECT movie_id FROM movie_keyword",
+	"SELECT movie_id FROM movie_companies INTERSECT SELECT movie_id FROM movie_keyword ORDER BY movie_id DESC",
+	"SELECT movie_id FROM movie_companies EXCEPT SELECT movie_id FROM movie_keyword ORDER BY movie_id ASC",
+	"SELECT t.kind_id , COUNT(*) FROM title AS t JOIN movie_companies AS mc ON t.id = mc.movie_id WHERE t.production_year > 1950 GROUP BY t.kind_id ORDER BY t.kind_id ASC",
+}
+
+func relFingerprint(rel *engine.Relation) string {
+	var b strings.Builder
+	for _, c := range rel.Cols {
+		b.WriteString(c.Qualifier)
+		b.WriteByte('.')
+		b.WriteString(c.Name)
+		b.WriteByte('|')
+	}
+	b.WriteByte('\n')
+	for _, row := range rel.Rows {
+		b.WriteString(engine.Key(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestEngineParallelismDoesNotChangeResults(t *testing.T) {
+	db := datagen.Instance(catalog.IMDB(), datagen.Config{Seed: 21, Rows: 2500})
+	for _, sql := range parallelismQueries {
+		serial := engine.New(db)
+		serial.Parallel = 1
+		wantRel, err := serial.QuerySQL(sql)
+		if err != nil {
+			t.Fatalf("serial %q: %v", sql, err)
+		}
+		parallel := engine.New(db)
+		parallel.Parallel = 8
+		gotRel, err := parallel.QuerySQL(sql)
+		if err != nil {
+			t.Fatalf("parallel %q: %v", sql, err)
+		}
+		want, got := relFingerprint(wantRel), relFingerprint(gotRel)
+		if want != got {
+			t.Errorf("parallel execution changed output of %q:\nserial rows=%d parallel rows=%d",
+				sql, len(wantRel.Rows), len(gotRel.Rows))
+		}
+		if serial.Ops() != parallel.Ops() {
+			t.Errorf("ops counter depends on parallelism for %q: serial=%d parallel=%d",
+				sql, serial.Ops(), parallel.Ops())
+		}
+	}
+}
+
+// The parallel paths must also agree with plain default construction
+// (Parallel = 0), which callers like the equivalence checker rely on.
+func TestEngineDefaultMatchesExplicitSerial(t *testing.T) {
+	db := datagen.Instance(catalog.IMDB(), datagen.Config{Seed: 33, Rows: 1200})
+	for _, sql := range parallelismQueries {
+		def, err := engine.New(db).QuerySQL(sql)
+		if err != nil {
+			t.Fatalf("default %q: %v", sql, err)
+		}
+		e := engine.New(db)
+		e.Parallel = 1
+		serial, err := e.QuerySQL(sql)
+		if err != nil {
+			t.Fatalf("serial %q: %v", sql, err)
+		}
+		if relFingerprint(def) != relFingerprint(serial) {
+			t.Errorf("default construction differs from Parallel=1 for %q", sql)
+		}
+	}
+}

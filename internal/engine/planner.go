@@ -6,31 +6,20 @@ import (
 	"repro/internal/sqlast"
 )
 
-// planImplicitJoins rewrites a multi-relation FROM clause plus a conjunctive
-// WHERE into a greedy left-deep hash-join order: any equality conjunct that
-// connects the joined prefix to an unjoined relation becomes a join
-// condition; everything else stays in the residual filter. Without this, a
-// Join-Order-Benchmark-style query with a dozen comma-joined relations would
-// materialize the full cross product.
+// orderImplicitJoins joins a list of materialized comma-joined relations
+// using the conjunctive WHERE clause: any equality conjunct that connects
+// the joined prefix to an unjoined relation becomes a (hash-) join
+// condition, in greedy left-deep order; the conjuncts not consumed are
+// returned as the residual filter. Without this, a Join-Order-Benchmark-
+// style query with a dozen comma-joined relations would materialize the
+// full cross product.
 //
-// DisablePlanner turns this off (ablation), falling back to cross products
-// with a post-filter.
-func (e *Engine) planImplicitJoins(sel *sqlast.SelectStmt, outer *env, ctes map[string]*Relation) (*Relation, sqlast.Expr, error) {
-	if len(sel.From) <= 1 || sel.Where == nil || e.DisablePlanner {
-		rel, err := e.buildFrom(sel.From, outer, ctes)
-		return rel, sel.Where, err
-	}
-
-	rels := make([]*Relation, len(sel.From))
-	for i, ref := range sel.From {
-		rel, err := e.evalTableRef(ref, outer, ctes)
-		if err != nil {
-			return nil, nil, err
-		}
-		rels[i] = rel
-	}
-
-	conjuncts := splitConjuncts(sel.Where)
+// The ordering runs at execution time, not plan time, because it depends on
+// each relation's resolved column set (subqueries and CTEs included). The
+// logical plan carries it as an ImplicitJoinNode; DisablePlanner lowers to
+// CrossNode + FilterNode instead (ablation).
+func (e *Engine) orderImplicitJoins(rels []*Relation, where sqlast.Expr) (*Relation, sqlast.Expr, error) {
+	conjuncts := splitConjuncts(where)
 	used := make([]bool, len(conjuncts))
 	joinedIdx := map[int]bool{0: true}
 	acc := rels[0]
@@ -125,9 +114,9 @@ func (e *Engine) connects(c sqlast.Expr, acc *Relation, rels []*Relation, joined
 // nestedEquiJoin is the nested-loop inner equi-join used when hash joins are
 // disabled for ablation.
 func (e *Engine) nestedEquiJoin(left, right *Relation, li, ri int, out *Relation) (*Relation, error) {
+	e.ops.Add(int64(len(left.Rows)) * int64(len(right.Rows)))
 	for _, lr := range left.Rows {
 		for _, rr := range right.Rows {
-			e.ops++
 			if Equal(lr[li], rr[ri]) {
 				out.Rows = append(out.Rows, concatRows(lr, rr))
 				if len(out.Rows) > e.maxRows() {

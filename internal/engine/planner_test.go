@@ -1,11 +1,13 @@
 package engine_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/catalog"
 	"repro/internal/datagen"
 	"repro/internal/engine"
+	"repro/internal/sqlparse"
 )
 
 func jobDB() *engine.DB {
@@ -77,6 +79,61 @@ func TestPlannerKeepsResidualFilters(t *testing.T) {
 	}
 	if len(some.Rows) >= len(all.Rows) {
 		t.Errorf("residual filter had no effect: %d >= %d", len(some.Rows), len(all.Rows))
+	}
+}
+
+// The logical plan mirrors the paper pipeline: scan → join → filter →
+// group → distinct → set-op → sort → limit.
+func TestLogicalPlanShape(t *testing.T) {
+	sel, err := sqlparse.ParseSelect(
+		"SELECT kind_id , COUNT(*) FROM title WHERE production_year > 1950 " +
+			"GROUP BY kind_id HAVING COUNT(*) > 2 ORDER BY kind_id ASC LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := engine.New(jobDB()).PlanOf(sel)
+	got := plan.String()
+	for _, line := range []string{"Limit", "Sort", "GroupAggregate", "Filter", "Scan title"} {
+		if !strings.Contains(got, line) {
+			t.Errorf("plan missing %q:\n%s", line, got)
+		}
+	}
+	// Node order: limit above sort above group above filter above scan.
+	order := []string{"Limit", "Sort", "GroupAggregate", "Filter", "Scan"}
+	last := -1
+	for _, label := range order {
+		i := strings.Index(got, label)
+		if i < last {
+			t.Fatalf("plan nodes out of order (%s):\n%s", label, got)
+		}
+		last = i
+	}
+
+	sel, err = sqlparse.ParseSelect(
+		"SELECT id FROM title UNION SELECT movie_id FROM movie_companies ORDER BY id DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = engine.New(jobDB()).PlanOf(sel).String()
+	for _, line := range []string{"Sort", "UNION", "Project"} {
+		if !strings.Contains(got, line) {
+			t.Errorf("set-op plan missing %q:\n%s", line, got)
+		}
+	}
+	if strings.Index(got, "Sort") > strings.Index(got, "UNION") {
+		t.Errorf("ORDER BY after a set operation must sort above the set op:\n%s", got)
+	}
+
+	// Comma joins plan as an implicit-join node carrying the WHERE clause;
+	// the greedy ordering happens at execution.
+	sel, err = sqlparse.ParseSelect(
+		"SELECT t.id FROM title AS t , movie_companies AS mc WHERE t.id = mc.movie_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = engine.New(jobDB()).PlanOf(sel).String()
+	if !strings.Contains(got, "ImplicitJoin (2 inputs)") {
+		t.Errorf("comma join did not plan as ImplicitJoin:\n%s", got)
 	}
 }
 

@@ -179,20 +179,11 @@ func (r *Relation) find(qualifier, name string) []int {
 	return idx
 }
 
-// Key renders a row into a canonical string for grouping and set operations.
+// Key renders a row into a canonical string for grouping and set operations
+// (the allocating convenience form of rowKey, which operators use with a
+// reused buffer).
 func Key(row []Value) string {
-	var b strings.Builder
-	for i, v := range row {
-		if i > 0 {
-			b.WriteByte('\x1f')
-		}
-		if v.Null {
-			b.WriteString("\x00N")
-		} else {
-			b.WriteString(v.String())
-		}
-	}
-	return b.String()
+	return string(rowKey(nil, row))
 }
 
 // EqualRelations compares two relations as multisets of rows (ignoring

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/datagen"
@@ -224,12 +225,19 @@ type Checker struct {
 	// Rows per generated table (default 24; kept small so wide joins stay
 	// fast).
 	Rows int
-	// Parallel bounds the per-seed execution fan-out of Equivalent.
-	// 0 or 1 executes the seeds sequentially.
+	// Parallel bounds the per-seed execution fan-out of Equivalent and is
+	// threaded through to each engine's intra-query parallelism (grouped
+	// aggregation and set operations). 0 or 1 executes sequentially.
 	Parallel int
 
 	instances runner.Flight[instanceKey, *engine.DB]
+	engineOps atomic.Int64
 }
+
+// Ops returns the total engine row operations executed by this checker's
+// query runs — the work the CLI reports per dataset so engine speedups are
+// visible end to end.
+func (c *Checker) Ops() int64 { return c.engineOps.Load() }
 
 type instanceKey struct {
 	seed int64
@@ -262,6 +270,8 @@ func (c *Checker) Equivalent(a, b *sqlast.SelectStmt) (bool, error) {
 	}
 	check := func(seed int64) (bool, error) {
 		e := engine.New(c.instance(seed, rows))
+		e.Parallel = c.Parallel
+		defer func() { c.engineOps.Add(e.Ops()) }()
 		ra, err := e.Query(a)
 		if err != nil {
 			return false, fmt.Errorf("left query failed: %w", err)

@@ -1,0 +1,150 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFlightLRUEvicts(t *testing.T) {
+	var f Flight[int, int]
+	f.SetLimit(2)
+	calls := 0
+	get := func(k int) int {
+		v, err := f.Do(k, func() (int, error) { calls++; return k * 10, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	get(1)
+	get(2)
+	get(3) // evicts 1
+	if f.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", f.Evictions())
+	}
+	if f.Cached(1) {
+		t.Error("key 1 should have been evicted")
+	}
+	if !f.Cached(2) || !f.Cached(3) {
+		t.Error("keys 2 and 3 should still be cached")
+	}
+	if got := get(1); got != 10 {
+		t.Fatalf("recomputed value = %d", got)
+	}
+	if calls != 4 {
+		t.Errorf("calls = %d, want 4 (three cold + one recompute)", calls)
+	}
+	if f.Len() != 2 {
+		t.Errorf("Len = %d, want 2", f.Len())
+	}
+}
+
+func TestFlightLRURecencyOrder(t *testing.T) {
+	var f Flight[string, int]
+	f.SetLimit(2)
+	f.Do("a", func() (int, error) { return 1, nil })
+	f.Do("b", func() (int, error) { return 2, nil })
+	// Touch a so b becomes least recently used.
+	f.Do("a", func() (int, error) { t.Fatal("a should be cached"); return 0, nil })
+	f.Do("c", func() (int, error) { return 3, nil })
+	if f.Cached("b") {
+		t.Error("b was most stale and should have been evicted")
+	}
+	if !f.Cached("a") || !f.Cached("c") {
+		t.Error("a and c should survive")
+	}
+}
+
+func TestFlightLRUErrorsDoNotEvict(t *testing.T) {
+	var f Flight[int, int]
+	f.SetLimit(1)
+	f.Do(1, func() (int, error) { return 1, nil })
+	f.Do(2, func() (int, error) { return 0, fmt.Errorf("boom") })
+	if !f.Cached(1) {
+		t.Error("failed call must not push out a cached success")
+	}
+	if f.Evictions() != 0 {
+		t.Errorf("evictions = %d, want 0", f.Evictions())
+	}
+}
+
+// In-flight computations are never evicted, so concurrent duplicates keep
+// coalescing even when the cache is at capacity.
+func TestFlightLRUPreservesCoalescing(t *testing.T) {
+	var f Flight[int, int]
+	f.SetLimit(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var slowCalls int
+	go f.Do(100, func() (int, error) {
+		close(started)
+		<-release
+		slowCalls++
+		return 100, nil
+	})
+	<-started
+	// Fill and overflow the cache while 100 is still in flight.
+	f.Do(1, func() (int, error) { return 1, nil })
+	f.Do(2, func() (int, error) { return 2, nil })
+
+	var wg sync.WaitGroup
+	var shared int
+	var mu sync.Mutex
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, wasShared, err := f.DoShared(100, func() (int, error) {
+				t.Error("duplicate execution: coalescing broken")
+				return 0, nil
+			})
+			if err != nil || v != 100 {
+				t.Errorf("DoShared = %d, %v", v, err)
+			}
+			mu.Lock()
+			if wasShared {
+				shared++
+			}
+			mu.Unlock()
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if slowCalls != 1 {
+		t.Errorf("slow fn ran %d times, want 1", slowCalls)
+	}
+	if shared != 4 {
+		t.Errorf("shared = %d, want 4", shared)
+	}
+}
+
+func TestFlightShrinkLimitEvictsImmediately(t *testing.T) {
+	var f Flight[int, int]
+	for i := 0; i < 5; i++ {
+		k := i
+		f.Do(k, func() (int, error) { return k, nil })
+	}
+	f.SetLimit(2)
+	if f.Len() != 2 {
+		t.Errorf("Len after shrink = %d, want 2", f.Len())
+	}
+	if f.Evictions() != 3 {
+		t.Errorf("evictions = %d, want 3", f.Evictions())
+	}
+	// Most recent survive.
+	if !f.Cached(3) || !f.Cached(4) {
+		t.Error("most recent entries should survive the shrink")
+	}
+}
+
+func TestFlightUnlimitedByDefault(t *testing.T) {
+	var f Flight[int, int]
+	for i := 0; i < 100; i++ {
+		k := i
+		f.Do(k, func() (int, error) { return k, nil })
+	}
+	if f.Len() != 100 || f.Evictions() != 0 {
+		t.Errorf("unbounded flight evicted: len=%d evictions=%d", f.Len(), f.Evictions())
+	}
+}

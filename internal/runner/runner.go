@@ -144,17 +144,52 @@ func Do(ctx context.Context, parallel int, fns ...func(ctx context.Context) erro
 
 // Flight memoizes the result of an expensive computation per key, coalescing
 // concurrent duplicate requests onto a single execution. Unlike classic
-// singleflight, successful results are cached for the lifetime of the
-// Flight; failed calls are forgotten so a later request retries.
+// singleflight, successful results are cached — for the lifetime of the
+// Flight by default, or up to SetLimit entries with least-recently-used
+// eviction. Failed calls are forgotten so a later request retries.
 type Flight[K comparable, V any] struct {
 	mu    sync.Mutex
 	calls map[K]*flightCall[V]
+
+	limit     int // 0 = unbounded
+	evictions int64
+	// LRU bookkeeping over *completed* entries: mru is most recent. Entries
+	// still in flight are not on the list (they cannot be evicted, which is
+	// what preserves coalescing under any limit).
+	lru map[K]*lruEntry[K]
+	mru *lruEntry[K]
+	lrs *lruEntry[K] // least recent
+}
+
+type lruEntry[K comparable] struct {
+	key        K
+	prev, next *lruEntry[K]
 }
 
 type flightCall[V any] struct {
 	done chan struct{}
 	val  V
 	err  error
+}
+
+// SetLimit caps the number of cached completed entries; the least recently
+// used entry is evicted when the cap is exceeded. 0 (the default) means
+// unbounded. In-flight computations never count against the cap and are
+// never evicted, so concurrent duplicate requests still coalesce. Call
+// before or during use; shrinking the limit evicts immediately.
+func (f *Flight[K, V]) SetLimit(n int) {
+	f.mu.Lock()
+	f.limit = n
+	f.evictLocked()
+	f.mu.Unlock()
+}
+
+// Evictions reports how many completed entries have been evicted to honor
+// the limit.
+func (f *Flight[K, V]) Evictions() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.evictions
 }
 
 // Do returns the cached value for key, or runs fn to compute it. Concurrent
@@ -175,6 +210,7 @@ func (f *Flight[K, V]) DoShared(key K, fn func() (V, error)) (V, bool, error) {
 		f.calls = make(map[K]*flightCall[V])
 	}
 	if c, ok := f.calls[key]; ok {
+		f.touchLocked(key)
 		f.mu.Unlock()
 		<-c.done
 		return c.val, true, c.err
@@ -184,13 +220,78 @@ func (f *Flight[K, V]) DoShared(key K, fn func() (V, error)) (V, bool, error) {
 	f.mu.Unlock()
 
 	c.val, c.err = fn()
+	f.mu.Lock()
 	if c.err != nil {
-		f.mu.Lock()
 		delete(f.calls, key)
-		f.mu.Unlock()
+	} else {
+		f.insertLocked(key)
+		f.evictLocked()
 	}
+	f.mu.Unlock()
 	close(c.done)
 	return c.val, false, c.err
+}
+
+// touchLocked marks an already-listed key as most recently used. Hits on
+// still-in-flight calls are not listed yet; their entry is added when the
+// call completes. Callers hold f.mu.
+func (f *Flight[K, V]) touchLocked(key K) {
+	if _, ok := f.lru[key]; ok {
+		f.insertLocked(key)
+	}
+}
+
+// insertLocked puts key at the most-recently-used position, adding it to
+// the list if absent. Callers hold f.mu.
+func (f *Flight[K, V]) insertLocked(key K) {
+	if f.lru == nil {
+		f.lru = make(map[K]*lruEntry[K])
+	}
+	e, ok := f.lru[key]
+	if !ok {
+		e = &lruEntry[K]{key: key}
+		f.lru[key] = e
+	} else {
+		f.unlinkLocked(e)
+	}
+	e.prev = nil
+	e.next = f.mru
+	if f.mru != nil {
+		f.mru.prev = e
+	}
+	f.mru = e
+	if f.lrs == nil {
+		f.lrs = e
+	}
+}
+
+func (f *Flight[K, V]) unlinkLocked(e *lruEntry[K]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if f.mru == e {
+		f.mru = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if f.lrs == e {
+		f.lrs = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// evictLocked drops least-recently-used completed entries until the cache
+// honors the limit. Callers hold f.mu.
+func (f *Flight[K, V]) evictLocked() {
+	if f.limit <= 0 {
+		return
+	}
+	for len(f.lru) > f.limit && f.lrs != nil {
+		victim := f.lrs
+		f.unlinkLocked(victim)
+		delete(f.lru, victim.key)
+		delete(f.calls, victim.key)
+		f.evictions++
+	}
 }
 
 // Len reports the number of successfully completed or in-flight entries.

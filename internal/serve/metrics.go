@@ -26,9 +26,12 @@ type Metrics struct {
 	// InFlight is the number of requests currently being served.
 	InFlight atomic.Int64
 	// EnvCacheSize and ArtifactCacheSize mirror the Flight cache sizes as
-	// of the last artifact render.
+	// of the last environment build or artifact render.
 	EnvCacheSize      atomic.Int64
 	ArtifactCacheSize atomic.Int64
+	// CacheEvictions counts entries the env and artifact caches have
+	// dropped to honor their LRU caps.
+	CacheEvictions atomic.Int64
 }
 
 // NewMetrics returns zeroed metrics.
@@ -45,6 +48,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"in_flight":           m.InFlight.Load(),
 		"env_cache_size":      m.EnvCacheSize.Load(),
 		"artifact_cache_size": m.ArtifactCacheSize.Load(),
+		"cache_evictions":     m.CacheEvictions.Load(),
 	}
 }
 

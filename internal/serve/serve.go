@@ -30,8 +30,35 @@ type Config struct {
 	// Parallel is the worker budget for environment builds and eval fan-out
 	// (0 = GOMAXPROCS, 1 = sequential).
 	Parallel int
+	// EnvCacheCap bounds the number of cached evaluation environments
+	// (seed × verify combinations); least-recently-used environments are
+	// evicted beyond it so long-lived processes don't grow without bound.
+	// 0 means the default of 4; negative means unbounded.
+	EnvCacheCap int
+	// ArtifactCacheCap bounds the rendered-artifact cache the same way.
+	// 0 means the default of 256; negative means unbounded.
+	ArtifactCacheCap int
 	// Logger receives request logs; nil disables logging.
 	Logger *log.Logger
+}
+
+// Default cache caps: environments embed a whole benchmark plus memoized
+// model results (tens of MB each), artifacts are small rendered text.
+const (
+	defaultEnvCacheCap      = 4
+	defaultArtifactCacheCap = 256
+)
+
+// cacheCap resolves a configured cap: 0 = default, negative = unbounded.
+func cacheCap(configured, def int) int {
+	switch {
+	case configured == 0:
+		return def
+	case configured < 0:
+		return 0 // Flight treats 0 as unbounded
+	default:
+		return configured
+	}
 }
 
 // envKey identifies one cached evaluation environment.
@@ -68,6 +95,8 @@ func NewServer(cfg Config) *Server {
 		cfg.DefaultSeed = 1
 	}
 	s := &Server{cfg: cfg, metrics: NewMetrics(), mux: http.NewServeMux()}
+	s.envs.SetLimit(cacheCap(cfg.EnvCacheCap, defaultEnvCacheCap))
+	s.artifacts.SetLimit(cacheCap(cfg.ArtifactCacheCap, defaultArtifactCacheCap))
 	s.mux.HandleFunc("POST /v1/eval/{task}", s.handleEval)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
@@ -97,7 +126,16 @@ func (s *Server) env(key envKey) (*experiments.Env, error) {
 	if shared {
 		s.metrics.CoalesceHits.Add(1)
 	}
+	s.syncCacheMetrics()
 	return env, err
+}
+
+// syncCacheMetrics mirrors the Flight cache sizes and eviction totals into
+// the metrics snapshot.
+func (s *Server) syncCacheMetrics() {
+	s.metrics.EnvCacheSize.Store(int64(s.envs.Len()))
+	s.metrics.ArtifactCacheSize.Store(int64(s.artifacts.Len()))
+	s.metrics.CacheEvictions.Store(s.envs.Evictions() + s.artifacts.Evictions())
 }
 
 // artifact returns the rendered output of one experiment for key, running
@@ -122,9 +160,6 @@ func (s *Server) artifact(key artifactKey) ([]byte, error) {
 	if shared {
 		s.metrics.CoalesceHits.Add(1)
 	}
-	if err == nil {
-		s.metrics.ArtifactCacheSize.Store(int64(s.artifacts.Len()))
-		s.metrics.EnvCacheSize.Store(int64(s.envs.Len()))
-	}
+	s.syncCacheMetrics()
 	return out, err
 }

@@ -361,6 +361,50 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// A capped artifact cache evicts the least recently used render and reports
+// it through the metrics endpoint; re-requesting an evicted artifact still
+// succeeds (it simply re-renders).
+func TestArtifactCacheEviction(t *testing.T) {
+	srv := NewServer(Config{DefaultSeed: 1, Parallel: 4, ArtifactCacheCap: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fetch := func(id string) string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/experiments/" + id)
+		if err != nil {
+			t.Fatalf("GET %s: %v", id, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", id, resp.StatusCode, buf.String())
+		}
+		return buf.String()
+	}
+	first := fetch("table2")
+	fetch("fig1") // evicts table2 under cap 1
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var m map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	if m["cache_evictions"] < 1 {
+		t.Errorf("cache_evictions = %d, want >= 1 (all: %v)", m["cache_evictions"], m)
+	}
+	if m["artifact_cache_size"] != 1 {
+		t.Errorf("artifact_cache_size = %d, want 1", m["artifact_cache_size"])
+	}
+	// Evicted artifacts re-render identically.
+	if again := fetch("table2"); again != first {
+		t.Error("re-rendered artifact differs from the evicted one")
+	}
+}
+
 // The experiment list endpoint mirrors the registry.
 func TestExperimentList(t *testing.T) {
 	_, url := testServerAndURL(t)
