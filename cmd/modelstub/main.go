@@ -1,0 +1,126 @@
+// Command modelstub is a deterministic OpenAI-compatible chat-completions
+// stub for exercising the HTTP model backend (llm/httpllm) end to end
+// without network access or credentials: CI points sqlbench/sqlserved at it
+// via -models. It answers every task prompt with a fixed parseable response,
+// reports usage, and can inject failures to exercise the retry path.
+//
+// Usage:
+//
+//	modelstub -addr 127.0.0.1:9090
+//	modelstub -addr 127.0.0.1:9090 -fail429 2     # first 2 requests get 429
+//	modelstub -addr 127.0.0.1:9090 -latency 50ms  # per-request delay
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+type wireRequest struct {
+	Model    string `json:"model"`
+	Messages []struct {
+		Role    string `json:"role"`
+		Content string `json:"content"`
+	} `json:"messages"`
+	Temperature *float64 `json:"temperature,omitempty"`
+	MaxTokens   int      `json:"max_tokens,omitempty"`
+	Seed        *int64   `json:"seed,omitempty"`
+}
+
+// answer picks a deterministic, respparse-compatible reply per task so
+// streamed eval results carry real predictions, not parse failures.
+func answer(prompt string) string {
+	lower := strings.ToLower(prompt)
+	switch {
+	case strings.Contains(lower, "missing word") || strings.Contains(lower, "token is missing"):
+		return "No. The query appears complete, with no missing words."
+	case strings.Contains(lower, "equivalent") || strings.Contains(lower, "identical results"):
+		return "Yes, the two queries are equivalent: the rewrite is a where_predicate transformation that preserves results."
+	case strings.Contains(lower, "longer than usual") || strings.Contains(lower, "runtime cost"):
+		return "No, this query should run quickly; it touches limited data."
+	case strings.Contains(lower, "describing this query") || strings.Contains(lower, "purpose of this query"):
+		return "This query returns rows selected from the referenced tables."
+	default:
+		return "No, the query does not contain any syntax errors. It is well-formed SQL."
+	}
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9090", "listen address")
+		fail429 = flag.Int64("fail429", 0, "reject the first N completion requests with 429 (exercises retry)")
+		latency = flag.Duration("latency", 0, "artificial per-request latency")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "modelstub: ", log.LstdFlags)
+
+	var served, rejected atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/chat/completions", func(w http.ResponseWriter, r *http.Request) {
+		var req wireRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprintf(w, `{"error":{"message":"decoding request: %v","type":"invalid_request_error"}}`, err)
+			return
+		}
+		if n := served.Add(1); n <= *fail429 {
+			rejected.Add(1)
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"message":"stub rate limit, retry","type":"rate_limited"}}`)
+			return
+		}
+		if *latency > 0 {
+			time.Sleep(*latency)
+		}
+		var prompt string
+		for _, m := range req.Messages {
+			if m.Role == "user" {
+				prompt = m.Content
+			}
+		}
+		text := answer(prompt)
+		promptTokens := (len(prompt) + 3) / 4
+		completionTokens := (len(text) + 3) / 4
+		finish := "stop"
+		if req.MaxTokens > 0 && completionTokens > req.MaxTokens {
+			text = text[:req.MaxTokens*4]
+			completionTokens = req.MaxTokens
+			finish = "length"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"id":     fmt.Sprintf("stub-%d", served.Load()),
+			"object": "chat.completion",
+			"model":  req.Model,
+			"choices": []map[string]any{{
+				"index":         0,
+				"message":       map[string]string{"role": "assistant", "content": text},
+				"finish_reason": finish,
+			}},
+			"usage": map[string]int{
+				"prompt_tokens":     promptTokens,
+				"completion_tokens": completionTokens,
+				"total_tokens":      promptTokens + completionTokens,
+			},
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok", "served": served.Load(), "rejected": rejected.Load(),
+		})
+	})
+
+	logger.Printf("listening on %s (fail429=%d latency=%v)", *addr, *fail429, *latency)
+	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	logger.Fatal(srv.ListenAndServe())
+}

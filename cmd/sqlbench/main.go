@@ -9,13 +9,22 @@
 //	sqlbench -exp all -noverify
 //	sqlbench -exp all -parallel 16
 //	sqlbench -exp all -stats
+//	sqlbench -exp table6 -models '[{"name":"gpt-4o","provider":"http",...}]'
+//	sqlbench -exp table6 -models @models.json
 //
 // Output is byte-identical at every -parallel setting; -parallel 1
 // reproduces the fully sequential pipeline. The -parallel budget reaches
 // every layer: workload generation, per-dataset labeling, example fan-out,
 // and the engine's own grouped aggregation and set operations during
-// equivalence verification. -stats reports wall times and per-dataset
-// engine op counts to stderr so engine speedups are visible from the CLI.
+// equivalence verification. -stats reports wall times, per-dataset engine op
+// counts, and per-model request/token/latency telemetry to stderr.
+//
+// -models replaces the five simulated models with a JSON spec set (inline or
+// @file): provider "sim" rebuilds a calibrated simulator, provider "http"
+// drives any OpenAI-compatible chat-completions endpoint, and each spec may
+// layer retry/rate-limit/in-flight/cache middleware (see llm.Spec).
+// Experiments pinned to specific paper models (fig6, fig8, fig10-12,
+// casestudy) need those model names registered.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/llm"
 )
 
 func main() {
@@ -37,7 +47,8 @@ func main() {
 		noVerify = flag.Bool("noverify", false, "skip engine verification of equivalence pairs (faster)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for benchmark build, task runs, and intra-query engine execution (1 = sequential)")
-		stats    = flag.Bool("stats", false, "report build/run wall times and per-dataset engine op counts to stderr")
+		stats    = flag.Bool("stats", false, "report build/run wall times, engine op counts, and per-model usage to stderr")
+		models   = flag.String("models", "", "JSON model specs (or @file) replacing the default simulated models; providers: sim, http")
 	)
 	flag.Parse()
 
@@ -71,11 +82,22 @@ func main() {
 		exps = append(exps, e)
 	}
 
+	var specs []llm.Spec
+	if *models != "" {
+		var err error
+		specs, err = llm.ParseSpecsArg(*models)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlbench: -models:", err)
+			os.Exit(2)
+		}
+	}
+
 	buildStart := time.Now()
 	env, err := experiments.NewEnvConfig(experiments.Config{
 		Seed:               *seed,
 		VerifyEquivalences: !*noVerify,
 		Parallel:           *parallel,
+		Models:             specs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlbench: building benchmark:", err)
@@ -100,6 +122,18 @@ func main() {
 		}
 		if *stats {
 			fmt.Fprintf(os.Stderr, "sqlbench: %s took %v\n", e.ID, time.Since(runStart).Round(time.Millisecond))
+		}
+	}
+	if *stats {
+		// Per-model client telemetry: how many completions ran, what they
+		// cost in tokens, how they behaved (retries, rate limiting, latency).
+		snap := env.Stats.Snapshot()
+		for _, name := range env.Stats.Names() {
+			ms := snap[name]
+			fmt.Fprintf(os.Stderr,
+				"sqlbench: model %s: requests=%d errors=%d retries=%d prompt_tokens=%d completion_tokens=%d latency_mean_ms=%.1f latency_p95_ms=%.1f\n",
+				name, ms.Requests, ms.Errors, ms.Retries, ms.PromptTokens, ms.CompletionTokens,
+				ms.LatencyMeanMS, ms.LatencyP95MS)
 		}
 	}
 }

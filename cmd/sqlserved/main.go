@@ -4,6 +4,8 @@
 //
 //	sqlserved -addr :8080
 //	sqlserved -addr :8080 -seed 2 -verify -parallel 16
+//	sqlserved -addr :8080 -rps 10 -burst 20         # per-client admission control
+//	sqlserved -addr :8080 -models @models.json      # drive real model endpoints
 //
 // Endpoints:
 //
@@ -30,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/llm"
 	"repro/internal/serve"
 )
 
@@ -41,6 +44,9 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for benchmark builds and eval fan-out")
 		envCap   = flag.Int("env-cache", 0, "max cached evaluation environments, LRU-evicted (0 = default 4, negative = unbounded)")
 		artCap   = flag.Int("artifact-cache", 0, "max cached rendered artifacts, LRU-evicted (0 = default 256, negative = unbounded)")
+		rps      = flag.Float64("rps", 0, "per-client admission rate limit in requests/second (0 = unlimited); over-limit requests get 429 + Retry-After")
+		burst    = flag.Int("burst", 10, "admission-control burst capacity per client")
+		models   = flag.String("models", "", "JSON model specs (or @file) replacing the default simulated models; providers: sim, http")
 		quiet    = flag.Bool("quiet", false, "disable request logging")
 	)
 	flag.Parse()
@@ -50,12 +56,23 @@ func main() {
 	if *quiet {
 		reqLogger = nil
 	}
+	var specs []llm.Spec
+	if *models != "" {
+		var err error
+		specs, err = llm.ParseSpecsArg(*models)
+		if err != nil {
+			logger.Fatalf("-models: %v", err)
+		}
+	}
 	s := serve.NewServer(serve.Config{
 		DefaultSeed:      *seed,
 		Verify:           *verify,
 		Parallel:         *parallel,
 		EnvCacheCap:      *envCap,
 		ArtifactCacheCap: *artCap,
+		RPS:              *rps,
+		Burst:            *burst,
+		Models:           specs,
 		Logger:           reqLogger,
 	})
 	s.Metrics().Publish("sqlserved")

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/llm"
 	"repro/internal/metrics"
@@ -48,10 +49,12 @@ type SyntaxResult struct {
 	PredHas  bool
 	PredType string
 	Response string
+	Usage    llm.Usage
+	Latency  time.Duration
 }
 
-func syntaxResult(ex SyntaxExample, resp string) SyntaxResult {
-	verdict, perr := respparse.ParseSyntax(resp)
+func syntaxResult(ex SyntaxExample, resp llm.Response) SyntaxResult {
+	verdict, perr := respparse.ParseSyntax(resp.Text)
 	if perr != nil {
 		// Unparseable output counts as "no error claimed", mirroring the
 		// paper's conservative manual post-processing.
@@ -61,7 +64,9 @@ func syntaxResult(ex SyntaxExample, resp string) SyntaxResult {
 		Example:  ex,
 		PredHas:  verdict.HasError,
 		PredType: verdict.ErrorType,
-		Response: resp,
+		Response: resp.Text,
+		Usage:    resp.Usage,
+		Latency:  resp.Latency,
 	}
 }
 
@@ -69,7 +74,7 @@ func syntaxResult(ex SyntaxExample, resp string) SyntaxResult {
 // result to sink in dataset order as soon as its prefix completes.
 func RunSyntaxStream(ctx context.Context, client llm.Client, tpl prompt.Template, ds []SyntaxExample, sink func(SyntaxResult) error) error {
 	return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex SyntaxExample) (SyntaxResult, error) {
-		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
+		resp, err := client.Do(ctx, llm.NewRequest(tpl.Render(ex.SQL)))
 		if err != nil {
 			return SyntaxResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
 		}
@@ -89,7 +94,7 @@ func RunSyntax(ctx context.Context, client llm.Client, tpl prompt.Template, ds [
 func RunSyntaxFewShot(ctx context.Context, client llm.Client, tpl prompt.Template, shots []prompt.Shot, ds []SyntaxExample) ([]SyntaxResult, error) {
 	return collect(len(ds), func(sink func(SyntaxResult) error) error {
 		return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex SyntaxExample) (SyntaxResult, error) {
-			resp, err := client.Complete(ctx, tpl.RenderFewShot(ex.SQL, shots))
+			resp, err := client.Do(ctx, llm.NewRequest(tpl.RenderFewShot(ex.SQL, shots)))
 			if err != nil {
 				return SyntaxResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
 			}
@@ -105,17 +110,19 @@ type TokenResult struct {
 	PredKind string
 	PredPos  int // 0-based; -1 when absent
 	Response string
+	Usage    llm.Usage
+	Latency  time.Duration
 }
 
 // RunTokensStream drives one model over a miss_token dataset, delivering
 // each result to sink in dataset order.
 func RunTokensStream(ctx context.Context, client llm.Client, tpl prompt.Template, ds []TokenExample, sink func(TokenResult) error) error {
 	return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex TokenExample) (TokenResult, error) {
-		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
+		resp, err := client.Do(ctx, llm.NewRequest(tpl.Render(ex.SQL)))
 		if err != nil {
 			return TokenResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
 		}
-		verdict, perr := respparse.ParseMissToken(resp)
+		verdict, perr := respparse.ParseMissToken(resp.Text)
 		if perr != nil {
 			verdict = respparse.MissTokenVerdict{Position: -1}
 		}
@@ -124,7 +131,9 @@ func RunTokensStream(ctx context.Context, client llm.Client, tpl prompt.Template
 			PredMiss: verdict.Missing,
 			PredKind: verdict.Kind,
 			PredPos:  verdict.Position,
-			Response: resp,
+			Response: resp.Text,
+			Usage:    resp.Usage,
+			Latency:  resp.Latency,
 		}, nil
 	}, dropIdx(sink))
 }
@@ -143,17 +152,19 @@ type EquivResult struct {
 	PredEquiv bool
 	PredType  string
 	Response  string
+	Usage     llm.Usage
+	Latency   time.Duration
 }
 
 // RunEquivStream drives one model over a query_equiv dataset, delivering
 // each result to sink in dataset order.
 func RunEquivStream(ctx context.Context, client llm.Client, tpl prompt.Template, ds []EquivExample, sink func(EquivResult) error) error {
 	return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex EquivExample) (EquivResult, error) {
-		resp, err := client.Complete(ctx, tpl.RenderPair(ex.SQL1, ex.SQL2))
+		resp, err := client.Do(ctx, llm.NewRequest(tpl.RenderPair(ex.SQL1, ex.SQL2)))
 		if err != nil {
 			return EquivResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
 		}
-		verdict, perr := respparse.ParseEquiv(resp)
+		verdict, perr := respparse.ParseEquiv(resp.Text)
 		if perr != nil {
 			verdict = respparse.EquivVerdict{}
 		}
@@ -161,7 +172,9 @@ func RunEquivStream(ctx context.Context, client llm.Client, tpl prompt.Template,
 			Example:   ex,
 			PredEquiv: verdict.Equivalent,
 			PredType:  verdict.Type,
-			Response:  resp,
+			Response:  resp.Text,
+			Usage:     resp.Usage,
+			Latency:   resp.Latency,
 		}, nil
 	}, dropIdx(sink))
 }
@@ -179,21 +192,26 @@ type PerfResult struct {
 	Example    PerfExample
 	PredCostly bool
 	Response   string
+	Usage      llm.Usage
+	Latency    time.Duration
 }
 
 // RunPerfStream drives one model over the performance_pred dataset,
 // delivering each result to sink in dataset order.
 func RunPerfStream(ctx context.Context, client llm.Client, tpl prompt.Template, ds []PerfExample, sink func(PerfResult) error) error {
 	return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex PerfExample) (PerfResult, error) {
-		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
+		resp, err := client.Do(ctx, llm.NewRequest(tpl.Render(ex.SQL)))
 		if err != nil {
 			return PerfResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
 		}
-		costly, perr := respparse.ParsePerf(resp)
+		costly, perr := respparse.ParsePerf(resp.Text)
 		if perr != nil {
 			costly = false
 		}
-		return PerfResult{Example: ex, PredCostly: costly, Response: resp}, nil
+		return PerfResult{
+			Example: ex, PredCostly: costly, Response: resp.Text,
+			Usage: resp.Usage, Latency: resp.Latency,
+		}, nil
 	}, dropIdx(sink))
 }
 
@@ -210,21 +228,25 @@ type ExplainResult struct {
 	Example     ExplainExample
 	Explanation string
 	Coverage    float64 // fraction of reference facts mentioned
+	Usage       llm.Usage
+	Latency     time.Duration
 }
 
 // RunExplainStream drives one model over the query_exp dataset, delivering
 // each result to sink in dataset order.
 func RunExplainStream(ctx context.Context, client llm.Client, tpl prompt.Template, ds []ExplainExample, sink func(ExplainResult) error) error {
 	return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex ExplainExample) (ExplainResult, error) {
-		resp, err := client.Complete(ctx, tpl.Render(ex.SQL))
+		resp, err := client.Do(ctx, llm.NewRequest(tpl.Render(ex.SQL)))
 		if err != nil {
 			return ExplainResult{}, fmt.Errorf("completing %s: %w", ex.ID, err)
 		}
-		expl := respparse.ParseExplanation(resp)
+		expl := respparse.ParseExplanation(resp.Text)
 		return ExplainResult{
 			Example:     ex,
 			Explanation: expl,
 			Coverage:    nlgen.Coverage(expl, ex.Facts),
+			Usage:       resp.Usage,
+			Latency:     resp.Latency,
 		}, nil
 	}, dropIdx(sink))
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/llm"
+	"repro/internal/llm/httpllm"
 	"repro/internal/llm/sim"
 	"repro/internal/prompt"
 	"repro/internal/runner"
@@ -25,6 +26,10 @@ type Env struct {
 	Bench    *core.Benchmark
 	Registry *llm.Registry
 	Models   []string
+	// Stats accumulates per-model request/error/token counters and latency
+	// histograms across every task run (the Instrument middleware wraps each
+	// registered client).
+	Stats *llm.Stats
 	// Parallel bounds the worker pool used for example fan-out inside each
 	// task run and for the model×dataset prefetch in the experiment
 	// definitions. 0 means GOMAXPROCS; 1 reproduces the sequential pipeline.
@@ -46,10 +51,37 @@ type Config struct {
 	// Parallel is the worker budget for the build and all task runs
 	// (0 = GOMAXPROCS, 1 = sequential).
 	Parallel int
+	// Models optionally replaces the default five simulated models with a
+	// config-driven set (the binaries' -models flag): each spec names a
+	// provider ("sim" over this environment's knowledge, or "http" for an
+	// OpenAI-compatible endpoint) plus its middleware stack.
+	Models []llm.Spec
+	// Stats optionally shares one telemetry sink across environments (the
+	// serve layer passes its own so /v1/metrics aggregates every env); nil
+	// means a fresh per-environment Stats.
+	Stats *llm.Stats
+	// ClientCache optionally shares spec-built clients — and the middleware
+	// state that must be global to be meaningful: rate-limit buckets,
+	// in-flight semaphores, response caches — across environments. sim specs
+	// are always built per environment, since the simulators resolve against
+	// the environment's own knowledge context.
+	ClientCache *llm.ClientCache
 }
 
-// NewEnvConfig builds the benchmark and the five simulated models with
-// explicit parallelism control.
+// Providers returns the spec provider factories an environment's registry
+// builds from: the calibrated simulators over the given knowledge context,
+// and the OpenAI-compatible HTTP client.
+func Providers(k *sim.Knowledge) map[string]llm.Factory {
+	return map[string]llm.Factory{
+		"sim":  sim.Factory(k),
+		"http": httpllm.Factory,
+	}
+}
+
+// NewEnvConfig builds the benchmark and the model registry — the five
+// calibrated simulators by default, or the configured spec set — with
+// explicit parallelism control. Every client is wrapped with llm.Instrument
+// so Env.Stats reports usage regardless of backend.
 func NewEnvConfig(cfg Config) (*Env, error) {
 	bench, err := core.Build(core.BuildConfig{
 		Seed:               cfg.Seed,
@@ -60,10 +92,42 @@ func NewEnvConfig(cfg Config) (*Env, error) {
 		return nil, fmt.Errorf("building benchmark: %w", err)
 	}
 	knowledge := sim.NewKnowledge(bench.SchemasByDataset())
+	stats := cfg.Stats
+	if stats == nil {
+		stats = llm.NewStats()
+	}
+	reg := llm.NewRegistry()
+	models := llm.ModelNames
+	if len(cfg.Models) == 0 {
+		for _, name := range llm.ModelNames {
+			m, err := sim.New(name, knowledge)
+			if err != nil {
+				return nil, fmt.Errorf("building simulator %s: %w", name, err)
+			}
+			reg.Register(llm.Chain(m, llm.Instrument(stats)))
+		}
+	} else {
+		providers := Providers(knowledge)
+		models = make([]string, 0, len(cfg.Models))
+		for _, spec := range cfg.Models {
+			var c llm.Client
+			if cfg.ClientCache != nil && spec.Provider != "sim" {
+				c, err = cfg.ClientCache.Build(spec, providers, stats)
+			} else {
+				c, err = llm.BuildClient(spec, providers, stats)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("building model registry: %w", err)
+			}
+			reg.Register(c)
+			models = append(models, spec.Name)
+		}
+	}
 	return &Env{
 		Bench:    bench,
-		Registry: sim.Registry(knowledge),
-		Models:   llm.ModelNames,
+		Registry: reg,
+		Models:   models,
+		Stats:    stats,
 		Parallel: cfg.Parallel,
 	}, nil
 }

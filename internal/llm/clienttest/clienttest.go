@@ -1,0 +1,179 @@
+// Package clienttest is the reusable contract suite every llm.Client
+// implementation must pass: response and usage fields populated, the
+// Complete helper agreeing with Do, concurrency safety, prompt context
+// cancellation, and typed error classification. The sim models and the HTTP
+// client both run it, so "drop-in replaceable" stays an enforced property
+// rather than a comment.
+package clienttest
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+)
+
+// Options configures a contract run.
+type Options struct {
+	// New returns a fresh, working client. Required.
+	New func(t *testing.T) llm.Client
+	// Prompt is a prompt the client can answer; a default syntax-check
+	// prompt is used when empty.
+	Prompt string
+	// Deterministic asserts that identical requests yield identical text.
+	Deterministic bool
+	// NewFailing optionally returns a client whose Do always fails with a
+	// *llm.Error of the given status, enabling the error-classification
+	// subtests.
+	NewFailing func(t *testing.T) (client llm.Client, status int)
+}
+
+const defaultPrompt = "Does the following query contain any syntax errors? If so, explain the error and state the error type.\n\nSQL: SELECT plate , COUNT(*) FROM SpecObj"
+
+// Run executes the contract suite as subtests of t.
+func Run(t *testing.T, opts Options) {
+	t.Helper()
+	if opts.New == nil {
+		t.Fatal("clienttest: Options.New is required")
+	}
+	if opts.Prompt == "" {
+		opts.Prompt = defaultPrompt
+	}
+
+	t.Run("Name", func(t *testing.T) {
+		c := opts.New(t)
+		if c.Name() == "" {
+			t.Fatal("Name() is empty")
+		}
+		if c.Name() != c.Name() {
+			t.Fatal("Name() is unstable")
+		}
+	})
+
+	t.Run("DoPopulatesResponse", func(t *testing.T) {
+		c := opts.New(t)
+		resp, err := c.Do(context.Background(), llm.NewRequest(opts.Prompt))
+		if err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+		if strings.TrimSpace(resp.Text) == "" {
+			t.Error("empty response text")
+		}
+		if resp.Usage.PromptTokens <= 0 {
+			t.Errorf("prompt tokens = %d, want > 0", resp.Usage.PromptTokens)
+		}
+		if resp.Usage.CompletionTokens <= 0 {
+			t.Errorf("completion tokens = %d, want > 0", resp.Usage.CompletionTokens)
+		}
+		if resp.Usage.Total() != resp.Usage.PromptTokens+resp.Usage.CompletionTokens {
+			t.Error("usage total is inconsistent")
+		}
+		if resp.Latency <= 0 {
+			t.Errorf("latency = %v, want > 0", resp.Latency)
+		}
+		if resp.FinishReason == "" {
+			t.Error("empty finish reason")
+		}
+	})
+
+	t.Run("CompleteHelper", func(t *testing.T) {
+		c := opts.New(t)
+		text, err := llm.Complete(context.Background(), c, opts.Prompt)
+		if err != nil {
+			t.Fatalf("Complete: %v", err)
+		}
+		if strings.TrimSpace(text) == "" {
+			t.Error("empty completion")
+		}
+		if opts.Deterministic {
+			resp, err := c.Do(context.Background(), llm.NewRequest(opts.Prompt))
+			if err != nil {
+				t.Fatalf("Do: %v", err)
+			}
+			if resp.Text != text {
+				t.Errorf("Complete text differs from Do text:\n%q\n%q", text, resp.Text)
+			}
+		}
+	})
+
+	t.Run("Concurrency", func(t *testing.T) {
+		c := opts.New(t)
+		const goroutines, perG = 8, 4
+		var wg sync.WaitGroup
+		errc := make(chan error, goroutines*perG)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					resp, err := c.Do(context.Background(), llm.NewRequest(opts.Prompt))
+					if err != nil {
+						errc <- err
+						return
+					}
+					if resp.Text == "" {
+						errc <- errors.New("empty concurrent response")
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Errorf("concurrent Do: %v", err)
+		}
+	})
+
+	t.Run("ContextCancellation", func(t *testing.T) {
+		c := opts.New(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		done := make(chan struct{})
+		var err error
+		go func() {
+			_, err = c.Do(ctx, llm.NewRequest(opts.Prompt))
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Do did not return promptly on a cancelled context")
+		}
+		if err == nil {
+			t.Fatal("Do succeeded on a cancelled context")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error %v does not wrap context.Canceled", err)
+		}
+	})
+
+	if opts.NewFailing != nil {
+		t.Run("ErrorClassification", func(t *testing.T) {
+			c, wantStatus := opts.NewFailing(t)
+			_, err := c.Do(context.Background(), llm.NewRequest(opts.Prompt))
+			if err == nil {
+				t.Fatal("failing client succeeded")
+			}
+			var le *llm.Error
+			if !errors.As(err, &le) {
+				t.Fatalf("error %T is not *llm.Error: %v", err, err)
+			}
+			if le.Status != wantStatus {
+				t.Errorf("status = %d, want %d", le.Status, wantStatus)
+			}
+			wantRetryable := wantStatus == 408 || wantStatus == 429 ||
+				(wantStatus >= 500 && wantStatus != 501)
+			if got := le.Retryable(); got != wantRetryable {
+				t.Errorf("Retryable() = %v for status %d, want %v", got, wantStatus, wantRetryable)
+			}
+			if llm.IsRetryable(err) != wantRetryable {
+				t.Errorf("IsRetryable disagrees with Error.Retryable for status %d", wantStatus)
+			}
+		})
+	}
+}

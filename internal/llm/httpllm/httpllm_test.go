@@ -1,0 +1,275 @@
+package httpllm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/llm/clienttest"
+)
+
+// stubHandler is a minimal OpenAI-compatible completions endpoint: it echoes
+// a deterministic answer, reports usage, and can fail the first N requests
+// with 429.
+func stubHandler(fail429 *atomic.Int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/chat/completions" || r.Method != http.MethodPost {
+			http.NotFound(w, r)
+			return
+		}
+		var req struct {
+			Model    string `json:"model"`
+			Messages []struct {
+				Role, Content string
+			} `json:"messages"`
+			MaxTokens int `json:"max_tokens"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if fail429 != nil && fail429.Add(-1) >= 0 {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"message":"slow down","type":"rate_limited"}}`)
+			return
+		}
+		var prompt string
+		for _, m := range req.Messages {
+			if m.Role == "user" {
+				prompt = m.Content
+			}
+		}
+		text := "No, the query does not contain any syntax errors."
+		finish := "stop"
+		ct := (len(text) + 3) / 4
+		if req.MaxTokens > 0 && ct > req.MaxTokens {
+			text = text[:req.MaxTokens*4]
+			ct = req.MaxTokens
+			finish = "length"
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"model": req.Model + "-snapshot",
+			"choices": []map[string]any{{
+				"message":       map[string]string{"role": "assistant", "content": text},
+				"finish_reason": finish,
+			}},
+			"usage": map[string]int{
+				"prompt_tokens":     (len(prompt) + 3) / 4,
+				"completion_tokens": ct,
+			},
+		})
+	}
+}
+
+func newStubClient(t *testing.T, srv *httptest.Server) *Client {
+	t.Helper()
+	c, err := New(Config{BaseURL: srv.URL + "/v1", Model: "stub", Name: "Stub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// The full llm.Client contract against an httptest stub, including typed
+// error classification via an always-429 endpoint.
+func TestClientContract(t *testing.T) {
+	srv := httptest.NewServer(stubHandler(nil))
+	defer srv.Close()
+	always429 := new(atomic.Int64)
+	always429.Store(1 << 40)
+	srv429 := httptest.NewServer(stubHandler(always429))
+	defer srv429.Close()
+
+	clienttest.Run(t, clienttest.Options{
+		New:           func(t *testing.T) llm.Client { return newStubClient(t, srv) },
+		Deterministic: true,
+		NewFailing: func(t *testing.T) (llm.Client, int) {
+			c, err := New(Config{BaseURL: srv429.URL + "/v1", Model: "stub"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c, http.StatusTooManyRequests
+		},
+	})
+}
+
+// The contract also holds for the client behind the full spec-built
+// middleware stack with a flaky endpoint: the Retry middleware absorbs a
+// 429-then-success sequence invisibly.
+func TestContractThroughRetryOn429(t *testing.T) {
+	flaky := new(atomic.Int64)
+	srv := httptest.NewServer(stubHandler(flaky))
+	defer srv.Close()
+	stats := llm.NewStats()
+	providers := map[string]llm.Factory{"http": Factory}
+	clienttest.Run(t, clienttest.Options{
+		New: func(t *testing.T) llm.Client {
+			flaky.Store(1) // next request 429s once
+			c, err := llm.BuildClient(llm.Spec{
+				Name: "flaky", Provider: "http",
+				BaseURL: srv.URL + "/v1", Model: "stub",
+				MaxAttempts: 3, RetryBaseMS: 1, RPS: 500, Burst: 50, MaxInFlight: 8,
+			}, providers, stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+		Deterministic: true,
+	})
+	ms := stats.Model("flaky")
+	if ms.Retries.Load() == 0 {
+		t.Error("no retries recorded — the 429 path never ran")
+	}
+	// The contract's cancelled-context probe records exactly one error; every
+	// 429 must have been absorbed by a retry rather than surfacing.
+	if ms.Errors.Load() > 1 {
+		t.Errorf("errors = %d, want <= 1 (retry should absorb the 429s)", ms.Errors.Load())
+	}
+}
+
+func TestRetryOn429ThenSuccess(t *testing.T) {
+	flaky := new(atomic.Int64)
+	flaky.Store(2)
+	srv := httptest.NewServer(stubHandler(flaky))
+	defer srv.Close()
+	base := newStubClient(t, srv)
+	var retries int
+	c := llm.RetryWith(llm.RetryConfig{
+		MaxAttempts: 4, BaseDelay: time.Millisecond,
+		OnRetry: func(name string, attempt int, err error, delay time.Duration) {
+			retries++
+			if !llm.IsRetryable(err) {
+				t.Errorf("retrying non-retryable %v", err)
+			}
+		},
+	})(base)
+	resp, err := c.Do(context.Background(), llm.NewRequest("check this"))
+	if err != nil {
+		t.Fatalf("Do after retries: %v", err)
+	}
+	if retries != 2 {
+		t.Errorf("retries = %d, want 2", retries)
+	}
+	if resp.Text == "" || resp.Usage.CompletionTokens == 0 {
+		t.Errorf("thin response after retry: %+v", resp)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":{"message":"overloaded","type":"server_overloaded"}}`)
+	}))
+	defer srv.Close()
+	c, _ := New(Config{BaseURL: srv.URL + "/v1", Model: "stub"})
+	_, err := c.Do(context.Background(), llm.NewRequest("p"))
+	var le *llm.Error
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if le.Status != 503 || le.Code != "server_overloaded" || le.Message != "overloaded" {
+		t.Errorf("error = %+v", le)
+	}
+	if le.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v", le.RetryAfter)
+	}
+	if !le.Retryable() {
+		t.Error("503 should be retryable")
+	}
+}
+
+func TestNonJSONErrorBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	c, _ := New(Config{BaseURL: srv.URL + "/v1", Model: "stub"})
+	_, err := c.Do(context.Background(), llm.NewRequest("p"))
+	var le *llm.Error
+	if !errors.As(err, &le) || le.Status != 502 || !strings.Contains(le.Message, "bad gateway") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTimeoutClassifiedRetryable(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Consume the body so the server's background read can notice the
+		// client abort; the safety timer keeps srv.Close from hanging.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-time.After(2 * time.Second):
+		}
+	}))
+	defer srv.Close()
+	c, err := New(Config{BaseURL: srv.URL + "/v1", Model: "stub", Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, derr := c.Do(context.Background(), llm.NewRequest("p"))
+	var le *llm.Error
+	if !errors.As(derr, &le) || le.Status != http.StatusRequestTimeout {
+		t.Fatalf("timeout err = %v", derr)
+	}
+	if !le.Retryable() {
+		t.Error("timeout should be retryable")
+	}
+}
+
+func TestRequestPayloadCarriesParams(t *testing.T) {
+	var got map[string]any
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewDecoder(r.Body).Decode(&got)
+		if auth := r.Header.Get("Authorization"); auth != "Bearer sekret" {
+			t.Errorf("Authorization = %q", auth)
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"choices": []map[string]any{{"message": map[string]string{"role": "assistant", "content": "ok"}}},
+			"usage":   map[string]int{"prompt_tokens": 1, "completion_tokens": 1},
+		})
+	}))
+	defer srv.Close()
+	c, _ := New(Config{BaseURL: srv.URL + "/v1", Model: "gpt-x", APIKey: "sekret"})
+	temp, seed := 0.25, int64(11)
+	req := llm.Request{
+		Messages:    []llm.Message{{Role: llm.RoleSystem, Content: "be terse"}, {Role: llm.RoleUser, Content: "hi"}},
+		Temperature: &temp, MaxTokens: 32, Seed: &seed,
+	}
+	if _, err := c.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if got["model"] != "gpt-x" || got["temperature"] != 0.25 || got["max_tokens"] != float64(32) || got["seed"] != float64(11) {
+		t.Errorf("payload = %v", got)
+	}
+	msgs := got["messages"].([]any)
+	if len(msgs) != 2 || msgs[0].(map[string]any)["role"] != "system" {
+		t.Errorf("messages = %v", msgs)
+	}
+}
+
+func TestFactoryValidation(t *testing.T) {
+	if _, err := Factory(llm.Spec{Name: "x", Provider: "http"}); err == nil {
+		t.Error("missing base_url should fail")
+	}
+	c, err := Factory(llm.Spec{Name: "x", Provider: "http", BaseURL: "http://127.0.0.1:9/v1"})
+	if err != nil || c.Name() != "x" {
+		t.Errorf("Factory = %v, %v", c, err)
+	}
+	if _, err := New(Config{BaseURL: "http://h/v1"}); err == nil {
+		t.Error("missing model should fail")
+	}
+}

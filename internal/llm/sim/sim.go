@@ -7,6 +7,8 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"time"
+	"unicode/utf8"
 
 	"repro/internal/analyze"
 	"repro/internal/catalog"
@@ -150,45 +152,119 @@ func Registry(k *Knowledge) *llm.Registry {
 	return reg
 }
 
+// Factory adapts the simulated models to the llm.Spec construction surface
+// (provider "sim"). The spec's Model field selects the calibrated profile
+// and must equal the spec Name: the name feeds the deterministic response
+// channels, so a renamed simulator would answer differently than the paper's
+// calibration.
+func Factory(k *Knowledge) llm.Factory {
+	return func(spec llm.Spec) (llm.Client, error) {
+		profile := spec.Model
+		if profile == "" {
+			profile = spec.Name
+		}
+		if profile != spec.Name {
+			return nil, fmt.Errorf("sim: model %q cannot be renamed to %q (responses are calibrated per name)", profile, spec.Name)
+		}
+		return New(profile, k)
+	}
+}
+
 // Name implements llm.Client.
 func (m *Model) Name() string { return m.name }
 
-// Complete implements llm.Client: it infers the task from the prompt,
-// extracts the embedded quer(ies), runs the analyzers, applies the error
-// channel, and renders a model-flavored verbose response.
-func (m *Model) Complete(ctx context.Context, promptText string) (string, error) {
+// Do implements llm.Client: it infers the task from the prompt, extracts the
+// embedded quer(ies), runs the analyzers, applies the error channel, and
+// renders a model-flavored verbose response with deterministic simulated
+// token usage and latency. Cancellation is honored promptly so a cancelled
+// batch stops burning work.
+func (m *Model) Do(ctx context.Context, req llm.Request) (llm.Response, error) {
 	if err := ctx.Err(); err != nil {
-		return "", err
+		return llm.Response{}, err
 	}
+	promptText := req.UserPrompt()
+	text := m.answer(promptText)
+	usage := llm.Usage{
+		PromptTokens:     simTokens(promptText),
+		CompletionTokens: simTokens(text),
+	}
+	finish := llm.FinishStop
+	if req.MaxTokens > 0 && usage.CompletionTokens > req.MaxTokens {
+		text = truncateTokens(text, req.MaxTokens)
+		usage.CompletionTokens = req.MaxTokens
+		finish = llm.FinishLength
+	}
+	return llm.Response{
+		Text:         text,
+		Model:        m.name,
+		Usage:        usage,
+		Latency:      m.simLatency(promptText, usage.CompletionTokens),
+		FinishReason: finish,
+	}, nil
+}
+
+// simTokens is the deterministic token estimate the simulators report: the
+// conventional ~4 bytes/token heuristic, at least 1 for non-empty text.
+func simTokens(s string) int {
+	if s == "" {
+		return 0
+	}
+	return (len(s) + 3) / 4
+}
+
+// truncateTokens cuts text to roughly maxTokens under the simTokens
+// estimate, respecting rune boundaries — the simulated analogue of a
+// provider stopping generation at the token cap.
+func truncateTokens(text string, maxTokens int) string {
+	limit := maxTokens * 4
+	if limit >= len(text) {
+		return text
+	}
+	for limit > 0 && !utf8.RuneStart(text[limit]) {
+		limit--
+	}
+	return text[:limit]
+}
+
+// simLatency is the deterministic simulated wall latency: a base cost plus a
+// per-token generation cost plus per-prompt jitter, all derived from the
+// model's hash channels so identical requests report identical latency.
+func (m *Model) simLatency(promptText string, completionTokens int) time.Duration {
+	ms := 25 + 2.5*float64(completionTokens) + 50*m.unit("latency", promptText)
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// answer renders the model's response text for a prompt.
+func (m *Model) answer(promptText string) string {
 	task, ok := prompt.DetectTask(promptText)
 	if !ok {
-		return m.style().unsure, nil
+		return m.style().unsure
 	}
 	quality := promptQuality(promptText)
 	switch task {
 	case prompt.QueryEquiv:
 		q1, q2, ok := prompt.ExtractQueryPair(promptText)
 		if !ok {
-			return m.style().unsure, nil
+			return m.style().unsure
 		}
-		return m.answerEquiv(q1, q2, quality), nil
+		return m.answerEquiv(q1, q2, quality)
 	default:
 		q, ok := prompt.ExtractQuery(promptText)
 		if !ok {
-			return m.style().unsure, nil
+			return m.style().unsure
 		}
 		switch task {
 		case prompt.SyntaxError:
-			return m.answerSyntax(q, quality), nil
+			return m.answerSyntax(q, quality)
 		case prompt.MissToken:
-			return m.answerMissToken(q, quality), nil
+			return m.answerMissToken(q, quality)
 		case prompt.PerfPred:
-			return m.answerPerf(q), nil
+			return m.answerPerf(q)
 		case prompt.QueryExp:
-			return m.answerExplain(q), nil
+			return m.answerExplain(q)
 		}
 	}
-	return m.style().unsure, nil
+	return m.style().unsure
 }
 
 // promptQuality returns an error-rate multiplier reflecting how much

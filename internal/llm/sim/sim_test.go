@@ -2,11 +2,13 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/catalog"
 	"repro/internal/llm"
+	"repro/internal/llm/clienttest"
 	"repro/internal/prompt"
 	"repro/internal/respparse"
 )
@@ -61,11 +63,11 @@ func TestCompleteDeterministic(t *testing.T) {
 	k := knowledge()
 	m, _ := New("GPT4", k)
 	p := prompt.Default(prompt.SyntaxError).Render("SELECT plate , COUNT(*) FROM SpecObj")
-	a, err := m.Complete(context.Background(), p)
+	a, err := llm.Complete(context.Background(), m, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := m.Complete(context.Background(), p)
+	b, _ := llm.Complete(context.Background(), m, p)
 	if a != b {
 		t.Errorf("non-deterministic response:\n%s\n%s", a, b)
 	}
@@ -78,7 +80,7 @@ func TestSyntaxErrorDetection(t *testing.T) {
 
 	// A clear error: GPT4's channel virtually always reports it.
 	bad := prompt.Default(prompt.SyntaxError).Render("SELECT plate , COUNT(*) FROM SpecObj")
-	resp, err := m.Complete(ctx, bad)
+	resp, err := llm.Complete(ctx, m, bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func TestSyntaxErrorDetection(t *testing.T) {
 	}
 
 	good := prompt.Default(prompt.SyntaxError).Render("SELECT plate FROM SpecObj WHERE z > 0.5")
-	resp, _ = m.Complete(ctx, good)
+	resp, _ = llm.Complete(ctx, m, good)
 	v, err = respparse.ParseSyntax(resp)
 	if err != nil {
 		t.Fatalf("unparseable response %q: %v", resp, err)
@@ -109,7 +111,7 @@ func TestMissTokenRoundTrip(t *testing.T) {
 	m, _ := New("GPT4", k)
 	ctx := context.Background()
 	damaged := prompt.Default(prompt.MissToken).Render("SELECT plate SpecObj WHERE z > 0.5")
-	resp, err := m.Complete(ctx, damaged)
+	resp, err := llm.Complete(ctx, m, damaged)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +123,7 @@ func TestMissTokenRoundTrip(t *testing.T) {
 		t.Errorf("GPT4 missed a removed FROM: %q", resp)
 	}
 	intact := prompt.Default(prompt.MissToken).Render("SELECT plate FROM SpecObj WHERE z > 0.5")
-	resp, _ = m.Complete(ctx, intact)
+	resp, _ = llm.Complete(ctx, m, intact)
 	v, err = respparse.ParseMissToken(resp)
 	if err != nil {
 		t.Fatalf("unparseable %q: %v", resp, err)
@@ -149,7 +151,7 @@ func TestAllModelsProduceParseableResponses(t *testing.T) {
 	for _, name := range llm.ModelNames {
 		c, _ := reg.Get(name)
 		for i, p := range prompts {
-			resp, err := c.Complete(ctx, p)
+			resp, err := llm.Complete(ctx, c, p)
 			if err != nil {
 				t.Fatalf("%s prompt %d: %v", name, i, err)
 			}
@@ -166,7 +168,7 @@ func TestEquivProvablePairAnswered(t *testing.T) {
 	p := prompt.Default(prompt.QueryEquiv).RenderPair(
 		"SELECT plate FROM SpecObj WHERE z > 0.5 AND mjd > 55000",
 		"SELECT plate FROM SpecObj WHERE mjd > 55000 AND z > 0.5")
-	resp, err := m.Complete(context.Background(), p)
+	resp, err := llm.Complete(context.Background(), m, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +185,7 @@ func TestExplainMentionsQueryContent(t *testing.T) {
 	k := knowledge()
 	m, _ := New("GPT4", k)
 	p := prompt.Default(prompt.QueryExp).Render("SELECT name FROM stadium ORDER BY capacity DESC LIMIT 1")
-	resp, err := m.Complete(context.Background(), p)
+	resp, err := llm.Complete(context.Background(), m, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +200,7 @@ func TestMistralReadsSuperlativeCorrectly(t *testing.T) {
 	k := knowledge()
 	m, _ := New("MistralAI", k)
 	q18 := "SELECT C.cylinders FROM CARS_DATA AS C JOIN CAR_NAMES AS T ON C.Id = T.MakeId WHERE T.Model = 'volvo' ORDER BY C.accelerate ASC LIMIT 1"
-	resp, err := m.Complete(context.Background(), prompt.Default(prompt.QueryExp).Render(q18))
+	resp, err := llm.Complete(context.Background(), m, prompt.Default(prompt.QueryExp).Render(q18))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,8 +214,100 @@ func TestContextCancellation(t *testing.T) {
 	m, _ := New("GPT4", k)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := m.Complete(ctx, "anything"); err == nil {
-		t.Error("cancelled context should fail")
+	if _, err := llm.Complete(ctx, m, "anything"); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context returned %v, want context.Canceled", err)
+	}
+}
+
+// The full llm.Client contract, for every simulated model.
+func TestClientContract(t *testing.T) {
+	k := knowledge()
+	for _, name := range llm.ModelNames {
+		t.Run(name, func(t *testing.T) {
+			clienttest.Run(t, clienttest.Options{
+				New: func(t *testing.T) llm.Client {
+					m, err := New(name, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return m
+				},
+				Deterministic: true,
+			})
+		})
+	}
+}
+
+// Usage and latency must be deterministic simulated values: identical
+// requests report identical accounting, and the fields are plausible.
+func TestDoUsageDeterministic(t *testing.T) {
+	k := knowledge()
+	m, _ := New("GPT4", k)
+	req := llm.NewRequest(prompt.Default(prompt.SyntaxError).Render("SELECT plate FROM SpecObj WHERE z > 0.5"))
+	a, err := m.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Do(context.Background(), req)
+	if a.Usage != b.Usage || a.Latency != b.Latency || a.Text != b.Text {
+		t.Errorf("non-deterministic response: %+v vs %+v", a, b)
+	}
+	if a.Usage.PromptTokens <= 0 || a.Usage.CompletionTokens <= 0 || a.Latency <= 0 {
+		t.Errorf("implausible usage: %+v latency %v", a.Usage, a.Latency)
+	}
+	if a.FinishReason != llm.FinishStop {
+		t.Errorf("finish = %q", a.FinishReason)
+	}
+	if a.Model != "GPT4" {
+		t.Errorf("model = %q", a.Model)
+	}
+}
+
+// MaxTokens truncates deterministically and reports FinishLength.
+func TestDoMaxTokens(t *testing.T) {
+	k := knowledge()
+	m, _ := New("GPT4", k)
+	req := llm.NewRequest(prompt.Default(prompt.SyntaxError).Render("SELECT plate , COUNT(*) FROM SpecObj"))
+	full, err := m.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.MaxTokens = 3
+	cut, err := m.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.FinishReason != llm.FinishLength {
+		t.Errorf("finish = %q, want length", cut.FinishReason)
+	}
+	if cut.Usage.CompletionTokens != 3 {
+		t.Errorf("completion tokens = %d, want 3", cut.Usage.CompletionTokens)
+	}
+	if len(cut.Text) >= len(full.Text) || !strings.HasPrefix(full.Text, cut.Text) {
+		t.Errorf("truncation broken:\nfull %q\ncut  %q", full.Text, cut.Text)
+	}
+	// A cap above the natural length changes nothing.
+	req.MaxTokens = 100000
+	uncut, _ := m.Do(context.Background(), req)
+	if uncut.Text != full.Text || uncut.FinishReason != llm.FinishStop {
+		t.Errorf("generous cap altered response")
+	}
+}
+
+// The sim spec factory builds the calibrated profiles and refuses renames
+// (the name feeds the deterministic channels).
+func TestFactory(t *testing.T) {
+	k := knowledge()
+	f := Factory(k)
+	c, err := f(llm.Spec{Name: "GPT4", Provider: "sim"})
+	if err != nil || c.Name() != "GPT4" {
+		t.Fatalf("Factory(GPT4) = %v, %v", c, err)
+	}
+	if _, err := f(llm.Spec{Name: "nosuch", Provider: "sim"}); err == nil {
+		t.Error("unknown profile should fail")
+	}
+	if _, err := f(llm.Spec{Name: "alias", Model: "GPT4", Provider: "sim"}); err == nil {
+		t.Error("renaming a simulator should fail")
 	}
 }
 

@@ -1,0 +1,183 @@
+package llm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Spec is one model entry of a JSON model configuration — the config-driven
+// construction surface behind the binaries' -models flag. Provider selects
+// the backend factory ("sim" or "http" for the built-ins); the remaining
+// fields configure the backend and the middleware stack wrapped around it.
+type Spec struct {
+	// Name is the registry name the model is served under. Required.
+	Name string `json:"name"`
+	// Provider selects the backend factory ("sim", "http"). Required.
+	Provider string `json:"provider"`
+
+	// BaseURL is the HTTP provider's API root (e.g.
+	// "https://api.openai.com/v1" or "http://127.0.0.1:9090/v1").
+	BaseURL string `json:"base_url,omitempty"`
+	// Model is the provider-side model identifier; defaults to Name. For the
+	// sim provider it selects the calibrated profile.
+	Model string `json:"model,omitempty"`
+	// APIKeyEnv names the environment variable holding the API key
+	// (HTTP provider; empty means no Authorization header).
+	APIKeyEnv string `json:"api_key_env,omitempty"`
+	// TimeoutMS is the per-request timeout in milliseconds (HTTP provider).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	// MaxAttempts enables the Retry middleware: total attempts including the
+	// first. 0 or 1 means no retrying.
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// RetryBaseMS is the first backoff delay in milliseconds (default 100).
+	RetryBaseMS int `json:"retry_base_ms,omitempty"`
+	// RPS enables the RateLimit middleware: requests per second (0 = off).
+	RPS float64 `json:"rps,omitempty"`
+	// Burst is the rate limiter's burst capacity (default 1).
+	Burst int `json:"burst,omitempty"`
+	// MaxInFlight bounds concurrent requests (0 = unbounded).
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// CacheSize enables request-hash memoization: maximum cached responses
+	// (-1 = unbounded, 0 = no cache).
+	CacheSize int `json:"cache_size,omitempty"`
+}
+
+// Factory constructs a backend client from a spec. The built-in providers
+// are sim.Factory (over a knowledge context) and httpllm.Factory.
+type Factory func(Spec) (Client, error)
+
+// ParseSpecsArg decodes a -models flag value: inline JSON, or @path naming
+// a JSON file.
+func ParseSpecsArg(v string) ([]Spec, error) {
+	if strings.HasPrefix(v, "@") {
+		data, err := os.ReadFile(strings.TrimPrefix(v, "@"))
+		if err != nil {
+			return nil, fmt.Errorf("llm: reading model specs: %w", err)
+		}
+		return ParseSpecs(data)
+	}
+	return ParseSpecs([]byte(v))
+}
+
+// ParseSpecs decodes and validates a JSON array of model specs.
+func ParseSpecs(data []byte) ([]Spec, error) {
+	var specs []Spec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("llm: parsing model specs: %w", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("llm: model spec list is empty")
+	}
+	seen := make(map[string]bool, len(specs))
+	for i, s := range specs {
+		if s.Name == "" {
+			return nil, fmt.Errorf("llm: model spec %d has no name", i)
+		}
+		if s.Provider == "" {
+			return nil, fmt.Errorf("llm: model %q has no provider", s.Name)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("llm: duplicate model name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return specs, nil
+}
+
+// BuildClient constructs one client from a spec: the provider backend
+// wrapped in the spec's middleware stack, outermost first:
+// Cache → Instrument → Retry → RateLimit → MaxInFlight → backend. Cached
+// hits therefore skip accounting and throttling entirely, every retry
+// attempt re-acquires a rate-limit token, and the instrumented latency is
+// the backend-reported completion latency of the final attempt (backoff
+// waits are not included). stats may be nil to skip instrumentation.
+func BuildClient(spec Spec, providers map[string]Factory, stats *Stats) (Client, error) {
+	factory, ok := providers[spec.Provider]
+	if !ok {
+		return nil, fmt.Errorf("llm: model %q: unknown provider %q", spec.Name, spec.Provider)
+	}
+	base, err := factory(spec)
+	if err != nil {
+		return nil, fmt.Errorf("llm: model %q: %w", spec.Name, err)
+	}
+	if base.Name() != spec.Name {
+		return nil, fmt.Errorf("llm: model %q: provider built client named %q", spec.Name, base.Name())
+	}
+	var mws []Middleware
+	if spec.CacheSize != 0 {
+		limit := spec.CacheSize
+		if limit < 0 {
+			limit = 0 // Cache treats <=0 as unbounded
+		}
+		mws = append(mws, Cache(limit))
+	}
+	if stats != nil {
+		mws = append(mws, Instrument(stats))
+	}
+	if spec.MaxAttempts > 1 {
+		cfg := RetryConfig{
+			MaxAttempts: spec.MaxAttempts,
+			BaseDelay:   time.Duration(spec.RetryBaseMS) * time.Millisecond,
+		}
+		if stats != nil {
+			cfg.OnRetry = stats.RetryHook()
+		}
+		mws = append(mws, RetryWith(cfg))
+	}
+	if spec.RPS > 0 {
+		mws = append(mws, RateLimitWith(spec.RPS, spec.Burst, stats))
+	}
+	if spec.MaxInFlight > 0 {
+		mws = append(mws, MaxInFlight(spec.MaxInFlight))
+	}
+	return Chain(base, mws...), nil
+}
+
+// Build constructs and registers a client per spec, returning the model
+// names in spec order (the order experiment tables render rows in).
+func (r *Registry) Build(specs []Spec, providers map[string]Factory, stats *Stats) ([]string, error) {
+	names := make([]string, 0, len(specs))
+	for _, spec := range specs {
+		c, err := BuildClient(spec, providers, stats)
+		if err != nil {
+			return nil, err
+		}
+		r.Register(c)
+		names = append(names, spec.Name)
+	}
+	return names, nil
+}
+
+// ClientCache memoizes BuildClient results by spec name, so registries built
+// repeatedly from the same spec set (one evaluation environment per seed,
+// say) share one client instance per model — and with it the middleware
+// state that must be global to mean anything: rate-limit token buckets,
+// in-flight semaphores, and response caches. The zero value is ready to use.
+type ClientCache struct {
+	mu      sync.Mutex
+	clients map[string]Client
+}
+
+// Build returns the cached client for spec.Name, constructing it on first
+// use.
+func (cc *ClientCache) Build(spec Spec, providers map[string]Factory, stats *Stats) (Client, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if c, ok := cc.clients[spec.Name]; ok {
+		return c, nil
+	}
+	c, err := BuildClient(spec, providers, stats)
+	if err != nil {
+		return nil, err
+	}
+	if cc.clients == nil {
+		cc.clients = make(map[string]Client)
+	}
+	cc.clients[spec.Name] = c
+	return c, nil
+}

@@ -1,0 +1,118 @@
+package llm
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ModelStats accumulates one model's request telemetry. All fields are
+// atomics (the histogram included), so the Instrument middleware and retry
+// hooks can record from any number of request goroutines.
+type ModelStats struct {
+	// Requests counts logical requests entering the client (cache hits served
+	// above the Instrument layer are not requests).
+	Requests atomic.Int64
+	// Errors counts requests that returned an error after any retrying.
+	Errors atomic.Int64
+	// Retries counts individual retry attempts scheduled by the Retry
+	// middleware.
+	Retries atomic.Int64
+	// RateLimited counts requests the RateLimit middleware made wait for a
+	// token before proceeding.
+	RateLimited atomic.Int64
+	// PromptTokens and CompletionTokens accumulate reported usage.
+	PromptTokens     atomic.Int64
+	CompletionTokens atomic.Int64
+	// Latency is the per-request latency histogram.
+	Latency metrics.LatencyHistogram
+}
+
+// ModelSnapshot is a point-in-time copy of one model's stats, shaped for
+// JSON (the serve layer's /v1/metrics embeds it).
+type ModelSnapshot struct {
+	Requests         int64 `json:"requests"`
+	Errors           int64 `json:"errors"`
+	Retries          int64 `json:"retries"`
+	RateLimited      int64 `json:"rate_limited,omitempty"`
+	PromptTokens     int64 `json:"prompt_tokens"`
+	CompletionTokens int64 `json:"completion_tokens"`
+	TotalTokens      int64 `json:"total_tokens"`
+	LatencyMeanMS    float64 `json:"latency_mean_ms"`
+	LatencyP50MS     float64 `json:"latency_p50_ms"`
+	LatencyP95MS     float64 `json:"latency_p95_ms"`
+	LatencyMaxMS     float64 `json:"latency_max_ms"`
+}
+
+// Stats holds per-model telemetry, keyed by client name. The zero value is
+// not usable; construct with NewStats.
+type Stats struct {
+	mu     sync.Mutex
+	models map[string]*ModelStats
+}
+
+// NewStats returns an empty Stats.
+func NewStats() *Stats {
+	return &Stats{models: make(map[string]*ModelStats)}
+}
+
+// Model returns the stats bucket for a model name, creating it on first use.
+func (s *Stats) Model(name string) *ModelStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms, ok := s.models[name]
+	if !ok {
+		ms = &ModelStats{}
+		s.models[name] = ms
+	}
+	return ms
+}
+
+// Names returns the model names with recorded stats, sorted.
+func (s *Stats) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.models))
+	for n := range s.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RetryHook returns an OnRetry callback (for RetryConfig) that counts
+// retries into the per-model stats.
+func (s *Stats) RetryHook() func(name string, attempt int, err error, delay time.Duration) {
+	return func(name string, _ int, _ error, _ time.Duration) {
+		s.Model(name).Retries.Add(1)
+	}
+}
+
+// Snapshot returns a point-in-time copy of every model's stats.
+func (s *Stats) Snapshot() map[string]ModelSnapshot {
+	out := make(map[string]ModelSnapshot)
+	for _, name := range s.Names() {
+		ms := s.Model(name)
+		out[name] = ModelSnapshot{
+			Requests:         ms.Requests.Load(),
+			Errors:           ms.Errors.Load(),
+			Retries:          ms.Retries.Load(),
+			RateLimited:      ms.RateLimited.Load(),
+			PromptTokens:     ms.PromptTokens.Load(),
+			CompletionTokens: ms.CompletionTokens.Load(),
+			TotalTokens:      ms.PromptTokens.Load() + ms.CompletionTokens.Load(),
+			LatencyMeanMS:    durMS(ms.Latency.Mean()),
+			LatencyP50MS:     durMS(ms.Latency.Quantile(0.50)),
+			LatencyP95MS:     durMS(ms.Latency.Quantile(0.95)),
+			LatencyMaxMS:     durMS(ms.Latency.Max()),
+		}
+	}
+	return out
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

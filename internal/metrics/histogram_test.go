@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistogramBasics(t *testing.T) {
+	var h LatencyHistogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("zero histogram not empty")
+	}
+	samples := []time.Duration{
+		500 * time.Microsecond,
+		3 * time.Millisecond,
+		40 * time.Millisecond,
+		40 * time.Millisecond,
+		900 * time.Millisecond,
+	}
+	for _, d := range samples {
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	if h.Mean() != sum/5 {
+		t.Errorf("mean = %v, want %v", h.Mean(), sum/5)
+	}
+	if h.Max() != 900*time.Millisecond {
+		t.Errorf("max = %v", h.Max())
+	}
+	// The median sample (40ms) lands in the (25ms, 50ms] bucket, whose upper
+	// bound is the quantile estimate.
+	if got := h.Quantile(0.5); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	// The top sample defines p100 via its bucket bound.
+	if got := h.Quantile(1); got != time.Second {
+		t.Errorf("p100 = %v, want 1s (bucket bound of 900ms)", got)
+	}
+	var total int64
+	for _, b := range h.Buckets() {
+		total += b.Count
+	}
+	if total != 5 {
+		t.Errorf("bucket counts sum to %d", total)
+	}
+}
+
+func TestLatencyHistogramOverflowBucket(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(5 * time.Minute)
+	if got := h.Quantile(0.99); got != 5*time.Minute {
+		t.Errorf("overflow quantile = %v, want the recorded max", got)
+	}
+	bs := h.Buckets()
+	if len(bs) != 1 || bs[0].UpperBound != 0 {
+		t.Errorf("buckets = %+v, want one unbounded bucket", bs)
+	}
+	// Negative observations clamp instead of corrupting the sum.
+	h.Observe(-time.Second)
+	if h.Count() != 2 || h.Mean() != 150*time.Second {
+		t.Errorf("after negative observe: count=%d mean=%v", h.Count(), h.Mean())
+	}
+}
+
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	var h LatencyHistogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Errorf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+}

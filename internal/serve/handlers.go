@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -40,8 +41,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.EnvCacheSize.Store(int64(s.envs.Len()))
 	s.metrics.ArtifactCacheSize.Store(int64(s.artifacts.Len()))
+	// Service counters at the top level (stable keys), per-model usage
+	// telemetry nested under "models".
+	payload := make(map[string]any)
+	for k, v := range s.metrics.Snapshot() {
+		payload[k] = v
+	}
+	payload["models"] = s.llmStats.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.metrics)
+	json.NewEncoder(w).Encode(payload)
 }
 
 func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
@@ -140,6 +148,16 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid seed %d", req.Seed)
 		return
 	}
+	if req.Params != nil {
+		if req.Params.MaxTokens < 0 {
+			httpError(w, http.StatusBadRequest, "invalid max_tokens %d", req.Params.MaxTokens)
+			return
+		}
+		if t := req.Params.Temperature; t != nil && (*t < 0 || *t > 2) {
+			httpError(w, http.StatusBadRequest, "invalid temperature %v", *t)
+			return
+		}
+	}
 	seed := req.Seed
 	if seed == 0 {
 		seed = s.cfg.DefaultSeed
@@ -153,6 +171,11 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// Caller-supplied completion parameters apply to every request of the
+	// batch; explicit per-request values (none today) would win.
+	if p := req.Params; p != nil {
+		client = llm.Chain(client, llm.WithDefaults(p.Temperature, p.MaxTokens, p.Seed))
 	}
 	ds := req.Dataset
 	if ds == "" {
@@ -248,6 +271,18 @@ func selectExamples[E any](all []E, id func(E) string, ids []string) ([]E, error
 	return out, nil
 }
 
+// usageInfo and latencyMS shape a result's telemetry for an EvalLine.
+func usageInfo(u llm.Usage) *UsageInfo {
+	if u == (llm.Usage{}) {
+		return nil
+	}
+	return &UsageInfo{PromptTokens: u.PromptTokens, CompletionTokens: u.CompletionTokens}
+}
+
+func latencyMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
 func (s *Server) evalSyntax(ctx context.Context, st *stream, env *experiments.Env, client llm.Client, req EvalRequest, ds string) {
 	labeled := len(req.SQL) == 0
 	var examples []core.SyntaxExample
@@ -268,6 +303,7 @@ func (s *Server) evalSyntax(ctx context.Context, st *stream, env *experiments.En
 			ID: r.Example.ID, SQL: r.Example.SQL,
 			PredHasError: boolp(r.PredHas), PredErrorType: r.PredType,
 			Response: r.Response,
+			Usage:    usageInfo(r.Usage), LatencyMS: latencyMS(r.Latency),
 		}
 		if labeled {
 			line.WantHasError = boolp(r.Example.HasError)
@@ -301,6 +337,7 @@ func (s *Server) evalTokens(ctx context.Context, st *stream, env *experiments.En
 			ID: r.Example.ID, SQL: r.Example.SQL,
 			PredMissing: boolp(r.PredMiss), PredKind: r.PredKind, PredPosition: intp(r.PredPos),
 			Response: r.Response,
+			Usage:    usageInfo(r.Usage), LatencyMS: latencyMS(r.Latency),
 		}
 		if labeled {
 			line.WantMissing = boolp(r.Example.Missing)
@@ -335,6 +372,7 @@ func (s *Server) evalEquiv(ctx context.Context, st *stream, env *experiments.Env
 			ID: r.Example.ID, SQL: r.Example.SQL1, SQL2: r.Example.SQL2,
 			PredEquivalent: boolp(r.PredEquiv), PredEquivType: r.PredType,
 			Response: r.Response,
+			Usage:    usageInfo(r.Usage), LatencyMS: latencyMS(r.Latency),
 		}
 		if labeled {
 			line.WantEquivalent = boolp(r.Example.Equivalent)
@@ -368,6 +406,7 @@ func (s *Server) evalPerf(ctx context.Context, st *stream, env *experiments.Env,
 			ID: r.Example.ID, SQL: r.Example.SQL,
 			PredCostly: boolp(r.PredCostly),
 			Response:   r.Response,
+			Usage:      usageInfo(r.Usage), LatencyMS: latencyMS(r.Latency),
 		}
 		if labeled {
 			line.WantCostly = boolp(r.Example.Costly)
@@ -406,6 +445,7 @@ func (s *Server) evalExplain(ctx context.Context, st *stream, env *experiments.E
 			ID: r.Example.ID, SQL: r.Example.SQL,
 			Explanation: r.Explanation,
 			Coverage:    floatp(r.Coverage),
+			Usage:       usageInfo(r.Usage), LatencyMS: latencyMS(r.Latency),
 		})
 	})
 	if err != nil {

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestLimiterBucketMath(t *testing.T) {
+	l := newLimiter(10, 2)
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, wait := l.allow("a")
+	if ok {
+		t.Fatal("over-burst request admitted")
+	}
+	if wait <= 0 || wait > 200*time.Millisecond {
+		t.Errorf("wait = %v, want ~100ms", wait)
+	}
+	// Clients are isolated: a different key has its own bucket.
+	if ok, _ := l.allow("b"); !ok {
+		t.Error("fresh client rejected")
+	}
+	// Refill restores admission.
+	now = now.Add(time.Second)
+	if ok, _ := l.allow("a"); !ok {
+		t.Error("post-refill request rejected")
+	}
+}
+
+func TestLimiterPrune(t *testing.T) {
+	l := newLimiter(1000, 1)
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+	for i := 0; i < maxBuckets; i++ {
+		l.allow("client-" + strconv.Itoa(i))
+	}
+	if len(l.buckets) != maxBuckets {
+		t.Fatalf("buckets = %d", len(l.buckets))
+	}
+	// After everyone refills, a new client triggers pruning instead of
+	// unbounded growth.
+	now = now.Add(time.Minute)
+	l.allow("newcomer")
+	if len(l.buckets) >= maxBuckets {
+		t.Errorf("buckets = %d after prune, want far fewer", len(l.buckets))
+	}
+}
+
+// The bound holds even when no bucket is idle: mid-refill entries are
+// evicted rather than letting the map grow without limit.
+func TestLimiterBoundedWhenNothingIdle(t *testing.T) {
+	l := newLimiter(0.001, 1) // refill takes ~17min: nothing goes Full
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+	for i := 0; i < maxBuckets+100; i++ {
+		l.allow("client-" + strconv.Itoa(i))
+	}
+	if len(l.buckets) > maxBuckets {
+		t.Errorf("buckets = %d, want <= %d", len(l.buckets), maxBuckets)
+	}
+}
+
+// The admission middleware sheds over-limit requests with 429 + Retry-After,
+// counts them, and leaves the liveness endpoint alone.
+func TestAdmissionControl(t *testing.T) {
+	s := NewServer(Config{DefaultSeed: 1, Parallel: 4, RPS: 1, Burst: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	// Burst admits the first two, then the limiter sheds.
+	codes := []int{}
+	for i := 0; i < 4; i++ {
+		codes = append(codes, get("/v1/experiments").StatusCode)
+	}
+	if codes[0] != http.StatusOK || codes[1] != http.StatusOK {
+		t.Fatalf("burst requests rejected: %v", codes)
+	}
+	var limited *http.Response
+	for i := 0; i < 4; i++ {
+		if resp := get("/v1/experiments"); resp.StatusCode == http.StatusTooManyRequests {
+			limited = resp
+			break
+		}
+	}
+	if limited == nil {
+		t.Fatal("no request was rate limited")
+	}
+	if ra := limited.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 lacks Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q", ra)
+	}
+	if got := s.Metrics().RateLimited.Load(); got < 1 {
+		t.Errorf("rate_limited = %d, want >= 1", got)
+	}
+	// Liveness is exempt no matter how saturated the client is.
+	for i := 0; i < 10; i++ {
+		if resp := get("/v1/healthz"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz rejected: %d", resp.StatusCode)
+		}
+	}
+	// The metrics payload reports the shed count (after waiting out the
+	// limiter so the metrics request itself is admitted).
+	time.Sleep(1100 * time.Millisecond)
+	m := getMetrics(t, ts.URL)
+	if m.counters["rate_limited"] < 1 {
+		t.Errorf("metrics rate_limited = %d", m.counters["rate_limited"])
+	}
+}
+
+// With RPS unset the middleware is inert.
+func TestAdmissionDisabled(t *testing.T) {
+	_, url := testServerAndURL(t)
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(url + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+}

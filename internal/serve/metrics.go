@@ -32,6 +32,9 @@ type Metrics struct {
 	// CacheEvictions counts entries the env and artifact caches have
 	// dropped to honor their LRU caps.
 	CacheEvictions atomic.Int64
+	// RateLimited counts requests rejected with 429 by the admission-control
+	// middleware.
+	RateLimited atomic.Int64
 }
 
 // NewMetrics returns zeroed metrics.
@@ -49,6 +52,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"env_cache_size":      m.EnvCacheSize.Load(),
 		"artifact_cache_size": m.ArtifactCacheSize.Load(),
 		"cache_evictions":     m.CacheEvictions.Load(),
+		"rate_limited":        m.RateLimited.Load(),
 	}
 }
 

@@ -2,10 +2,16 @@ package serve
 
 import (
 	"log"
+	"math"
+	"net"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
+
+	"repro/internal/llm"
 )
 
 // middleware wraps a handler.
@@ -82,6 +88,106 @@ func recovery(logger *log.Logger) middleware {
 					http.Error(w, "internal server error", http.StatusInternalServerError)
 				}
 			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// limiter is the admission-control state: one llm.TokenBucket per client
+// key (remote host), refilled at rps with the given burst capacity.
+// Admission is non-blocking — a request without a token is rejected, not
+// queued — because shedding load at the edge is the point.
+type limiter struct {
+	mu      sync.Mutex
+	rps     float64
+	burst   int
+	buckets map[string]*llm.TokenBucket
+	now     func() time.Time // swapped in tests; nil means time.Now
+}
+
+// maxBuckets is a hard bound on the per-client map: beyond it, fully
+// refilled (hence inactive) buckets are pruned, and if nothing is idle an
+// arbitrary bucket is evicted anyway — bounded memory in the load-shedding
+// path beats perfect per-client fairness. An evicted client simply starts
+// over with a full burst.
+const maxBuckets = 4096
+
+func newLimiter(rps float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rps: rps, burst: burst, buckets: map[string]*llm.TokenBucket{}}
+}
+
+// allow takes a token for key, reporting admission and — on rejection — how
+// long until a token is available.
+func (l *limiter) allow(key string) (bool, time.Duration) {
+	l.mu.Lock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.pruneLocked()
+		}
+		b = llm.NewTokenBucket(l.rps, l.burst)
+		b.Clock = l.now
+		l.buckets[key] = b
+	}
+	l.mu.Unlock()
+	return b.TryTake()
+}
+
+// pruneLocked drops fully refilled buckets, then — if every client is
+// mid-refill — evicts arbitrary entries until the map honors the bound.
+func (l *limiter) pruneLocked() {
+	for k, b := range l.buckets {
+		if b.Full() {
+			delete(l.buckets, k)
+		}
+	}
+	for k := range l.buckets {
+		if len(l.buckets) < maxBuckets {
+			break
+		}
+		delete(l.buckets, k)
+	}
+}
+
+// clientKey identifies the requester for rate limiting: the remote host
+// without the ephemeral port.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// admission enforces a per-client request rate: over-limit requests get
+// 429 with a Retry-After hint and count into the rate_limited metric.
+// Liveness probes (/v1/healthz) are exempt so orchestrators can still see a
+// saturated replica as alive. rps <= 0 disables the middleware.
+func admission(rps float64, burst int, m *Metrics) middleware {
+	if rps <= 0 {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	l := newLimiter(rps, burst)
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/healthz" {
+				next.ServeHTTP(w, r)
+				return
+			}
+			ok, wait := l.allow(clientKey(r))
+			if !ok {
+				m.RateLimited.Add(1)
+				secs := int(math.Ceil(wait.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				httpError(w, http.StatusTooManyRequests, "rate limit exceeded; retry after %ds", secs)
+				return
+			}
 			next.ServeHTTP(w, r)
 		})
 	}

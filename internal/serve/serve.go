@@ -15,6 +15,7 @@ import (
 	"net/http"
 
 	"repro/internal/experiments"
+	"repro/internal/llm"
 	"repro/internal/runner"
 )
 
@@ -38,6 +39,16 @@ type Config struct {
 	// ArtifactCacheCap bounds the rendered-artifact cache the same way.
 	// 0 means the default of 256; negative means unbounded.
 	ArtifactCacheCap int
+	// RPS enables per-client admission control: each client (remote host)
+	// may issue this many requests per second, with Burst of headroom;
+	// over-limit requests are rejected with 429 + Retry-After and counted as
+	// rate_limited in /v1/metrics. 0 disables admission control.
+	RPS float64
+	// Burst is the admission-control burst capacity (minimum 1).
+	Burst int
+	// Models optionally replaces the default simulated models with a
+	// config-driven spec set (sqlserved -models); see llm.Spec.
+	Models []llm.Spec
 	// Logger receives request logs; nil disables logging.
 	Logger *log.Logger
 }
@@ -78,7 +89,14 @@ type artifactKey struct {
 type Server struct {
 	cfg     Config
 	metrics *Metrics
-	mux     *http.ServeMux
+	// llmStats aggregates per-model request/token/latency telemetry across
+	// every cached environment (the env builder instruments each client with
+	// it); /v1/metrics reports it under "models". llmClients shares
+	// spec-built clients across environments so configured provider limits
+	// (rate, in-flight, cache) apply globally, not per cached seed.
+	llmStats   *llm.Stats
+	llmClients llm.ClientCache
+	mux        *http.ServeMux
 
 	// envs caches fully built evaluation environments per (seed, verify):
 	// the benchmark plus simulated model registry plus memoized cell
@@ -94,7 +112,7 @@ func NewServer(cfg Config) *Server {
 	if cfg.DefaultSeed == 0 {
 		cfg.DefaultSeed = 1
 	}
-	s := &Server{cfg: cfg, metrics: NewMetrics(), mux: http.NewServeMux()}
+	s := &Server{cfg: cfg, metrics: NewMetrics(), llmStats: llm.NewStats(), mux: http.NewServeMux()}
 	s.envs.SetLimit(cacheCap(cfg.EnvCacheCap, defaultEnvCacheCap))
 	s.artifacts.SetLimit(cacheCap(cfg.ArtifactCacheCap, defaultArtifactCacheCap))
 	s.mux.HandleFunc("POST /v1/eval/{task}", s.handleEval)
@@ -105,13 +123,24 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's root handler with middleware applied.
+// Handler returns the service's root handler with middleware applied:
+// recovery and logging outermost, then request counting, then per-client
+// admission control (so shed requests are still counted and logged).
 func (s *Server) Handler() http.Handler {
-	return chain(s.mux, recovery(s.cfg.Logger), requestLog(s.cfg.Logger), count(s.metrics))
+	return chain(s.mux,
+		recovery(s.cfg.Logger),
+		requestLog(s.cfg.Logger),
+		count(s.metrics),
+		admission(s.cfg.RPS, s.cfg.Burst, s.metrics),
+	)
 }
 
 // Metrics exposes the server's counters (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ModelStats exposes the per-model usage telemetry (for tests and
+// embedding).
+func (s *Server) ModelStats() *llm.Stats { return s.llmStats }
 
 // env returns the cached evaluation environment for key, building it on
 // first use. Concurrent cold requests coalesce; hits are counted.
@@ -121,6 +150,9 @@ func (s *Server) env(key envKey) (*experiments.Env, error) {
 			Seed:               key.seed,
 			VerifyEquivalences: key.verify,
 			Parallel:           s.cfg.Parallel,
+			Models:             s.cfg.Models,
+			Stats:              s.llmStats,
+			ClientCache:        &s.llmClients,
 		})
 	})
 	if shared {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/llm"
 )
 
 // newTestServer shares one service (and hence one built environment) across
@@ -334,7 +335,43 @@ func TestExperimentNotFound(t *testing.T) {
 	}
 }
 
-// Metrics must report request and streamed-result activity.
+// metricsPayload decodes /v1/metrics: top-level counters plus the per-model
+// usage section.
+type metricsPayload struct {
+	counters map[string]int64
+	models   map[string]llm.ModelSnapshot
+}
+
+func getMetrics(t *testing.T, url string) metricsPayload {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	out := metricsPayload{counters: map[string]int64{}}
+	for k, v := range raw {
+		if k == "models" {
+			if err := json.Unmarshal(v, &out.models); err != nil {
+				t.Fatalf("decode models section: %v", err)
+			}
+			continue
+		}
+		var n int64
+		if err := json.Unmarshal(v, &n); err != nil {
+			t.Fatalf("counter %s is not numeric: %s", k, v)
+		}
+		out.counters[k] = n
+	}
+	return out
+}
+
+// Metrics must report request and streamed-result activity, plus per-model
+// usage telemetry for the models the evals drove.
 func TestMetricsEndpoint(t *testing.T) {
 	srv, url := testServerAndURL(t)
 	// Generate at least one eval line so counters are non-zero.
@@ -342,19 +379,24 @@ func TestMetricsEndpoint(t *testing.T) {
 		Model: "Gemini",
 		SQL:   []string{"SELECT TOP 10 * FROM PhotoObj"},
 	}))
-	resp, err := http.Get(url + "/v1/metrics")
-	if err != nil {
-		t.Fatalf("GET metrics: %v", err)
-	}
-	defer resp.Body.Close()
-	var m map[string]int64
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		t.Fatalf("decode: %v", err)
-	}
+	m := getMetrics(t, url)
 	for _, key := range []string{"requests_total", "eval_requests", "results_streamed", "env_cache_size"} {
-		if m[key] <= 0 {
-			t.Errorf("metric %s = %d, want > 0 (all: %v)", key, m[key], m)
+		if m.counters[key] <= 0 {
+			t.Errorf("metric %s = %d, want > 0 (all: %v)", key, m.counters[key], m.counters)
 		}
+	}
+	gem, ok := m.models["Gemini"]
+	if !ok {
+		t.Fatalf("no per-model usage for Gemini: %v", m.models)
+	}
+	if gem.Requests < 1 || gem.PromptTokens <= 0 || gem.CompletionTokens <= 0 {
+		t.Errorf("Gemini usage = %+v", gem)
+	}
+	if gem.TotalTokens != gem.PromptTokens+gem.CompletionTokens {
+		t.Errorf("total tokens inconsistent: %+v", gem)
+	}
+	if gem.LatencyMeanMS <= 0 {
+		t.Errorf("latency mean = %v", gem.LatencyMeanMS)
 	}
 	if srv.Metrics().Requests.Load() < 2 {
 		t.Errorf("requests counter = %d", srv.Metrics().Requests.Load())
@@ -384,20 +426,12 @@ func TestArtifactCacheEviction(t *testing.T) {
 	}
 	first := fetch("table2")
 	fetch("fig1") // evicts table2 under cap 1
-	resp, err := http.Get(ts.URL + "/v1/metrics")
-	if err != nil {
-		t.Fatalf("GET metrics: %v", err)
+	m := getMetrics(t, ts.URL)
+	if m.counters["cache_evictions"] < 1 {
+		t.Errorf("cache_evictions = %d, want >= 1 (all: %v)", m.counters["cache_evictions"], m.counters)
 	}
-	defer resp.Body.Close()
-	var m map[string]int64
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		t.Fatalf("decode metrics: %v", err)
-	}
-	if m["cache_evictions"] < 1 {
-		t.Errorf("cache_evictions = %d, want >= 1 (all: %v)", m["cache_evictions"], m)
-	}
-	if m["artifact_cache_size"] != 1 {
-		t.Errorf("artifact_cache_size = %d, want 1", m["artifact_cache_size"])
+	if m.counters["artifact_cache_size"] != 1 {
+		t.Errorf("artifact_cache_size = %d, want 1", m.counters["artifact_cache_size"])
 	}
 	// Evicted artifacts re-render identically.
 	if again := fetch("table2"); again != first {

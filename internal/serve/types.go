@@ -30,6 +30,22 @@ type EvalRequest struct {
 	SQL []string `json:"sql,omitempty"`
 	// Pairs holds ad-hoc [left, right] query pairs (equiv task only).
 	Pairs [][2]string `json:"pairs,omitempty"`
+	// Params optionally sets completion parameters for every request the
+	// eval issues (temperature, max_tokens, model-side seed).
+	Params *EvalParams `json:"params,omitempty"`
+}
+
+// EvalParams are the per-request completion parameters a caller may set;
+// they apply to every completion of the eval batch.
+type EvalParams struct {
+	// Temperature is the sampling temperature (nil = provider default).
+	Temperature *float64 `json:"temperature,omitempty"`
+	// MaxTokens caps each completion's length (0 = no cap).
+	MaxTokens int `json:"max_tokens,omitempty"`
+	// Seed requests provider-side deterministic sampling (nil = unset).
+	// This is the model-side sampling seed, unrelated to the benchmark
+	// Seed above.
+	Seed *int64 `json:"seed,omitempty"`
 }
 
 // EvalLine is one NDJSON line of an eval response: one example's outcome,
@@ -78,6 +94,17 @@ type EvalLine struct {
 	// Response is the raw model response (omitted for explain, whose
 	// response is the explanation itself).
 	Response string `json:"response,omitempty"`
+
+	// Usage is the completion's token accounting; LatencyMS its wall time
+	// (deterministic simulated values under the sim backends).
+	Usage     *UsageInfo `json:"usage,omitempty"`
+	LatencyMS float64    `json:"latency_ms,omitempty"`
+}
+
+// UsageInfo is one completion's token accounting on an EvalLine.
+type UsageInfo struct {
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
 }
 
 // ErrorLine terminates an NDJSON stream that failed after results started

@@ -37,8 +37,23 @@ type Benchmark = core.Benchmark
 // Registry holds model clients by name.
 type Registry = llm.Registry
 
-// Client is the model abstraction: Name plus Complete(ctx, prompt).
+// Client is the model abstraction: Name plus Do(ctx, Request) (Response,
+// error). Use Complete for the simple string-in/string-out form.
 type Client = llm.Client
+
+// Request and Response are the structured completion types: messages plus
+// sampling parameters in, text plus token usage, latency, and finish reason
+// out.
+type (
+	Request  = llm.Request
+	Response = llm.Response
+	Usage    = llm.Usage
+)
+
+// Complete asks a client for a plain-text completion of one prompt.
+func Complete(ctx context.Context, c Client, prompt string) (string, error) {
+	return llm.Complete(ctx, c, prompt)
+}
 
 // Result types for the five task families.
 type (
