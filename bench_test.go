@@ -19,7 +19,6 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/llm/sim"
 	"repro/internal/metrics"
-	"repro/internal/prompt"
 	"repro/internal/sqlparse"
 )
 
@@ -120,9 +119,8 @@ func BenchmarkAblationUniformChannel(b *testing.B) {
 	tilted := sim.NewWithProfile("Llama3", profile, knowledge)
 	uniform := sim.NewWithProfile("Llama3", flat, knowledge)
 	ds := env.Bench.Syntax[core.SDSS]
-	tpl := prompt.Default(prompt.SyntaxError)
 	gap := func(client *sim.Model) float64 {
-		res, err := core.RunSyntax(context.Background(), client, tpl, ds)
+		res, err := core.Run(context.Background(), client, core.SyntaxTask, ds)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -39,6 +39,8 @@ type wireRequest struct {
 func answer(prompt string) string {
 	lower := strings.ToLower(prompt)
 	switch {
+	case strings.Contains(lower, "exact missing token"):
+		return `Yes, a token is absent. The missing token is "FROM".`
 	case strings.Contains(lower, "missing word") || strings.Contains(lower, "token is missing"):
 		return "No. The query appears complete, with no missing words."
 	case strings.Contains(lower, "equivalent") || strings.Contains(lower, "identical results"):

@@ -46,6 +46,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "benchmark seed")
 		noVerify = flag.Bool("noverify", false, "skip engine verification of equivalence pairs (faster)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		tasks    = flag.Bool("tasks", false, "list registered tasks (id, paper name, datasets) and exit")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for benchmark build, task runs, and intra-query engine execution (1 = sequential)")
 		stats    = flag.Bool("stats", false, "report build/run wall times, engine op counts, and per-model usage to stderr")
 		models   = flag.String("models", "", "JSON model specs (or @file) replacing the default simulated models; providers: sim, http")
@@ -55,6 +56,12 @@ func main() {
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *tasks {
+		for _, t := range core.Tasks() {
+			fmt.Printf("%-8s %-18s [%s] %s\n", t.ID(), t.Name(), strings.Join(t.Datasets(), ", "), t.Description())
 		}
 		return
 	}

@@ -5,16 +5,18 @@
 //	sqlserved -addr :8080
 //	sqlserved -addr :8080 -seed 2 -verify -parallel 16
 //	sqlserved -addr :8080 -rps 10 -burst 20         # per-client admission control
+//	sqlserved -addr :8080 -tokens-per-min 50000     # per-client token-spend budget
 //	sqlserved -addr :8080 -models @models.json      # drive real model endpoints
 //
 // Endpoints:
 //
-//	POST /v1/eval/{syntax,tokens,equiv,perf,explain}  evaluate SQL, NDJSON stream
-//	GET  /v1/experiments                              list paper artifacts
-//	GET  /v1/experiments/{id}?seed=N&verify=0         rendered artifact (cached)
-//	GET  /v1/healthz                                  liveness
-//	GET  /v1/metrics                                  service counters (JSON)
-//	GET  /debug/vars                                  expvar (counters + memstats)
+//	POST /v1/eval/{task}                       evaluate SQL against any registered task, NDJSON stream
+//	GET  /v1/tasks                             task discovery (ids, skills, datasets, params)
+//	GET  /v1/experiments                       list paper artifacts
+//	GET  /v1/experiments/{id}?seed=N&verify=0  rendered artifact (cached)
+//	GET  /v1/healthz                           liveness
+//	GET  /v1/metrics                           service counters (JSON)
+//	GET  /debug/vars                           expvar (counters + memstats)
 //
 // See README.md for request shapes and curl examples.
 package main
@@ -46,6 +48,7 @@ func main() {
 		artCap   = flag.Int("artifact-cache", 0, "max cached rendered artifacts, LRU-evicted (0 = default 256, negative = unbounded)")
 		rps      = flag.Float64("rps", 0, "per-client admission rate limit in requests/second (0 = unlimited); over-limit requests get 429 + Retry-After")
 		burst    = flag.Int("burst", 10, "admission-control burst capacity per client")
+		tpm      = flag.Float64("tokens-per-min", 0, "per-client completion-token budget per minute for eval requests (0 = unlimited); over-budget requests get 429 and count as token_limited")
 		models   = flag.String("models", "", "JSON model specs (or @file) replacing the default simulated models; providers: sim, http")
 		quiet    = flag.Bool("quiet", false, "disable request logging")
 	)
@@ -72,6 +75,7 @@ func main() {
 		ArtifactCacheCap: *artCap,
 		RPS:              *rps,
 		Burst:            *burst,
+		TokensPerMin:     *tpm,
 		Models:           specs,
 		Logger:           reqLogger,
 	})

@@ -43,4 +43,19 @@ func main() {
 		fmt.Printf("\n%s\n  truth: hasError=%v type=%s\n  model: %q\n",
 			r.Example.SQL, r.Example.HasError, r.Example.Type, r.Response)
 	}
+
+	// Every task — the paper's five plus registered extensions — is a
+	// registry entry; the type-erased driver runs any of them by id.
+	fmt.Printf("\nregistered tasks: %v\n", repro.TaskIDs())
+	views, err := repro.RunTask(context.Background(), client, bench, "fill", "SDSS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for _, v := range views {
+		if v.Correct != nil && *v.Correct {
+			correct++
+		}
+	}
+	fmt.Printf("GPT4 on SDSS fill_token: %d/%d exact token recoveries\n", correct, len(views))
 }

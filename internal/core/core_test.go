@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/equiv"
 	"repro/internal/llm/sim"
-	"repro/internal/prompt"
 	"repro/internal/semcheck"
 	"repro/internal/sqlparse"
 )
@@ -259,7 +258,7 @@ func TestRunnersEndToEnd(t *testing.T) {
 	}
 	ctx := context.Background()
 
-	syn, err := RunSyntax(ctx, client, prompt.Default(prompt.SyntaxError), b.Syntax[SDSS])
+	syn, err := Run(ctx, client, SyntaxTask, b.Syntax[SDSS])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +272,7 @@ func TestRunnersEndToEnd(t *testing.T) {
 		t.Error("no FN rates")
 	}
 
-	tok, err := RunTokens(ctx, client, prompt.Default(prompt.MissToken), b.Tokens[SDSS])
+	tok, err := Run(ctx, client, TokensTask, b.Tokens[SDSS])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +284,7 @@ func TestRunnersEndToEnd(t *testing.T) {
 		t.Errorf("location metrics empty: %+v", loc)
 	}
 
-	eq, err := RunEquiv(ctx, client, prompt.Default(prompt.QueryEquiv), b.Equiv[SDSS])
+	eq, err := Run(ctx, client, EquivTask, b.Equiv[SDSS])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +292,7 @@ func TestRunnersEndToEnd(t *testing.T) {
 		t.Errorf("GPT4 equiv recall = %.2f, paper reports ~1.0", conf.Recall())
 	}
 
-	pf, err := RunPerf(ctx, client, prompt.Default(prompt.PerfPred), b.Perf)
+	pf, err := Run(ctx, client, PerfTask, b.Perf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +304,7 @@ func TestRunnersEndToEnd(t *testing.T) {
 		t.Error("nil breakdown")
 	}
 
-	exps, err := RunExplain(ctx, client, prompt.Default(prompt.QueryExp), b.Explain[:20])
+	exps, err := Run(ctx, client, ExplainTask, b.Explain[:20])
 	if err != nil {
 		t.Fatal(err)
 	}

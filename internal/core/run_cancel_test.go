@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"repro/internal/llm/sim"
-	"repro/internal/prompt"
 	"repro/internal/runner"
 )
 
@@ -29,7 +28,7 @@ func TestRunStreamStopsOnCancellation(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(runner.WithParallelism(context.Background(), 2))
 	delivered := 0
-	err = RunSyntaxStream(ctx, client, prompt.Default(prompt.SyntaxError), ds, func(r SyntaxResult) error {
+	err = RunStream(ctx, client, SyntaxTask, ds, func(r SyntaxResult) error {
 		delivered++
 		if delivered == 3 {
 			cancel()
@@ -57,7 +56,7 @@ func TestRunPreCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
-	_, err := RunSyntax(ctx, client, prompt.Default(prompt.SyntaxError), b.Syntax[SDSS])
+	_, err := Run(ctx, client, SyntaxTask, b.Syntax[SDSS])
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -74,7 +73,7 @@ func TestRunnersRecordUsage(t *testing.T) {
 	client, _ := sim.New("GPT4", k)
 	ctx := context.Background()
 
-	syn, err := RunSyntax(ctx, client, prompt.Default(prompt.SyntaxError), b.Syntax[SDSS][:5])
+	syn, err := Run(ctx, client, SyntaxTask, b.Syntax[SDSS][:5])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,19 +82,19 @@ func TestRunnersRecordUsage(t *testing.T) {
 			t.Errorf("syntax result %d has no usage: %+v %v", i, r.Usage, r.Latency)
 		}
 	}
-	tok, err := RunTokens(ctx, client, prompt.Default(prompt.MissToken), b.Tokens[SDSS][:5])
+	tok, err := Run(ctx, client, TokensTask, b.Tokens[SDSS][:5])
 	if err != nil {
 		t.Fatal(err)
 	}
-	eq, err := RunEquiv(ctx, client, prompt.Default(prompt.QueryEquiv), b.Equiv[SDSS][:5])
+	eq, err := Run(ctx, client, EquivTask, b.Equiv[SDSS][:5])
 	if err != nil {
 		t.Fatal(err)
 	}
-	pf, err := RunPerf(ctx, client, prompt.Default(prompt.PerfPred), b.Perf[:5])
+	pf, err := Run(ctx, client, PerfTask, b.Perf[:5])
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex, err := RunExplain(ctx, client, prompt.Default(prompt.QueryExp), b.Explain[:5])
+	ex, err := Run(ctx, client, ExplainTask, b.Explain[:5])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,130 +7,47 @@ import (
 	"testing"
 
 	"repro/internal/llm/sim"
-	"repro/internal/prompt"
 	"repro/internal/runner"
 )
 
-// TestStreamingMatchesBuffered is the serving layer's determinism
-// guarantee, the streaming analogue of the experiments package's
-// TestParallelismDoesNotChangeOutput: for every task, concatenating the
-// results a Run*Stream sink receives must be byte-identical to the buffered
-// Run* result, at parallel=1 and on a worker pool (parallel=8). An NDJSON
-// response is therefore the same bytes whatever the server's concurrency.
-func TestStreamingMatchesBuffered(t *testing.T) {
+// Streaming-vs-buffered determinism for every registered task — the serving
+// layer's guarantee that an NDJSON response is the same bytes whatever the
+// server's concurrency — lives in the contract suite
+// (tasktest.Run's StreamedMatchesBufferedParallel, driven for each registry
+// entry by TestTaskContracts). This file covers the one bridge the suite
+// does not: the typed buffered driver agreeing with the erased streaming
+// path.
+
+// The typed buffered driver must agree with the erased streaming path.
+func TestBufferedMatchesErasedStream(t *testing.T) {
 	b := bench(t)
 	k := sim.NewKnowledge(b.SchemasByDataset())
-	client, err := sim.New("GPT4", k)
+	client, err := sim.New("Llama3", k)
 	if err != nil {
-		t.Fatalf("sim.New: %v", err)
+		t.Fatal(err)
 	}
+	ctx := runner.WithParallelism(context.Background(), 4)
+	ds := b.Syntax[SDSS][:40]
 
-	// Each case renders the buffered slice and the streamed concatenation
-	// with the same %#v serialization so any field-level divergence shows.
-	cases := []struct {
-		name     string
-		buffered func(ctx context.Context) (string, error)
-		streamed func(ctx context.Context) (string, error)
-	}{
-		{
-			name: "syntax",
-			buffered: func(ctx context.Context) (string, error) {
-				rs, err := RunSyntax(ctx, client, prompt.Default(prompt.SyntaxError), b.Syntax[SDSS])
-				return dump(rs), err
-			},
-			streamed: func(ctx context.Context) (string, error) {
-				var buf bytes.Buffer
-				err := RunSyntaxStream(ctx, client, prompt.Default(prompt.SyntaxError), b.Syntax[SDSS], func(r SyntaxResult) error {
-					fmt.Fprintf(&buf, "%#v\n", r)
-					return nil
-				})
-				return buf.String(), err
-			},
-		},
-		{
-			name: "tokens",
-			buffered: func(ctx context.Context) (string, error) {
-				rs, err := RunTokens(ctx, client, prompt.Default(prompt.MissToken), b.Tokens[SDSS])
-				return dump(rs), err
-			},
-			streamed: func(ctx context.Context) (string, error) {
-				var buf bytes.Buffer
-				err := RunTokensStream(ctx, client, prompt.Default(prompt.MissToken), b.Tokens[SDSS], func(r TokenResult) error {
-					fmt.Fprintf(&buf, "%#v\n", r)
-					return nil
-				})
-				return buf.String(), err
-			},
-		},
-		{
-			name: "equiv",
-			buffered: func(ctx context.Context) (string, error) {
-				rs, err := RunEquiv(ctx, client, prompt.Default(prompt.QueryEquiv), b.Equiv[SDSS])
-				return dump(rs), err
-			},
-			streamed: func(ctx context.Context) (string, error) {
-				var buf bytes.Buffer
-				err := RunEquivStream(ctx, client, prompt.Default(prompt.QueryEquiv), b.Equiv[SDSS], func(r EquivResult) error {
-					fmt.Fprintf(&buf, "%#v\n", r)
-					return nil
-				})
-				return buf.String(), err
-			},
-		},
-		{
-			name: "perf",
-			buffered: func(ctx context.Context) (string, error) {
-				rs, err := RunPerf(ctx, client, prompt.Default(prompt.PerfPred), b.Perf)
-				return dump(rs), err
-			},
-			streamed: func(ctx context.Context) (string, error) {
-				var buf bytes.Buffer
-				err := RunPerfStream(ctx, client, prompt.Default(prompt.PerfPred), b.Perf, func(r PerfResult) error {
-					fmt.Fprintf(&buf, "%#v\n", r)
-					return nil
-				})
-				return buf.String(), err
-			},
-		},
-		{
-			name: "explain",
-			buffered: func(ctx context.Context) (string, error) {
-				rs, err := RunExplain(ctx, client, prompt.Default(prompt.QueryExp), b.Explain[:40])
-				return dump(rs), err
-			},
-			streamed: func(ctx context.Context) (string, error) {
-				var buf bytes.Buffer
-				err := RunExplainStream(ctx, client, prompt.Default(prompt.QueryExp), b.Explain[:40], func(r ExplainResult) error {
-					fmt.Fprintf(&buf, "%#v\n", r)
-					return nil
-				})
-				return buf.String(), err
-			},
-		},
+	buffered, err := Run(ctx, client, SyntaxTask, ds)
+	if err != nil {
+		t.Fatal(err)
 	}
-
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			seqCtx := runner.WithParallelism(context.Background(), 1)
-			want, err := tc.buffered(seqCtx)
-			if err != nil {
-				t.Fatalf("buffered: %v", err)
-			}
-			if want == "" {
-				t.Fatal("buffered output empty")
-			}
-			for _, parallel := range []int{1, 8} {
-				ctx := runner.WithParallelism(context.Background(), parallel)
-				got, err := tc.streamed(ctx)
-				if err != nil {
-					t.Fatalf("streamed (parallel=%d): %v", parallel, err)
-				}
-				if got != want {
-					t.Errorf("streamed output differs from buffered at parallel=%d (%d vs %d bytes)",
-						parallel, len(got), len(want))
-				}
-			}
-		})
+	task, ok := TaskByID(SyntaxTask.TaskID)
+	if !ok {
+		t.Fatal("syntax task not registered")
+	}
+	cell, _ := task.Cell(b, SDSS)
+	var streamed []SyntaxResult
+	err = task.RunStream(ctx, client, cell[:40], func(r any) error {
+		streamed = append(streamed, r.(SyntaxResult))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump(buffered) != dump(streamed) {
+		t.Error("typed buffered results differ from erased streamed results")
 	}
 }
 

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/metrics"
+	"repro/internal/prompt"
+	"repro/internal/runner"
+)
+
+// This file defines the generic task-execution API: one typed contract
+// (TaskDef) every SQL-understanding task implements, a package-level
+// registry of type-erased entries (Task), and one generic driver
+// (Run/RunStream/RunWith) replacing the per-task Run* function families.
+// The serve, experiments, and report layers consume tasks only through the
+// registry, so adding a task is one definition file plus RegisterTask — no
+// dispatch code changes anywhere else.
+
+// Field is one ordered key/value output of a result projection. Values must
+// be JSON-encodable (bool, int, float64, string).
+type Field struct {
+	Key   string
+	Value any
+}
+
+// ResultView is the task-agnostic projection of one result that generic
+// consumers (the serve layer's NDJSON lines, the contract suite) render
+// from. Fields carries the task-specific predictions and — on labeled
+// examples — expected labels, in the order they should be emitted.
+type ResultView struct {
+	ID   string
+	SQL  string
+	SQL2 string // pair tasks: right-hand statement
+	// Fields holds the task-specific pred_*/want_* outputs in emission order.
+	Fields []Field
+	// Correct compares the primary prediction against the label; nil for
+	// unlabeled examples and for tasks graded on a continuous score.
+	Correct *bool
+	// Response is the raw model response ("" for tasks whose response is
+	// itself a field, like the explanation).
+	Response string
+	Usage    llm.Usage
+	Latency  time.Duration
+}
+
+// Summary is the generic accuracy aggregation of one task cell — the cell
+// content of a registry-driven accuracy grid. Accuracy is the task's
+// headline score (fraction correct, or mean coverage for continuously
+// graded tasks); Prec/Rec/F1 are populated when HasPRF is set.
+type Summary struct {
+	N             int
+	Accuracy      float64
+	Prec, Rec, F1 float64
+	HasPRF        bool
+}
+
+// binarySummary converts a confusion matrix into the generic summary.
+func binarySummary(b metrics.Binary) Summary {
+	return Summary{
+		N:        b.Total(),
+		Accuracy: b.Accuracy(),
+		Prec:     b.Precision(),
+		Rec:      b.Recall(),
+		F1:       b.F1(),
+		HasPRF:   true,
+	}
+}
+
+// TaskDef is the typed contract one task implements: identity and skill
+// tags, dataset topology, an example codec, a prompt builder, and a
+// response grader. E is the labeled example type, R the graded result type.
+// A TaskDef is registered once (RegisterTask) and consumed either typed —
+// the generic drivers below — or type-erased through the Task interface.
+type TaskDef[E, R any] struct {
+	// TaskID is the registry/endpoint id, e.g. "syntax".
+	TaskID string
+	// Name is the paper task name, e.g. "syntax_error".
+	Name string
+	// Description is one human-readable sentence for discovery listings.
+	Description string
+	// TaskSkills maps the paper's four understanding skills to emphasis
+	// levels (0 = not probed, 1 = probed, 2 = strongly probed).
+	TaskSkills map[Skill]int
+
+	// PromptTask selects the task's prompt-template family; the drivers use
+	// prompt.Default(PromptTask) unless a template is supplied explicitly.
+	PromptTask prompt.Task
+	// Pair marks tasks whose examples are statement pairs (ad-hoc input is
+	// then [left, right] pairs instead of single statements).
+	Pair bool
+
+	// DatasetNames lists the benchmark datasets this task has cells for;
+	// DefaultDataset is used when a caller names none. Single-dataset tasks
+	// are pinned: the lone entry is always used.
+	DatasetNames   []string
+	DefaultDataset string
+	// Cell returns the labeled examples of one dataset cell in evaluation
+	// order.
+	Cell func(b *Benchmark, ds string) []E
+
+	// ExampleID returns an example's stable id; ExampleSQL its statement(s)
+	// (one entry, or two for pair tasks); AdHoc builds an unlabeled example
+	// from caller-submitted statement(s). AdHoc(ExampleID, ExampleSQL) must
+	// round-trip.
+	ExampleID  func(E) string
+	ExampleSQL func(E) []string
+	AdHoc      func(id string, sql []string) (E, error)
+
+	// Render produces the prompt text for one example under a template.
+	Render func(tpl prompt.Template, ex E) string
+	// Grade post-processes one model response into a result.
+	Grade func(ex E, resp llm.Response) R
+
+	// View projects a result into the generic renderable form; labeled
+	// selects whether expected labels and a correctness verdict appear.
+	View func(r R, labeled bool) ResultView
+	// Summarize aggregates a cell's results into the generic summary.
+	Summarize func(rs []R) Summary
+}
+
+// ---------------------------------------------------------------------------
+// Generic drivers
+
+// The drivers fan each example out through runner.MapStream: completions
+// run on a bounded worker pool (budget taken from the context via
+// runner.WithParallelism, defaulting to GOMAXPROCS) while results are
+// delivered to the sink in dataset order as soon as each prefix completes,
+// so output order is identical to a sequential run. RunWith is the
+// streaming primitive; RunStream fixes the renderer to the task's default
+// template; Run and RunTemplate are the buffered forms (a slice-collecting
+// sink over the same path), so every consumer — the NDJSON serve layer and
+// the buffered experiments cells alike — funnels through one code path.
+
+// dropIdx adapts a result-only sink to runner.MapStream's indexed sink.
+func dropIdx[R any](sink func(R) error) func(int, R) error {
+	return func(_ int, r R) error { return sink(r) }
+}
+
+// collect runs a streaming driver with a slice-appending sink and returns
+// the buffered results.
+func collect[R any](n int, stream func(sink func(R) error) error) ([]R, error) {
+	out := make([]R, 0, n)
+	if err := stream(func(r R) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunWith drives one model over a dataset with a custom prompt renderer,
+// delivering each graded result to sink in dataset order as soon as its
+// prefix completes. It is the primitive under every other driver form
+// (few-shot prompting and prompt tuning plug in their own renderers).
+func RunWith[E, R any](ctx context.Context, client llm.Client, t *TaskDef[E, R], render func(E) string, ds []E, sink func(R) error) error {
+	return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex E) (R, error) {
+		resp, err := client.Do(ctx, llm.NewRequest(render(ex)))
+		if err != nil {
+			var zero R
+			return zero, fmt.Errorf("completing %s: %w", t.ExampleID(ex), err)
+		}
+		return t.Grade(ex, resp), nil
+	}, dropIdx(sink))
+}
+
+// RunStream drives one model over a dataset with the task's default prompt,
+// streaming results to sink in dataset order.
+func RunStream[E, R any](ctx context.Context, client llm.Client, t *TaskDef[E, R], ds []E, sink func(R) error) error {
+	tpl := prompt.Default(t.PromptTask)
+	return RunWith(ctx, client, t, func(ex E) string { return t.Render(tpl, ex) }, ds, sink)
+}
+
+// Run drives one model over a dataset with the task's default prompt and
+// buffers the results.
+func Run[E, R any](ctx context.Context, client llm.Client, t *TaskDef[E, R], ds []E) ([]R, error) {
+	return collect(len(ds), func(sink func(R) error) error {
+		return RunStream(ctx, client, t, ds, sink)
+	})
+}
+
+// RunTemplate is Run with an explicit prompt template — the form the
+// prompt-tuning experiments drive variants through.
+func RunTemplate[E, R any](ctx context.Context, client llm.Client, t *TaskDef[E, R], tpl prompt.Template, ds []E) ([]R, error) {
+	return collect(len(ds), func(sink func(R) error) error {
+		return RunWith(ctx, client, t, func(ex E) string { return t.Render(tpl, ex) }, ds, sink)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Type-erased view and registry
+
+// Example is one type-erased task example: the stable id and submitted
+// statement(s) plus the task's concrete example value underneath.
+type Example struct {
+	ID    string
+	SQL   []string
+	value any
+}
+
+// Value returns the task's concrete example value (e.g. a SyntaxExample).
+func (e Example) Value() any { return e.value }
+
+// Task is the type-erased registry view of a TaskDef — the contract the
+// serve, experiments, and report layers drive tasks through without knowing
+// their example or result types.
+type Task interface {
+	// ID is the registry/endpoint id; Name the paper task name.
+	ID() string
+	Name() string
+	Description() string
+	// Skills maps the four understanding skills to emphasis levels.
+	Skills() map[Skill]int
+	// Datasets lists the valid benchmark datasets; DefaultDataset the one
+	// used when a caller names none. PairInput marks pair-statement tasks.
+	Datasets() []string
+	DefaultDataset() string
+	PairInput() bool
+
+	// Cell returns one dataset's labeled examples (false for datasets the
+	// task has no cell for). AdHoc builds an unlabeled example from
+	// caller-submitted statement(s): one, or two for pair tasks.
+	Cell(b *Benchmark, ds string) ([]Example, bool)
+	AdHoc(id string, sql []string) (Example, error)
+
+	// RunStream drives one model over erased examples, delivering each
+	// graded result (the task's concrete result type, boxed) to sink in
+	// example order as soon as its prefix completes.
+	RunStream(ctx context.Context, client llm.Client, examples []Example, sink func(result any) error) error
+	// Grade post-processes one raw response for one example (boxed result).
+	Grade(ex Example, resp llm.Response) (any, error)
+	// View projects one boxed result into the generic renderable form.
+	View(result any, labeled bool) ResultView
+	// Summarize aggregates boxed results into the generic summary.
+	Summarize(results []any) Summary
+}
+
+// taskAdapter erases a TaskDef behind the Task interface.
+type taskAdapter[E, R any] struct {
+	def *TaskDef[E, R]
+}
+
+func (a taskAdapter[E, R]) ID() string             { return a.def.TaskID }
+func (a taskAdapter[E, R]) Name() string           { return a.def.Name }
+func (a taskAdapter[E, R]) Description() string    { return a.def.Description }
+func (a taskAdapter[E, R]) PairInput() bool        { return a.def.Pair }
+func (a taskAdapter[E, R]) DefaultDataset() string { return a.def.DefaultDataset }
+
+func (a taskAdapter[E, R]) Skills() map[Skill]int {
+	out := make(map[Skill]int, len(a.def.TaskSkills))
+	for k, v := range a.def.TaskSkills {
+		out[k] = v
+	}
+	return out
+}
+
+func (a taskAdapter[E, R]) Datasets() []string {
+	return append([]string{}, a.def.DatasetNames...)
+}
+
+func (a taskAdapter[E, R]) wrap(ex E) Example {
+	return Example{ID: a.def.ExampleID(ex), SQL: a.def.ExampleSQL(ex), value: ex}
+}
+
+func (a taskAdapter[E, R]) Cell(b *Benchmark, ds string) ([]Example, bool) {
+	known := false
+	for _, d := range a.def.DatasetNames {
+		if d == ds {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, false
+	}
+	cell := a.def.Cell(b, ds)
+	out := make([]Example, len(cell))
+	for i, ex := range cell {
+		out[i] = a.wrap(ex)
+	}
+	return out, true
+}
+
+func (a taskAdapter[E, R]) AdHoc(id string, sql []string) (Example, error) {
+	want := 1
+	if a.def.Pair {
+		want = 2
+	}
+	if len(sql) != want {
+		return Example{}, fmt.Errorf("task %s takes %d statement(s) per example, got %d", a.def.TaskID, want, len(sql))
+	}
+	ex, err := a.def.AdHoc(id, sql)
+	if err != nil {
+		return Example{}, err
+	}
+	return a.wrap(ex), nil
+}
+
+// unwrap asserts the erased examples back to the task's concrete type.
+func (a taskAdapter[E, R]) unwrap(examples []Example) ([]E, error) {
+	ds := make([]E, len(examples))
+	for i, ex := range examples {
+		v, ok := ex.value.(E)
+		if !ok {
+			return nil, fmt.Errorf("task %s: example %s holds %T, not the task's example type", a.def.TaskID, ex.ID, ex.value)
+		}
+		ds[i] = v
+	}
+	return ds, nil
+}
+
+func (a taskAdapter[E, R]) RunStream(ctx context.Context, client llm.Client, examples []Example, sink func(any) error) error {
+	ds, err := a.unwrap(examples)
+	if err != nil {
+		return err
+	}
+	return RunStream(ctx, client, a.def, ds, func(r R) error { return sink(r) })
+}
+
+func (a taskAdapter[E, R]) Grade(ex Example, resp llm.Response) (any, error) {
+	v, ok := ex.value.(E)
+	if !ok {
+		return nil, fmt.Errorf("task %s: example %s holds %T, not the task's example type", a.def.TaskID, ex.ID, ex.value)
+	}
+	return a.def.Grade(v, resp), nil
+}
+
+func (a taskAdapter[E, R]) View(result any, labeled bool) ResultView {
+	return a.def.View(result.(R), labeled)
+}
+
+func (a taskAdapter[E, R]) Summarize(results []any) Summary {
+	rs := make([]R, len(results))
+	for i, r := range results {
+		rs[i] = r.(R)
+	}
+	return a.def.Summarize(rs)
+}
+
+// The package-level registry; the read side is what every generic
+// consumer — handlers, experiment grids, the contract suite — iterates.
+var (
+	taskMu    sync.RWMutex
+	taskByID  = map[string]Task{}
+	taskOrder []string
+)
+
+// The built-in registrations, in the paper's endpoint order. A new task is
+// one definition file plus one line here — nothing else in the codebase
+// names it.
+func init() {
+	RegisterTask(SyntaxTask)
+	RegisterTask(TokensTask)
+	RegisterTask(EquivTask)
+	RegisterTask(PerfTask)
+	RegisterTask(ExplainTask)
+	RegisterTask(FillTask)
+}
+
+// RegisterTask validates a definition and adds it to the registry. It
+// panics on an invalid or duplicate definition, since registration happens
+// at init time.
+func RegisterTask[E, R any](def *TaskDef[E, R]) {
+	switch {
+	case def.TaskID == "" || def.Name == "":
+		panic("core: task registration without id/name")
+	case def.Cell == nil || def.ExampleID == nil || def.ExampleSQL == nil || def.AdHoc == nil:
+		panic(fmt.Sprintf("core: task %s lacks its example codec", def.TaskID))
+	case def.Render == nil || def.Grade == nil || def.View == nil || def.Summarize == nil:
+		panic(fmt.Sprintf("core: task %s lacks prompt/grade/view/summarize hooks", def.TaskID))
+	case len(def.DatasetNames) == 0:
+		panic(fmt.Sprintf("core: task %s names no datasets", def.TaskID))
+	}
+	valid := false
+	for _, ds := range def.DatasetNames {
+		if ds == def.DefaultDataset {
+			valid = true
+		}
+	}
+	if !valid {
+		panic(fmt.Sprintf("core: task %s default dataset %q is not in its dataset list", def.TaskID, def.DefaultDataset))
+	}
+	taskMu.Lock()
+	defer taskMu.Unlock()
+	if _, dup := taskByID[def.TaskID]; dup {
+		panic("core: duplicate task id " + def.TaskID)
+	}
+	taskByID[def.TaskID] = taskAdapter[E, R]{def: def}
+	taskOrder = append(taskOrder, def.TaskID)
+}
+
+// Tasks returns every registered task in registration order.
+func Tasks() []Task {
+	taskMu.RLock()
+	defer taskMu.RUnlock()
+	out := make([]Task, 0, len(taskOrder))
+	for _, id := range taskOrder {
+		out = append(out, taskByID[id])
+	}
+	return out
+}
+
+// TaskByID looks a task up by its registry id.
+func TaskByID(id string) (Task, bool) {
+	taskMu.RLock()
+	defer taskMu.RUnlock()
+	t, ok := taskByID[id]
+	return t, ok
+}
+
+// TaskIDs returns the registered task ids in registration order.
+func TaskIDs() []string {
+	taskMu.RLock()
+	defer taskMu.RUnlock()
+	return append([]string{}, taskOrder...)
+}
+
+// boolp builds the optional correctness pointer ResultView uses.
+func boolp(b bool) *bool { return &b }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/metrics"
+	"repro/internal/prompt"
+	"repro/internal/respparse"
+)
+
+// PerfResult is one model prediction on a PerfExample.
+type PerfResult struct {
+	Example    PerfExample
+	PredCostly bool
+	Response   string
+	Usage      llm.Usage
+	Latency    time.Duration
+}
+
+// PerfTask is the performance_pred registry entry (SDSS-only, as in the
+// paper).
+var PerfTask = &TaskDef[PerfExample, PerfResult]{
+	TaskID:      "perf",
+	Name:        "performance_pred",
+	Description: "Predict whether a query takes longer than usual to run.",
+	TaskSkills:  perfSkills,
+	PromptTask:  prompt.PerfPred,
+
+	DatasetNames:   []string{SDSS},
+	DefaultDataset: SDSS,
+	Cell:           func(b *Benchmark, ds string) []PerfExample { return b.Perf },
+
+	ExampleID:  func(ex PerfExample) string { return ex.ID },
+	ExampleSQL: func(ex PerfExample) []string { return []string{ex.SQL} },
+	AdHoc: func(id string, sql []string) (PerfExample, error) {
+		return PerfExample{ID: id, SQL: sql[0]}, nil
+	},
+
+	Render: func(tpl prompt.Template, ex PerfExample) string { return tpl.Render(ex.SQL) },
+	Grade:  gradePerf,
+
+	View: func(r PerfResult, labeled bool) ResultView {
+		v := ResultView{
+			ID: r.Example.ID, SQL: r.Example.SQL,
+			Response: r.Response, Usage: r.Usage, Latency: r.Latency,
+		}
+		v.Fields = append(v.Fields, Field{"pred_costly", r.PredCostly})
+		if labeled {
+			v.Fields = append(v.Fields, Field{"want_costly", r.Example.Costly})
+			v.Correct = boolp(r.PredCostly == r.Example.Costly)
+		}
+		return v
+	},
+	Summarize: func(rs []PerfResult) Summary { return binarySummary(EvalPerf(rs)) },
+}
+
+// gradePerf post-processes one response into a PerfResult.
+func gradePerf(ex PerfExample, resp llm.Response) PerfResult {
+	costly, perr := respparse.ParsePerf(resp.Text)
+	if perr != nil {
+		costly = false
+	}
+	return PerfResult{
+		Example: ex, PredCostly: costly, Response: resp.Text,
+		Usage: resp.Usage, Latency: resp.Latency,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation aggregations
+
+// EvalPerf computes the performance_pred confusion.
+func EvalPerf(results []PerfResult) metrics.Binary {
+	var b metrics.Binary
+	for _, r := range results {
+		b.Add(r.Example.Costly, r.PredCostly)
+	}
+	return b
+}
+
+// PerfBreakdown collects a property per outcome (Figure 10 panels).
+func PerfBreakdown(results []PerfResult, property func(PerfExample) float64) *metrics.Breakdown {
+	bd := metrics.NewBreakdown()
+	for _, r := range results {
+		bd.Add(r.Example.Costly, r.PredCostly, property(r.Example))
+	}
+	return bd
+}

@@ -22,20 +22,38 @@ const (
 // Skills lists the four in the paper's Table 1 row order.
 var Skills = []Skill{Recognition, Semantics, Context, Coherence}
 
+// Per-task skill emphasis from Table 1 (0 = not probed, 1 = probed,
+// 2 = strongly probed). The registry entries and the rendered Table 1 share
+// these maps.
+var (
+	syntaxSkills  = map[Skill]int{Recognition: 2, Semantics: 0, Context: 0, Coherence: 1}
+	tokenSkills   = map[Skill]int{Recognition: 1, Semantics: 1, Context: 2, Coherence: 0}
+	perfSkills    = map[Skill]int{Recognition: 0, Semantics: 0, Context: 1, Coherence: 2}
+	equivSkills   = map[Skill]int{Recognition: 0, Semantics: 2, Context: 0, Coherence: 2}
+	explainSkills = map[Skill]int{Recognition: 1, Semantics: 2, Context: 2, Coherence: 0}
+	// fill_token probes the same skills as miss_token: recovering the exact
+	// token leans even harder on contextual completion, but the Table 1
+	// emphasis grid tops out at 2.
+	fillSkills = map[Skill]int{Recognition: 1, Semantics: 1, Context: 2, Coherence: 0}
+)
+
 // TaskInfo describes one SQL task and the skills it probes, with emphasis
-// levels matching Table 1 (0 = not probed, 1 = probed, 2 = strongly probed).
+// levels matching Table 1.
 type TaskInfo struct {
 	Name   string
 	Skills map[Skill]int
 }
 
-// TaskCatalog reproduces Table 1's skill-to-task mapping.
+// TaskCatalog reproduces Table 1's skill-to-task mapping: the paper's five
+// tasks under their published display names, in column order. Registered
+// extensions (like fill_token) are discoverable via Tasks() but do not
+// appear here, so the rendered Table 1 stays faithful to the paper.
 var TaskCatalog = []TaskInfo{
-	{Name: "syntax error", Skills: map[Skill]int{Recognition: 2, Semantics: 0, Context: 0, Coherence: 1}},
-	{Name: "missing token", Skills: map[Skill]int{Recognition: 1, Semantics: 1, Context: 2, Coherence: 0}},
-	{Name: "Q. perf. estimate", Skills: map[Skill]int{Recognition: 0, Semantics: 0, Context: 1, Coherence: 2}},
-	{Name: "Q. equiv.", Skills: map[Skill]int{Recognition: 0, Semantics: 2, Context: 0, Coherence: 2}},
-	{Name: "Q. explain.", Skills: map[Skill]int{Recognition: 1, Semantics: 2, Context: 2, Coherence: 0}},
+	{Name: "syntax error", Skills: syntaxSkills},
+	{Name: "missing token", Skills: tokenSkills},
+	{Name: "Q. perf. estimate", Skills: perfSkills},
+	{Name: "Q. equiv.", Skills: equivSkills},
+	{Name: "Q. explain.", Skills: explainSkills},
 }
 
 // TuneResult records the accuracy of one prompt variant during tuning.
@@ -53,7 +71,7 @@ func TunePrompt(ctx context.Context, client llm.Client, trial []SyntaxExample) (
 	best := prompt.Default(prompt.SyntaxError)
 	bestAcc := -1.0
 	for _, tpl := range prompt.Variants(prompt.SyntaxError) {
-		res, err := RunSyntax(ctx, client, tpl, trial)
+		res, err := RunTemplate(ctx, client, SyntaxTask, tpl, trial)
 		if err != nil {
 			return nil, best, fmt.Errorf("tuning with %s: %w", tpl.ID, err)
 		}

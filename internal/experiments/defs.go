@@ -39,6 +39,37 @@ func init() {
 	register(Experiment{ID: "fig12", Title: "Figure 12: predicate_count vs outcome in query_equiv", Run: runFig12})
 	register(Experiment{ID: "casestudy", Title: "Section 4.5: query explanation case study", Run: runCaseStudy})
 	register(Experiment{ID: "ext-fewshot", Title: "Extension: zero-shot vs few-shot prompting (syntax_error, SDSS)", Run: runExtFewShot})
+	register(Experiment{ID: "ext-tasks", Title: "Extension: registry-wide task accuracy grid", Run: runTaskGrid})
+}
+
+// runTaskGrid renders the generic accuracy table of every registered task —
+// the registry-driven view of the paper's per-task tables. It iterates
+// core.Tasks(), so tasks registered after this code was written (fill_token
+// being the first) appear with zero changes here.
+func runTaskGrid(env *Env, w io.Writer) error {
+	report.Section(w, "Extension: accuracy across all registered tasks")
+	for _, task := range core.Tasks() {
+		datasets := task.Datasets()
+		if err := env.warm(task.ID(), env.Models, datasets); err != nil {
+			return err
+		}
+		cells := map[string]map[string]report.TaskCell{}
+		for _, model := range env.Models {
+			cells[model] = map[string]report.TaskCell{}
+			for _, ds := range datasets {
+				s, err := env.Summary(task.ID(), model, ds)
+				if err != nil {
+					return err
+				}
+				cells[model][ds] = report.TaskCell{
+					N: s.N, Accuracy: s.Accuracy,
+					Prec: s.Prec, Rec: s.Rec, F1: s.F1, HasPRF: s.HasPRF,
+				}
+			}
+		}
+		report.TaskGrid(w, fmt.Sprintf("%s (%s)", task.ID(), task.Name()), datasets, env.Models, cells)
+	}
+	return nil
 }
 
 // runExtFewShot goes beyond the paper's zero-shot protocol: the same
@@ -58,6 +89,7 @@ func runExtFewShot(env *Env, w io.Writer) error {
 	}
 	tpl := promptpkg.Default(promptpkg.SyntaxError)
 	// Both variants fan out across models; rendering stays in table order.
+	// Few-shot prompting is the generic driver with a shot-bearing renderer.
 	type row struct{ zero, few float64 }
 	rows, err := runner.Map(env.ctx(), 0, env.Models, func(ctx context.Context, _ int, model string) (row, error) {
 		zero, err := env.SyntaxResults(model, core.SDSS)
@@ -68,7 +100,11 @@ func runExtFewShot(env *Env, w io.Writer) error {
 		if err != nil {
 			return row{}, err
 		}
-		few, err := core.RunSyntaxFewShot(ctx, client, tpl, shots, env.Bench.Syntax[core.SDSS])
+		var few []core.SyntaxResult
+		err = core.RunWith(ctx, client, core.SyntaxTask,
+			func(ex core.SyntaxExample) string { return tpl.RenderFewShot(ex.SQL, shots) },
+			env.Bench.Syntax[core.SDSS],
+			func(r core.SyntaxResult) error { few = append(few, r); return nil })
 		if err != nil {
 			return row{}, err
 		}
@@ -240,7 +276,7 @@ func runFig5(env *Env, w io.Writer) error {
 
 func runTable3(env *Env, w io.Writer) error {
 	report.Section(w, "Table 3: syntax_error (top) and syntax_error_type (bottom)")
-	if err := env.warmSyntax(core.TaskDatasets...); err != nil {
+	if err := env.warm(core.SyntaxTask.TaskID, env.Models, core.TaskDatasets); err != nil {
 		return err
 	}
 	binary := map[string]map[string]report.PRF{}
@@ -268,10 +304,7 @@ func runTable3(env *Env, w io.Writer) error {
 func runFig6(env *Env, w io.Writer) error {
 	report.Section(w, "Figure 6: word_count vs outcome, syntax_error on SDSS")
 	models := []string{"Llama3", "Gemini"}
-	if err := env.prefetch(cross(models, []string{core.SDSS}), func(c cell) error {
-		_, err := env.SyntaxResults(c.model, c.ds)
-		return err
-	}); err != nil {
+	if err := env.warm(core.SyntaxTask.TaskID, models, []string{core.SDSS}); err != nil {
 		return err
 	}
 	for _, model := range models {
@@ -289,7 +322,7 @@ func runFig6(env *Env, w io.Writer) error {
 
 func runFig7(env *Env, w io.Writer) error {
 	report.Section(w, "Figure 7: FN rate by syntax error type")
-	if err := env.warmSyntax(core.TaskDatasets...); err != nil {
+	if err := env.warm(core.SyntaxTask.TaskID, env.Models, core.TaskDatasets); err != nil {
 		return err
 	}
 	classes := make([]string, 0, len(semcheck.PaperErrorTypes))
@@ -311,7 +344,7 @@ func runFig7(env *Env, w io.Writer) error {
 
 func runTable4(env *Env, w io.Writer) error {
 	report.Section(w, "Table 4: miss_token (top) and miss_token_type (bottom)")
-	if err := env.warmTokens(core.TaskDatasets...); err != nil {
+	if err := env.warm(core.TokensTask.TaskID, env.Models, core.TaskDatasets); err != nil {
 		return err
 	}
 	binary := map[string]map[string]report.PRF{}
@@ -352,10 +385,7 @@ func runFig8(env *Env, w io.Writer) error {
 	for _, p := range panels {
 		models = append(models, p.model)
 	}
-	if err := env.prefetch(cross(models, []string{core.SQLShare}), func(c cell) error {
-		_, err := env.TokenResults(c.model, c.ds)
-		return err
-	}); err != nil {
+	if err := env.warm(core.TokensTask.TaskID, models, []string{core.SQLShare}); err != nil {
 		return err
 	}
 	for _, p := range panels {
@@ -371,7 +401,7 @@ func runFig8(env *Env, w io.Writer) error {
 
 func runFig9(env *Env, w io.Writer) error {
 	report.Section(w, "Figure 9: FN rate by missing token type")
-	if err := env.warmTokens(core.TaskDatasets...); err != nil {
+	if err := env.warm(core.TokensTask.TaskID, env.Models, core.TaskDatasets); err != nil {
 		return err
 	}
 	classes := make([]string, 0, len(mutate.TokenKinds))
@@ -393,7 +423,7 @@ func runFig9(env *Env, w io.Writer) error {
 
 func runTable5(env *Env, w io.Writer) error {
 	report.Section(w, "Table 5: MAE and Hit Rate for miss_token_loc")
-	if err := env.warmTokens(core.TaskDatasets...); err != nil {
+	if err := env.warm(core.TokensTask.TaskID, env.Models, core.TaskDatasets); err != nil {
 		return err
 	}
 	cells := map[string]map[string]report.LocRow{}
@@ -414,7 +444,7 @@ func runTable5(env *Env, w io.Writer) error {
 
 func runTable6(env *Env, w io.Writer) error {
 	report.Section(w, "Table 6: performance_pred (SDSS)")
-	if err := env.warmPerf(env.Models...); err != nil {
+	if err := env.warm(core.PerfTask.TaskID, env.Models, nil); err != nil {
 		return err
 	}
 	cells := map[string]map[string]report.PRF{}
@@ -444,7 +474,7 @@ func runFig10(env *Env, w io.Writer) error {
 
 func runTable7(env *Env, w io.Writer) error {
 	report.Section(w, "Table 7: query_equiv (top) and query_equiv_type (bottom)")
-	if err := env.warmEquiv(core.TaskDatasets...); err != nil {
+	if err := env.warm(core.EquivTask.TaskID, env.Models, core.TaskDatasets); err != nil {
 		return err
 	}
 	binary := map[string]map[string]report.PRF{}
@@ -513,17 +543,14 @@ func runFig12(env *Env, w io.Writer) error {
 func warmEquivPanels(env *Env, panels []struct{ model, ds string }) error {
 	cells := make([]cell, len(panels))
 	for i, p := range panels {
-		cells[i] = cell{p.model, p.ds}
+		cells[i] = cell{core.EquivTask.TaskID, p.model, p.ds}
 	}
-	return env.prefetch(cells, func(c cell) error {
-		_, err := env.EquivResults(c.model, c.ds)
-		return err
-	})
+	return env.prefetch(cells)
 }
 
 func runCaseStudy(env *Env, w io.Writer) error {
 	report.Section(w, "Section 4.5 case study: query explanation")
-	if err := env.warmExplain(env.Models...); err != nil {
+	if err := env.warm(core.ExplainTask.TaskID, env.Models, nil); err != nil {
 		return err
 	}
 	// The four pinned case-study queries lead the Spider workload.

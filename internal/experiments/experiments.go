@@ -13,15 +13,16 @@ import (
 	"repro/internal/llm"
 	"repro/internal/llm/httpllm"
 	"repro/internal/llm/sim"
-	"repro/internal/prompt"
 	"repro/internal/runner"
 )
 
 // Env carries the shared state experiments run against: the benchmark, the
-// model registry, and memoized per-model task results. Result memoization is
-// per-key singleflight: distinct model×dataset cells compute concurrently,
-// duplicate requests for the same cell coalesce onto one computation, and
-// completed cells are served from cache. An Env is safe for concurrent use.
+// model registry, and memoized per-task results. Result memoization is
+// per-key singleflight over task×model×dataset cells: distinct cells
+// compute concurrently, duplicate requests for the same cell coalesce onto
+// one computation, and completed cells are served from cache. The cell grid
+// is driven by the core task registry — any registered task gets cells with
+// no Env changes. An Env is safe for concurrent use.
 type Env struct {
 	Bench    *core.Benchmark
 	Registry *llm.Registry
@@ -35,11 +36,12 @@ type Env struct {
 	// definitions. 0 means GOMAXPROCS; 1 reproduces the sequential pipeline.
 	Parallel int
 
-	syntax  runner.Flight[string, []core.SyntaxResult]
-	tokens  runner.Flight[string, []core.TokenResult]
-	equivs  runner.Flight[string, []core.EquivResult]
-	perf    runner.Flight[string, []core.PerfResult]
-	explain runner.Flight[string, []core.ExplainResult]
+	// results caches boxed task results per task×model×dataset cell; typed
+	// caches the unboxed form of the same cells so repeated typed accesses
+	// (the per-figure experiments re-fetch cells constantly) don't re-assert
+	// and reallocate per call.
+	results runner.Flight[string, []any]
+	typed   runner.Flight[string, any]
 }
 
 // Config controls environment construction.
@@ -144,134 +146,145 @@ func (e *Env) ctx() context.Context {
 	return runner.WithParallelism(context.Background(), e.Parallel)
 }
 
-func key(model, ds string) string { return model + "\x00" + ds }
+func key(task, model, ds string) string { return task + "\x00" + model + "\x00" + ds }
 
-// SyntaxResults runs (or returns cached) syntax_error results.
-func (e *Env) SyntaxResults(model, ds string) ([]core.SyntaxResult, error) {
-	return e.syntax.Do(key(model, ds), func() ([]core.SyntaxResult, error) {
+// Results runs (or returns cached) one task×model×dataset cell through the
+// core registry's generic driver, returning the task's boxed results in
+// example order. Unknown tasks and datasets the task has no cell for fail;
+// ds "" selects the task's default (and only valid value for pinned tasks).
+func (e *Env) Results(taskID, model, ds string) ([]any, error) {
+	task, ok := core.TaskByID(taskID)
+	if !ok {
+		return nil, fmt.Errorf("unknown task %q (registered: %v)", taskID, core.TaskIDs())
+	}
+	if ds == "" {
+		ds = task.DefaultDataset()
+	}
+	return e.results.Do(key(taskID, model, ds), func() ([]any, error) {
 		client, err := e.Registry.Get(model)
 		if err != nil {
 			return nil, err
 		}
-		return core.RunSyntax(e.ctx(), client, prompt.Default(prompt.SyntaxError), e.Bench.Syntax[ds])
+		cell, ok := task.Cell(e.Bench, ds)
+		if !ok {
+			return nil, fmt.Errorf("task %s has no %q cell (datasets: %v)", taskID, ds, task.Datasets())
+		}
+		out := make([]any, 0, len(cell))
+		err = task.RunStream(e.ctx(), client, cell, func(r any) error {
+			out = append(out, r)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
 	})
+}
+
+// Summary computes the generic accuracy summary of one task cell.
+func (e *Env) Summary(taskID, model, ds string) (core.Summary, error) {
+	task, ok := core.TaskByID(taskID)
+	if !ok {
+		return core.Summary{}, fmt.Errorf("unknown task %q", taskID)
+	}
+	rs, err := e.Results(taskID, model, ds)
+	if err != nil {
+		return core.Summary{}, err
+	}
+	return task.Summarize(rs), nil
+}
+
+// typedResults unboxes a cached cell into the task's concrete result type —
+// the bridge from the erased registry cells back to the typed evaluation
+// aggregations the per-figure experiments use. The typed slice is memoized
+// per cell, so repeated accesses cost a cache lookup, not a reallocation.
+func typedResults[R any](e *Env, taskID, model, ds string) ([]R, error) {
+	if task, ok := core.TaskByID(taskID); ok && ds == "" {
+		ds = task.DefaultDataset()
+	}
+	out, err := e.typed.Do(key(taskID, model, ds), func() (any, error) {
+		rs, err := e.Results(taskID, model, ds)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]R, len(rs))
+		for i, r := range rs {
+			v, ok := r.(R)
+			if !ok {
+				return nil, fmt.Errorf("task %s results hold %T, not the requested type", taskID, r)
+			}
+			out[i] = v
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.([]R), nil
+}
+
+// Typed conveniences for the built-in tasks.
+
+// SyntaxResults runs (or returns cached) syntax_error results.
+func (e *Env) SyntaxResults(model, ds string) ([]core.SyntaxResult, error) {
+	return typedResults[core.SyntaxResult](e, core.SyntaxTask.TaskID, model, ds)
 }
 
 // TokenResults runs (or returns cached) miss_token results.
 func (e *Env) TokenResults(model, ds string) ([]core.TokenResult, error) {
-	return e.tokens.Do(key(model, ds), func() ([]core.TokenResult, error) {
-		client, err := e.Registry.Get(model)
-		if err != nil {
-			return nil, err
-		}
-		return core.RunTokens(e.ctx(), client, prompt.Default(prompt.MissToken), e.Bench.Tokens[ds])
-	})
+	return typedResults[core.TokenResult](e, core.TokensTask.TaskID, model, ds)
 }
 
 // EquivResults runs (or returns cached) query_equiv results.
 func (e *Env) EquivResults(model, ds string) ([]core.EquivResult, error) {
-	return e.equivs.Do(key(model, ds), func() ([]core.EquivResult, error) {
-		client, err := e.Registry.Get(model)
-		if err != nil {
-			return nil, err
-		}
-		return core.RunEquiv(e.ctx(), client, prompt.Default(prompt.QueryEquiv), e.Bench.Equiv[ds])
-	})
+	return typedResults[core.EquivResult](e, core.EquivTask.TaskID, model, ds)
 }
 
 // PerfResults runs (or returns cached) performance_pred results (SDSS only).
 func (e *Env) PerfResults(model string) ([]core.PerfResult, error) {
-	return e.perf.Do(model, func() ([]core.PerfResult, error) {
-		client, err := e.Registry.Get(model)
-		if err != nil {
-			return nil, err
-		}
-		return core.RunPerf(e.ctx(), client, prompt.Default(prompt.PerfPred), e.Bench.Perf)
-	})
+	return typedResults[core.PerfResult](e, core.PerfTask.TaskID, model, "")
 }
 
 // ExplainResults runs (or returns cached) query_exp results (Spider only).
 func (e *Env) ExplainResults(model string) ([]core.ExplainResult, error) {
-	return e.explain.Do(model, func() ([]core.ExplainResult, error) {
-		client, err := e.Registry.Get(model)
-		if err != nil {
-			return nil, err
-		}
-		return core.RunExplain(e.ctx(), client, prompt.Default(prompt.QueryExp), e.Bench.Explain)
-	})
+	return typedResults[core.ExplainResult](e, core.ExplainTask.TaskID, model, "")
 }
 
-// cell identifies one model×dataset unit of work in a prefetch.
-type cell struct{ model, ds string }
+// cell identifies one task×model×dataset unit of work in a prefetch.
+type cell struct{ task, model, ds string }
 
 // prefetch computes the given cells concurrently (bounded by Env.Parallel)
 // so the serial rendering loops that follow hit warm caches. Cells already
 // cached cost nothing; duplicate in-flight cells coalesce.
-func (e *Env) prefetch(cells []cell, fetch func(cell) error) error {
+func (e *Env) prefetch(cells []cell) error {
 	_, err := runner.Map(e.ctx(), 0, cells, func(_ context.Context, _ int, c cell) (struct{}, error) {
-		return struct{}{}, fetch(c)
+		_, err := e.Results(c.task, c.model, c.ds)
+		return struct{}{}, err
 	})
 	return err
 }
 
-// cross builds the model×dataset cell grid.
-func cross(models, datasets []string) []cell {
+// cross builds one task's model×dataset cell grid. nil datasets means the
+// task's full dataset list from the registry.
+func cross(taskID string, models, datasets []string) []cell {
+	if datasets == nil {
+		if task, ok := core.TaskByID(taskID); ok {
+			datasets = task.Datasets()
+		}
+	}
 	cells := make([]cell, 0, len(models)*len(datasets))
 	for _, m := range models {
 		for _, ds := range datasets {
-			cells = append(cells, cell{m, ds})
+			cells = append(cells, cell{taskID, m, ds})
 		}
 	}
 	return cells
 }
 
-// warmSyntax precomputes syntax_error cells for all models over datasets.
-func (e *Env) warmSyntax(datasets ...string) error {
-	return e.prefetch(cross(e.Models, datasets), func(c cell) error {
-		_, err := e.SyntaxResults(c.model, c.ds)
-		return err
-	})
-}
-
-// warmTokens precomputes miss_token cells for all models over datasets.
-func (e *Env) warmTokens(datasets ...string) error {
-	return e.prefetch(cross(e.Models, datasets), func(c cell) error {
-		_, err := e.TokenResults(c.model, c.ds)
-		return err
-	})
-}
-
-// warmEquiv precomputes query_equiv cells for all models over datasets.
-func (e *Env) warmEquiv(datasets ...string) error {
-	return e.prefetch(cross(e.Models, datasets), func(c cell) error {
-		_, err := e.EquivResults(c.model, c.ds)
-		return err
-	})
-}
-
-// modelCells wraps model-only work (tasks with a fixed dataset) as cells.
-func modelCells(models []string) []cell {
-	cells := make([]cell, len(models))
-	for i, m := range models {
-		cells[i] = cell{model: m}
-	}
-	return cells
-}
-
-// warmPerf precomputes performance_pred results for the given models.
-func (e *Env) warmPerf(models ...string) error {
-	return e.prefetch(modelCells(models), func(c cell) error {
-		_, err := e.PerfResults(c.model)
-		return err
-	})
-}
-
-// warmExplain precomputes query_exp results for the given models.
-func (e *Env) warmExplain(models ...string) error {
-	return e.prefetch(modelCells(models), func(c cell) error {
-		_, err := e.ExplainResults(c.model)
-		return err
-	})
+// warm precomputes one task's cells for a model×dataset grid (nil datasets
+// = every dataset the registry lists for the task).
+func (e *Env) warm(taskID string, models, datasets []string) error {
+	return e.prefetch(cross(taskID, models, datasets))
 }
 
 // Experiment is one regenerable paper artifact.

@@ -28,7 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5",
 		"table3", "fig6", "fig7", "table4", "fig8", "fig9", "table5",
 		"table6", "fig10", "table7", "fig11", "fig12", "casestudy",
-		"ext-fewshot",
+		"ext-fewshot", "ext-tasks",
 	}
 	for _, id := range wantIDs {
 		if _, ok := ByID(id); !ok {

@@ -20,10 +20,11 @@ const (
 	QueryEquiv  Task = "query_equiv"  // also query_equiv_type
 	PerfPred    Task = "performance_pred"
 	QueryExp    Task = "query_exp"
+	FillToken   Task = "fill_token" // missing-token recovery (fill-in) variant
 )
 
 // Tasks lists all prompted tasks.
-var Tasks = []Task{SyntaxError, MissToken, QueryEquiv, PerfPred, QueryExp}
+var Tasks = []Task{SyntaxError, MissToken, QueryEquiv, PerfPred, QueryExp, FillToken}
 
 // Markers for query embedding.
 const (
@@ -100,6 +101,11 @@ var variants = map[Task][]Template{
 		{QueryExp, "query_exp/v2", "Explain in one sentence what this SQL query returns."},
 		{QueryExp, "query_exp/v3", "Summarize the purpose of this query."},
 	},
+	FillToken: {
+		{FillToken, "fill_token/v1", "One token may be absent from the following SQL query. If so, reply with the exact missing token in double quotes; otherwise reply that the query is complete."},
+		{FillToken, "fill_token/v2", "Repair this SQL query if a token was dropped: give the exact missing token in double quotes, or state that the query is complete."},
+		{FillToken, "fill_token/v3", "Fill in the gap. Reply with the exact missing token, or 'complete'."},
+	},
 }
 
 // Variants returns the candidate templates for a task.
@@ -121,6 +127,10 @@ func Default(task Task) Template {
 func DetectTask(promptText string) (Task, bool) {
 	lower := strings.ToLower(promptText)
 	switch {
+	// Fill-in is checked before miss_token: both talk about missing tokens,
+	// but only the fill prompts ask for the exact token back.
+	case strings.Contains(lower, "exact missing token"):
+		return FillToken, true
 	case strings.Contains(lower, "missing word") || strings.Contains(lower, "token is missing") || strings.Contains(lower, "been deleted"):
 		return MissToken, true
 	case strings.Contains(lower, "equivalent") || strings.Contains(lower, "identical results") || strings.Contains(lower, "same results"):

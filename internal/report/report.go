@@ -48,6 +48,48 @@ func MetricTable(w io.Writer, title string, datasets, models []string, cells map
 	fmt.Fprintln(w)
 }
 
+// TaskCell is one model×dataset cell of a registry-driven task accuracy
+// grid: the headline accuracy plus precision/recall/F1 when the task's
+// grading is binary (HasPRF); continuously graded tasks fill Accuracy only.
+type TaskCell struct {
+	N             int
+	Accuracy      float64
+	Prec, Rec, F1 float64
+	HasPRF        bool
+}
+
+// TaskGrid renders any task's model × dataset accuracy table generically —
+// the renderer behind the registry-wide grid, task-agnostic by
+// construction. PRF columns print as dashes for tasks without a confusion
+// matrix.
+func TaskGrid(w io.Writer, title string, datasets, models []string, cells map[string]map[string]TaskCell) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-12s", "Model")
+	for _, ds := range datasets {
+		fmt.Fprintf(w, " | %-29s", ds)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s", "")
+	for range datasets {
+		fmt.Fprintf(w, " | %6s %6s %6s %6s ", "Acc.", "Prec.", "Rec.", "F1")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 14+32*len(datasets)))
+	for _, m := range models {
+		fmt.Fprintf(w, "%-12s", m)
+		for _, ds := range datasets {
+			c := cells[m][ds]
+			if c.HasPRF {
+				fmt.Fprintf(w, " | %6.2f %6.2f %6.2f %6.2f ", c.Accuracy, c.Prec, c.Rec, c.F1)
+			} else {
+				fmt.Fprintf(w, " | %6.2f %6s %6s %6s ", c.Accuracy, "-", "-", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
 // LocRow is one MAE/HR cell for Table 5.
 type LocRow struct {
 	MAE, HR float64

@@ -1,0 +1,47 @@
+package respparse
+
+import "testing"
+
+func TestParseFill(t *testing.T) {
+	cases := []struct {
+		resp    string
+		missing bool
+		token   string
+		wantErr bool
+	}{
+		{`Yes, a token is absent. The missing token is "FROM".`, true, "FROM", false},
+		{`Yes. Missing token: "WHERE".`, true, "WHERE", false},
+		{`Based on my analysis, the missing token is "objid".`, true, "objid", false},
+		{`yes; token=GROUP`, true, "GROUP", false},
+		{`The query appears to be missing the token "AND".`, true, "AND", false},
+		{`No, the query is complete; nothing is missing.`, false, "", false},
+		{`No. The query is complete.`, false, "", false},
+		{`no; complete`, false, "", false},
+		{`The query appears to be complete.`, false, "", false},
+		{`yes`, true, "", false},
+		{`no`, false, "", false},
+		{`entirely unrelated text`, false, "", true},
+		// A recovery that also mentions completeness is still a recovery:
+		// positive phrases win over negative ones.
+		{`The missing token is "FROM"; with it, the query is complete.`, true, "FROM", false},
+		{`Missing token: "WHERE". Once added the query is complete.`, true, "WHERE", false},
+		// A bare quoted token with no stock phrasing reads as a recovery.
+		{`Probably "GROUP".`, true, "GROUP", false},
+	}
+	for _, tc := range cases {
+		v, err := ParseFill(tc.resp)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseFill(%q) should fail", tc.resp)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseFill(%q): %v", tc.resp, err)
+			continue
+		}
+		if v.Missing != tc.missing || v.Token != tc.token {
+			t.Errorf("ParseFill(%q) = %+v, want missing=%v token=%q", tc.resp, v, tc.missing, tc.token)
+		}
+	}
+}

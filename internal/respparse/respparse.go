@@ -123,6 +123,68 @@ func ParseMissToken(resp string) (MissTokenVerdict, error) {
 	return v, nil
 }
 
+// FillVerdict is the label pair for the fill_token task.
+type FillVerdict struct {
+	Missing bool
+	Token   string // the recovered token text; "" when none was extracted
+}
+
+var fillNegatives = []string{
+	"query is complete", "appears to be complete", "is complete", "complete;",
+	"nothing missing", "nothing is missing", "no missing",
+}
+
+var fillPositives = []string{
+	"missing token is", "missing the token", "missing token:", "token=",
+}
+
+// ParseFill extracts the fill_token verdict: whether the model thinks a
+// token is absent and, if so, which token it supplied. Tokens are accepted
+// quoted, as token=..., or parenthesized (the forms the model styles use).
+// Positive phrases win over completeness talk — "the missing token is
+// \"FROM\"; with it, the query is complete" names a token and must grade
+// as missing, so negatives are only consulted when no positive phrase
+// matched.
+func ParseFill(resp string) (FillVerdict, error) {
+	lower := strings.ToLower(resp)
+	for _, pos := range fillPositives {
+		if !strings.Contains(lower, pos) {
+			continue
+		}
+		v := FillVerdict{Missing: true}
+		if qm := quotedToken.FindStringSubmatch(resp); qm != nil {
+			for _, g := range qm[1:] {
+				if g != "" {
+					v.Token = g
+					break
+				}
+			}
+		}
+		return v, nil
+	}
+	for _, neg := range fillNegatives {
+		if strings.Contains(lower, neg) {
+			return FillVerdict{}, nil
+		}
+	}
+	// No stock phrase either way: a bare quoted token still reads as a
+	// recovery attempt, else fall back to leading yes/no.
+	if qm := quotedToken.FindStringSubmatch(resp); qm != nil {
+		for _, g := range qm[1:] {
+			if g != "" {
+				return FillVerdict{Missing: true, Token: g}, nil
+			}
+		}
+	}
+	switch leadingYesNo(lower) {
+	case "yes":
+		return FillVerdict{Missing: true}, nil
+	case "no":
+		return FillVerdict{}, nil
+	}
+	return FillVerdict{}, ErrUnparseable
+}
+
 // EquivVerdict is the label pair for query_equiv / query_equiv_type.
 type EquivVerdict struct {
 	Equivalent bool

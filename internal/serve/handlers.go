@@ -6,25 +6,17 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"time"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/llm"
-	"repro/internal/nlgen"
-	"repro/internal/prompt"
 	"repro/internal/runner"
-	"repro/internal/sqlparse"
 )
 
 // maxEvalBody bounds eval request bodies (1 MiB of JSON is thousands of
 // queries; anything larger is a mistake or abuse).
 const maxEvalBody = 1 << 20
-
-// evalTasks names the five task endpoints.
-var evalTasks = map[string]bool{
-	"syntax": true, "tokens": true, "equiv": true, "perf": true, "explain": true,
-}
 
 // httpError writes a JSON error object with the given status.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -56,6 +48,37 @@ func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
 	var out []ExperimentInfo
 	for _, e := range experiments.All() {
 		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleTasks serves task discovery: every registered task with its
+// identity, skill tags, dataset topology, and accepted request parameters —
+// the machine-readable form of the paper's Table 1 column set. The listing
+// is driven entirely by the core registry, so newly registered tasks appear
+// without any serve changes.
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	out := make([]TaskInfo, 0)
+	for _, t := range core.Tasks() {
+		skills := map[string]int{}
+		for skill, level := range t.Skills() {
+			skills[string(skill)] = level
+		}
+		input := "sql"
+		if t.PairInput() {
+			input = "pairs"
+		}
+		out = append(out, TaskInfo{
+			ID:             t.ID(),
+			Name:           t.Name(),
+			Description:    t.Description(),
+			Skills:         skills,
+			Datasets:       t.Datasets(),
+			DefaultDataset: t.DefaultDataset(),
+			Input:          input,
+			Params:         []string{"temperature", "max_tokens", "seed"},
+		})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
@@ -96,11 +119,16 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEval evaluates submitted SQL or benchmark examples against one model
-// and streams results back as NDJSON in example order.
+// and streams results back as NDJSON in example order. The handler is fully
+// registry-driven: example selection, prompting, grading, and line
+// rendering all come from the task's registry entry, so it serves any
+// registered task — including ones added after this code was written.
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
-	task := r.PathValue("task")
-	if !evalTasks[task] {
-		httpError(w, http.StatusNotFound, "unknown eval task %q (syntax, tokens, equiv, perf, explain)", task)
+	id := r.PathValue("task")
+	task, ok := core.TaskByID(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown eval task %q (registered: %s)",
+			id, strings.Join(core.TaskIDs(), ", "))
 		return
 	}
 	var req EvalRequest
@@ -117,9 +145,9 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	// Reject example sources that don't apply to this task instead of
 	// silently ignoring them — a stray field would otherwise stream the
 	// whole labeled cell where the caller meant to submit two queries.
-	if task == "equiv" {
+	if task.PairInput() {
 		if req.SQL != nil {
-			httpError(w, http.StatusBadRequest, "the equiv task takes \"pairs\", not \"sql\"")
+			httpError(w, http.StatusBadRequest, "the %s task takes \"pairs\", not \"sql\"", task.ID())
 			return
 		}
 		if len(req.Pairs) > 0 && len(req.IDs) > 0 {
@@ -132,7 +160,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		if req.Pairs != nil {
-			httpError(w, http.StatusBadRequest, "only the equiv task takes \"pairs\"; use \"sql\"")
+			httpError(w, http.StatusBadRequest, "only pair tasks take \"pairs\"; use \"sql\"")
 			return
 		}
 		if len(req.SQL) > 0 && len(req.IDs) > 0 {
@@ -158,6 +186,27 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Resolve the dataset against the task's topology: single-dataset tasks
+	// are pinned, the rest validate the requested cell.
+	datasets := task.Datasets()
+	ds := datasets[0]
+	if len(datasets) > 1 {
+		ds = req.Dataset
+		if ds == "" {
+			ds = task.DefaultDataset()
+		}
+		known := false
+		for _, d := range datasets {
+			if d == ds {
+				known = true
+				break
+			}
+		}
+		if !known {
+			httpError(w, http.StatusBadRequest, "unknown dataset %q (%s)", ds, strings.Join(datasets, ", "))
+			return
+		}
+	}
 	seed := req.Seed
 	if seed == 0 {
 		seed = s.cfg.DefaultSeed
@@ -177,35 +226,63 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if p := req.Params; p != nil {
 		client = llm.Chain(client, llm.WithDefaults(p.Temperature, p.MaxTokens, p.Seed))
 	}
-	ds := req.Dataset
-	if ds == "" {
-		ds = core.SDSS
+	// Spend accounting wraps the client itself so every completion is
+	// charged the moment it finishes — a caller that drops the connection
+	// mid-stream still pays for the work already done, not just for the
+	// lines it received.
+	if debit := debitFrom(r.Context()); debit != nil {
+		client = spendClient{Client: client, debit: debit}
 	}
-	switch task {
-	case "syntax", "tokens", "equiv":
-		if env.Bench.Syntax[ds] == nil {
-			httpError(w, http.StatusBadRequest, "unknown dataset %q (SDSS, SQLShare, Join-Order)", ds)
+
+	st := &stream{w: w, metrics: s.metrics, task: task.ID()}
+
+	// Select the examples: ad-hoc statements (unlabeled) or benchmark cell
+	// examples (labeled, optionally narrowed by ID).
+	labeled := true
+	var examples []core.Example
+	adhoc := func(i int, sql []string) bool {
+		ex, err := task.AdHoc(fmt.Sprintf("adhoc/%d", i), sql)
+		if err != nil {
+			st.fail(http.StatusBadRequest, "%v", err)
+			return false
+		}
+		examples = append(examples, ex)
+		return true
+	}
+	switch {
+	case task.PairInput() && len(req.Pairs) > 0:
+		labeled = false
+		for i, p := range req.Pairs {
+			if !adhoc(i, []string{p[0], p[1]}) {
+				return
+			}
+		}
+	case !task.PairInput() && len(req.SQL) > 0:
+		labeled = false
+		for i, q := range req.SQL {
+			if !adhoc(i, []string{q}) {
+				return
+			}
+		}
+	default:
+		cell, ok := task.Cell(env.Bench, ds)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "unknown dataset %q (%s)", ds, strings.Join(datasets, ", "))
 			return
 		}
-	case "perf":
-		ds = core.SDSS // performance_pred is SDSS-only
-	case "explain":
-		ds = core.Spider // query_exp is Spider-only
+		examples, err = selectExamples(cell, req.IDs)
+		if err != nil {
+			st.fail(http.StatusBadRequest, "%v", err)
+			return
+		}
 	}
 
 	ctx := runner.WithParallelism(r.Context(), env.Parallel)
-	st := &stream{w: w, metrics: s.metrics, task: task}
-	switch task {
-	case "syntax":
-		s.evalSyntax(ctx, st, env, client, req, ds)
-	case "tokens":
-		s.evalTokens(ctx, st, env, client, req, ds)
-	case "equiv":
-		s.evalEquiv(ctx, st, env, client, req, ds)
-	case "perf":
-		s.evalPerf(ctx, st, env, client, req)
-	case "explain":
-		s.evalExplain(ctx, st, env, client, req)
+	err = task.RunStream(ctx, client, examples, func(res any) error {
+		return st.send(task.View(res, labeled))
+	})
+	if err != nil {
+		st.fail(http.StatusInternalServerError, "eval: %v", err)
 	}
 }
 
@@ -230,17 +307,19 @@ func (st *stream) fail(status int, format string, args ...any) {
 	json.NewEncoder(st.w).Encode(ErrorLine{Error: fmt.Sprintf(format, args...)})
 }
 
-// send writes one result line.
-func (st *stream) send(line *EvalLine) error {
+// send renders one result line from its task-agnostic view.
+func (st *stream) send(view core.ResultView) error {
 	if !st.started {
 		st.w.Header().Set("Content-Type", "application/x-ndjson")
 		st.w.WriteHeader(http.StatusOK)
 		st.started = true
 	}
-	line.Index = st.index
-	line.Task = st.task
+	line, err := encodeLine(st.index, st.task, view)
+	if err != nil {
+		return err
+	}
 	st.index++
-	if err := json.NewEncoder(st.w).Encode(line); err != nil {
+	if _, err := st.w.Write(line); err != nil {
 		return err
 	}
 	if f, ok := st.w.(http.Flusher); ok {
@@ -250,17 +329,33 @@ func (st *stream) send(line *EvalLine) error {
 	return nil
 }
 
-// selectExamples picks the request's examples from a benchmark dataset:
-// the whole cell when no IDs are given, else the named labeled examples.
-func selectExamples[E any](all []E, id func(E) string, ids []string) ([]E, error) {
+// spendClient charges each completed request's tokens against the caller's
+// budget as it finishes, delivered or not, so aborted streams cannot evade
+// the spend bound.
+type spendClient struct {
+	llm.Client
+	debit func(tokens int)
+}
+
+func (c spendClient) Do(ctx context.Context, req llm.Request) (llm.Response, error) {
+	resp, err := c.Client.Do(ctx, req)
+	if err == nil {
+		c.debit(resp.Usage.CompletionTokens)
+	}
+	return resp, err
+}
+
+// selectExamples picks the request's examples from a benchmark cell: the
+// whole cell when no IDs are given, else the named labeled examples.
+func selectExamples(all []core.Example, ids []string) ([]core.Example, error) {
 	if len(ids) == 0 {
 		return all, nil
 	}
-	byID := make(map[string]E, len(all))
+	byID := make(map[string]core.Example, len(all))
 	for _, ex := range all {
-		byID[id(ex)] = ex
+		byID[ex.ID] = ex
 	}
-	out := make([]E, 0, len(ids))
+	out := make([]core.Example, 0, len(ids))
 	for _, want := range ids {
 		ex, ok := byID[want]
 		if !ok {
@@ -271,184 +366,9 @@ func selectExamples[E any](all []E, id func(E) string, ids []string) ([]E, error
 	return out, nil
 }
 
-// usageInfo and latencyMS shape a result's telemetry for an EvalLine.
-func usageInfo(u llm.Usage) *UsageInfo {
-	if u == (llm.Usage{}) {
-		return nil
-	}
-	return &UsageInfo{PromptTokens: u.PromptTokens, CompletionTokens: u.CompletionTokens}
-}
-
-func latencyMS(d time.Duration) float64 {
-	return float64(d) / float64(time.Millisecond)
-}
-
-func (s *Server) evalSyntax(ctx context.Context, st *stream, env *experiments.Env, client llm.Client, req EvalRequest, ds string) {
-	labeled := len(req.SQL) == 0
-	var examples []core.SyntaxExample
-	if !labeled {
-		for i, q := range req.SQL {
-			examples = append(examples, core.SyntaxExample{ID: fmt.Sprintf("adhoc/%d", i), SQL: q})
-		}
-	} else {
-		var err error
-		examples, err = selectExamples(env.Bench.Syntax[ds], func(e core.SyntaxExample) string { return e.ID }, req.IDs)
-		if err != nil {
-			st.fail(http.StatusBadRequest, "%v", err)
-			return
-		}
-	}
-	err := core.RunSyntaxStream(ctx, client, prompt.Default(prompt.SyntaxError), examples, func(r core.SyntaxResult) error {
-		line := &EvalLine{
-			ID: r.Example.ID, SQL: r.Example.SQL,
-			PredHasError: boolp(r.PredHas), PredErrorType: r.PredType,
-			Response: r.Response,
-			Usage:    usageInfo(r.Usage), LatencyMS: latencyMS(r.Latency),
-		}
-		if labeled {
-			line.WantHasError = boolp(r.Example.HasError)
-			line.WantErrorType = string(r.Example.Type)
-			line.Correct = boolp(r.PredHas == r.Example.HasError)
-		}
-		return st.send(line)
-	})
-	if err != nil {
-		st.fail(http.StatusInternalServerError, "eval: %v", err)
-	}
-}
-
-func (s *Server) evalTokens(ctx context.Context, st *stream, env *experiments.Env, client llm.Client, req EvalRequest, ds string) {
-	labeled := len(req.SQL) == 0
-	var examples []core.TokenExample
-	if !labeled {
-		for i, q := range req.SQL {
-			examples = append(examples, core.TokenExample{ID: fmt.Sprintf("adhoc/%d", i), SQL: q, Position: -1})
-		}
-	} else {
-		var err error
-		examples, err = selectExamples(env.Bench.Tokens[ds], func(e core.TokenExample) string { return e.ID }, req.IDs)
-		if err != nil {
-			st.fail(http.StatusBadRequest, "%v", err)
-			return
-		}
-	}
-	err := core.RunTokensStream(ctx, client, prompt.Default(prompt.MissToken), examples, func(r core.TokenResult) error {
-		line := &EvalLine{
-			ID: r.Example.ID, SQL: r.Example.SQL,
-			PredMissing: boolp(r.PredMiss), PredKind: r.PredKind, PredPosition: intp(r.PredPos),
-			Response: r.Response,
-			Usage:    usageInfo(r.Usage), LatencyMS: latencyMS(r.Latency),
-		}
-		if labeled {
-			line.WantMissing = boolp(r.Example.Missing)
-			line.WantKind = string(r.Example.Kind)
-			line.WantPosition = intp(r.Example.Position)
-			line.Correct = boolp(r.PredMiss == r.Example.Missing)
-		}
-		return st.send(line)
-	})
-	if err != nil {
-		st.fail(http.StatusInternalServerError, "eval: %v", err)
-	}
-}
-
-func (s *Server) evalEquiv(ctx context.Context, st *stream, env *experiments.Env, client llm.Client, req EvalRequest, ds string) {
-	labeled := len(req.Pairs) == 0
-	var examples []core.EquivExample
-	if !labeled {
-		for i, p := range req.Pairs {
-			examples = append(examples, core.EquivExample{ID: fmt.Sprintf("adhoc/%d", i), SQL1: p[0], SQL2: p[1]})
-		}
-	} else {
-		var err error
-		examples, err = selectExamples(env.Bench.Equiv[ds], func(e core.EquivExample) string { return e.ID }, req.IDs)
-		if err != nil {
-			st.fail(http.StatusBadRequest, "%v", err)
-			return
-		}
-	}
-	err := core.RunEquivStream(ctx, client, prompt.Default(prompt.QueryEquiv), examples, func(r core.EquivResult) error {
-		line := &EvalLine{
-			ID: r.Example.ID, SQL: r.Example.SQL1, SQL2: r.Example.SQL2,
-			PredEquivalent: boolp(r.PredEquiv), PredEquivType: r.PredType,
-			Response: r.Response,
-			Usage:    usageInfo(r.Usage), LatencyMS: latencyMS(r.Latency),
-		}
-		if labeled {
-			line.WantEquivalent = boolp(r.Example.Equivalent)
-			line.WantEquivType = string(r.Example.Type)
-			line.Correct = boolp(r.PredEquiv == r.Example.Equivalent)
-		}
-		return st.send(line)
-	})
-	if err != nil {
-		st.fail(http.StatusInternalServerError, "eval: %v", err)
-	}
-}
-
-func (s *Server) evalPerf(ctx context.Context, st *stream, env *experiments.Env, client llm.Client, req EvalRequest) {
-	labeled := len(req.SQL) == 0
-	var examples []core.PerfExample
-	if !labeled {
-		for i, q := range req.SQL {
-			examples = append(examples, core.PerfExample{ID: fmt.Sprintf("adhoc/%d", i), SQL: q})
-		}
-	} else {
-		var err error
-		examples, err = selectExamples(env.Bench.Perf, func(e core.PerfExample) string { return e.ID }, req.IDs)
-		if err != nil {
-			st.fail(http.StatusBadRequest, "%v", err)
-			return
-		}
-	}
-	err := core.RunPerfStream(ctx, client, prompt.Default(prompt.PerfPred), examples, func(r core.PerfResult) error {
-		line := &EvalLine{
-			ID: r.Example.ID, SQL: r.Example.SQL,
-			PredCostly: boolp(r.PredCostly),
-			Response:   r.Response,
-			Usage:      usageInfo(r.Usage), LatencyMS: latencyMS(r.Latency),
-		}
-		if labeled {
-			line.WantCostly = boolp(r.Example.Costly)
-			line.Correct = boolp(r.PredCostly == r.Example.Costly)
-		}
-		return st.send(line)
-	})
-	if err != nil {
-		st.fail(http.StatusInternalServerError, "eval: %v", err)
-	}
-}
-
-func (s *Server) evalExplain(ctx context.Context, st *stream, env *experiments.Env, client llm.Client, req EvalRequest) {
-	labeled := len(req.SQL) == 0
-	var examples []core.ExplainExample
-	if !labeled {
-		for i, q := range req.SQL {
-			ex := core.ExplainExample{ID: fmt.Sprintf("adhoc/%d", i), SQL: q}
-			// Reference facts for ad-hoc queries come from our own parser;
-			// unparseable input gets no facts and coverage is then vacuous.
-			if sel, err := sqlparse.ParseSelect(q); err == nil {
-				ex.Facts = nlgen.Extract(sel)
-			}
-			examples = append(examples, ex)
-		}
-	} else {
-		var err error
-		examples, err = selectExamples(env.Bench.Explain, func(e core.ExplainExample) string { return e.ID }, req.IDs)
-		if err != nil {
-			st.fail(http.StatusBadRequest, "%v", err)
-			return
-		}
-	}
-	err := core.RunExplainStream(ctx, client, prompt.Default(prompt.QueryExp), examples, func(r core.ExplainResult) error {
-		return st.send(&EvalLine{
-			ID: r.Example.ID, SQL: r.Example.SQL,
-			Explanation: r.Explanation,
-			Coverage:    floatp(r.Coverage),
-			Usage:       usageInfo(r.Usage), LatencyMS: latencyMS(r.Latency),
-		})
-	})
-	if err != nil {
-		st.fail(http.StatusInternalServerError, "eval: %v", err)
-	}
+// debitFrom returns the completion-token debit hook the spend-admission
+// middleware injected, if any.
+func debitFrom(ctx context.Context) func(int) {
+	f, _ := ctx.Value(spendDebitKey{}).(func(int))
+	return f
 }

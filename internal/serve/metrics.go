@@ -35,6 +35,9 @@ type Metrics struct {
 	// RateLimited counts requests rejected with 429 by the admission-control
 	// middleware.
 	RateLimited atomic.Int64
+	// TokenLimited counts eval requests rejected with 429 by the spend-based
+	// (completion-token budget) admission middleware.
+	TokenLimited atomic.Int64
 }
 
 // NewMetrics returns zeroed metrics.
@@ -53,6 +56,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"artifact_cache_size": m.ArtifactCacheSize.Load(),
 		"cache_evictions":     m.CacheEvictions.Load(),
 		"rate_limited":        m.RateLimited.Load(),
+		"token_limited":       m.TokenLimited.Load(),
 	}
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"log"
 	"math"
 	"net"
@@ -189,6 +190,157 @@ func admission(rps float64, burst int, m *Metrics) middleware {
 				return
 			}
 			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// spendLimiter is the token-budget admission state: per client, a
+// completion-token balance refilled at tokensPerMin/60 per second up to one
+// minute's budget. Spend is post-paid — an eval's completion tokens are
+// only known as results stream back, so each line debits the balance
+// (possibly driving it negative) and the *next* request is shed until the
+// balance refills past zero. That bounds a client's sustained spend at the
+// configured rate while letting any single admitted eval finish.
+type spendLimiter struct {
+	mu       sync.Mutex
+	perSec   float64 // refill rate, tokens/second
+	capacity float64 // burst capacity: one minute's budget
+	balances map[string]*spendBalance
+	now      func() time.Time // swapped in tests; nil means time.Now
+}
+
+type spendBalance struct {
+	tokens float64
+	last   time.Time
+}
+
+func newSpendLimiter(tokensPerMin float64) *spendLimiter {
+	return &spendLimiter{
+		perSec:   tokensPerMin / 60,
+		capacity: tokensPerMin,
+		balances: map[string]*spendBalance{},
+	}
+}
+
+func (l *spendLimiter) clock() time.Time {
+	if l.now != nil {
+		return l.now()
+	}
+	return time.Now()
+}
+
+// refillLocked brings a balance up to date.
+func (l *spendLimiter) refillLocked(b *spendBalance, now time.Time) {
+	b.tokens += now.Sub(b.last).Seconds() * l.perSec
+	if b.tokens > l.capacity {
+		b.tokens = l.capacity
+	}
+	b.last = now
+}
+
+// balance returns the client's refilled balance entry, pruning the map when
+// it would exceed the bucket bound. Eviction prefers entries that owe
+// nothing — fully refilled first, then merely positive — because an evicted
+// client restarts with a full budget: dropping an indebted entry would
+// forgive unbounded completion-token debt, exactly the spend the limiter
+// exists to bound. Indebted entries go only as a last resort to keep the
+// memory bound hard.
+func (l *spendLimiter) balance(key string) *spendBalance {
+	now := l.clock()
+	b, ok := l.balances[key]
+	if !ok {
+		if len(l.balances) >= maxBuckets {
+			for k, bal := range l.balances {
+				l.refillLocked(bal, now)
+				if bal.tokens >= l.capacity {
+					delete(l.balances, k)
+				}
+			}
+			for pass := 0; pass < 2 && len(l.balances) >= maxBuckets; pass++ {
+				for k, bal := range l.balances {
+					if len(l.balances) < maxBuckets {
+						break
+					}
+					if pass == 0 && bal.tokens < 0 {
+						continue // keep debtors as long as anything else can go
+					}
+					delete(l.balances, k)
+				}
+			}
+		}
+		b = &spendBalance{tokens: l.capacity, last: now}
+		l.balances[key] = b
+	}
+	l.refillLocked(b, now)
+	return b
+}
+
+// allow admits a request when the client's balance is positive, otherwise
+// reporting how long until it refills past zero.
+func (l *spendLimiter) allow(key string) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.balance(key)
+	if b.tokens > 0 {
+		return true, 0
+	}
+	wait := time.Duration(-b.tokens / l.perSec * float64(time.Second))
+	return false, wait
+}
+
+// len reports the tracked-client count (tests).
+func (l *spendLimiter) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.balances)
+}
+
+// debit charges completed tokens against the client's balance.
+func (l *spendLimiter) debit(key string, tokens int) {
+	if tokens <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.balance(key)
+	b.tokens -= float64(tokens)
+}
+
+// spendDebitKey carries the per-request debit hook from the spend-admission
+// middleware to the eval stream.
+type spendDebitKey struct{}
+
+// spendAdmission enforces the per-client completion-token budget on eval
+// requests, layered on (inside) the request-rate bucket: over-budget
+// clients get 429 + Retry-After and count into the token_limited metric.
+// Non-eval endpoints spend no completion tokens and pass through untouched.
+// tokensPerMin <= 0 disables the middleware.
+func spendAdmission(l *spendLimiter, m *Metrics) middleware {
+	if l == nil {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !strings.HasPrefix(r.URL.Path, "/v1/eval/") {
+				next.ServeHTTP(w, r)
+				return
+			}
+			key := clientKey(r)
+			ok, wait := l.allow(key)
+			if !ok {
+				m.TokenLimited.Add(1)
+				secs := int(math.Ceil(wait.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				httpError(w, http.StatusTooManyRequests, "completion-token budget exhausted; retry after %ds", secs)
+				return
+			}
+			ctx := context.WithValue(r.Context(), spendDebitKey{}, func(tokens int) {
+				l.debit(key, tokens)
+			})
+			next.ServeHTTP(w, r.WithContext(ctx))
 		})
 	}
 }

@@ -1,8 +1,9 @@
 // Package serve turns the benchmark pipeline into a long-running evaluation
 // service: benchmark-as-a-service instead of a one-shot table printer. It
-// exposes the five paper tasks as HTTP/JSON eval endpoints whose batch
-// responses stream back as NDJSON in example order while completions are
-// still running (built on core.Run*Stream / runner.MapStream), serves
+// exposes every task in the core registry through one generic HTTP/JSON
+// eval endpoint (plus GET /v1/tasks discovery) whose batch responses stream
+// back as NDJSON in example order while completions are still running
+// (built on the generic core task driver / runner.MapStream), serves
 // rendered paper artifacts from a seed-keyed cache whose cold starts
 // coalesce through runner.Flight, and reports request/coalescing/cache
 // counters for operability. cmd/sqlserved is the thin binary around it.
@@ -46,6 +47,12 @@ type Config struct {
 	RPS float64
 	// Burst is the admission-control burst capacity (minimum 1).
 	Burst int
+	// TokensPerMin enables spend-based admission control on top of the
+	// request-rate bucket: each client may consume this many completion
+	// tokens per minute across its evals (with one minute's budget of
+	// burst). Over-budget eval requests are rejected with 429 + Retry-After
+	// and counted as token_limited in /v1/metrics. 0 disables it.
+	TokensPerMin float64
 	// Models optionally replaces the default simulated models with a
 	// config-driven spec set (sqlserved -models); see llm.Spec.
 	Models []llm.Spec
@@ -96,7 +103,10 @@ type Server struct {
 	// (rate, in-flight, cache) apply globally, not per cached seed.
 	llmStats   *llm.Stats
 	llmClients llm.ClientCache
-	mux        *http.ServeMux
+	// spend tracks per-client completion-token budgets when spend-based
+	// admission control is enabled (nil otherwise).
+	spend *spendLimiter
+	mux   *http.ServeMux
 
 	// envs caches fully built evaluation environments per (seed, verify):
 	// the benchmark plus simulated model registry plus memoized cell
@@ -115,7 +125,11 @@ func NewServer(cfg Config) *Server {
 	s := &Server{cfg: cfg, metrics: NewMetrics(), llmStats: llm.NewStats(), mux: http.NewServeMux()}
 	s.envs.SetLimit(cacheCap(cfg.EnvCacheCap, defaultEnvCacheCap))
 	s.artifacts.SetLimit(cacheCap(cfg.ArtifactCacheCap, defaultArtifactCacheCap))
+	if cfg.TokensPerMin > 0 {
+		s.spend = newSpendLimiter(cfg.TokensPerMin)
+	}
 	s.mux.HandleFunc("POST /v1/eval/{task}", s.handleEval)
+	s.mux.HandleFunc("GET /v1/tasks", s.handleTasks)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -125,13 +139,15 @@ func NewServer(cfg Config) *Server {
 
 // Handler returns the service's root handler with middleware applied:
 // recovery and logging outermost, then request counting, then per-client
-// admission control (so shed requests are still counted and logged).
+// admission control (so shed requests are still counted and logged), then
+// spend-based token-budget admission layered inside the request-rate bucket.
 func (s *Server) Handler() http.Handler {
 	return chain(s.mux,
 		recovery(s.cfg.Logger),
 		requestLog(s.cfg.Logger),
 		count(s.metrics),
 		admission(s.cfg.RPS, s.cfg.Burst, s.metrics),
+		spendAdmission(s.spend, s.metrics),
 	)
 }
 

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The discovery endpoint mirrors the core task registry: ids in
+// registration order, with skills, datasets, and input shapes.
+func TestTaskDiscovery(t *testing.T) {
+	_, url := testServerAndURL(t)
+	resp, err := http.Get(url + "/v1/tasks")
+	if err != nil {
+		t.Fatalf("GET tasks: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var infos []TaskInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want := core.TaskIDs()
+	if len(infos) != len(want) {
+		t.Fatalf("listed %d tasks, want %d", len(infos), len(want))
+	}
+	byID := map[string]TaskInfo{}
+	for i, info := range infos {
+		if info.ID != want[i] {
+			t.Errorf("task %d = %q, want %q", i, info.ID, want[i])
+		}
+		if info.Name == "" || info.Description == "" || len(info.Skills) == 0 || len(info.Datasets) == 0 {
+			t.Errorf("incomplete listing: %+v", info)
+		}
+		byID[info.ID] = info
+	}
+	if byID["equiv"].Input != "pairs" || byID["syntax"].Input != "sql" {
+		t.Errorf("input shapes wrong: %+v", byID)
+	}
+	// The sixth task is discoverable without any serve changes.
+	fill, ok := byID["fill"]
+	if !ok {
+		t.Fatal("fill task not listed")
+	}
+	if fill.Name != "fill_token" || fill.DefaultDataset != core.SDSS {
+		t.Errorf("fill listing = %+v", fill)
+	}
+}
+
+// Unknown eval tasks 404 with the registered ids in the error, straight
+// from the registry.
+func TestEvalUnknownTaskListsRegistry(t *testing.T) {
+	_, url := testServerAndURL(t)
+	resp := postEval(t, url, "nosuch", EvalRequest{Model: "GPT4"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	var e ErrorLine
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for _, id := range core.TaskIDs() {
+		if !strings.Contains(e.Error, id) {
+			t.Errorf("404 body %q does not list task %q", e.Error, id)
+		}
+	}
+}
+
+// The sixth task evaluates end to end through the generic handler: labeled
+// cell lines carry the fill-specific fields and a correctness verdict.
+func TestEvalFillTask(t *testing.T) {
+	srv, url := testServerAndURL(t)
+	env, err := srv.env(envKey{seed: 1})
+	if err != nil {
+		t.Fatalf("env: %v", err)
+	}
+	task, _ := core.TaskByID("fill")
+	cell, _ := task.Cell(env.Bench, core.SDSS)
+	var ids []string
+	for _, ex := range cell {
+		if fe := ex.Value().(core.FillExample); fe.Missing {
+			ids = append(ids, ex.ID)
+		}
+		if len(ids) == 3 {
+			break
+		}
+	}
+	lines := decodeNDJSON(t, postEval(t, url, "fill", EvalRequest{
+		Model: "GPT4", Dataset: core.SDSS, IDs: ids,
+	}))
+	if len(lines) != len(ids) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(ids))
+	}
+	for i, line := range lines {
+		if line.ID != ids[i] {
+			t.Errorf("line %d ID = %q, want %q", i, line.ID, ids[i])
+		}
+		if line.Task != "fill" {
+			t.Errorf("line %d task = %q", i, line.Task)
+		}
+		if line.PredMissing == nil || line.WantMissing == nil || line.Correct == nil {
+			t.Errorf("line %d missing labeled fields: %+v", i, line)
+		}
+		if line.WantToken == "" {
+			t.Errorf("line %d has no want_token for a damaged example", i)
+		}
+	}
+
+	// Ad-hoc fill input gets predictions only.
+	adhoc := decodeNDJSON(t, postEval(t, url, "fill", EvalRequest{
+		Model: "GPT4", SQL: []string{"SELECT plate SpecObj WHERE z > 0.5"},
+	}))
+	if len(adhoc) != 1 || adhoc[0].PredMissing == nil {
+		t.Fatalf("ad-hoc fill lines = %+v", adhoc)
+	}
+	if adhoc[0].WantMissing != nil || adhoc[0].Correct != nil {
+		t.Errorf("ad-hoc fill line carries ground truth: %+v", adhoc[0])
+	}
+}
+
+// spendLimiter math: budget admits until the balance is spent, refills over
+// time, and isolates clients.
+func TestSpendLimiterMath(t *testing.T) {
+	l := newSpendLimiter(600) // 10 tokens/sec, capacity 600
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	if ok, _ := l.allow("a"); !ok {
+		t.Fatal("fresh client rejected")
+	}
+	// Overspend past the full budget: post-paid debit drives it negative.
+	l.debit("a", 700)
+	ok, wait := l.allow("a")
+	if ok {
+		t.Fatal("overspent client admitted")
+	}
+	// 100 tokens in debt at 10/s: ~10s until positive.
+	if wait < 9*time.Second || wait > 11*time.Second {
+		t.Errorf("wait = %v, want ~10s", wait)
+	}
+	// Other clients are unaffected.
+	if ok, _ := l.allow("b"); !ok {
+		t.Error("independent client rejected")
+	}
+	// Refill restores admission.
+	now = now.Add(15 * time.Second)
+	if ok, _ := l.allow("a"); !ok {
+		t.Error("refilled client still rejected")
+	}
+}
+
+// Overflow eviction must not forgive debt: when the balance map hits its
+// bound, indebted clients survive while paid-up ones are evicted.
+func TestSpendLimiterEvictionKeepsDebtors(t *testing.T) {
+	l := newSpendLimiter(0.001) // negligible refill: nothing returns to full
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	l.allow("debtor")
+	l.debit("debtor", 1_000_000)
+	for i := 0; l.len() < maxBuckets; i++ {
+		key := "client-" + strconv.Itoa(i)
+		l.allow(key)
+		l.debit(key, 0) // touched but owes nothing beyond its tiny capacity
+	}
+	// New clients force evictions; the deep debtor must not be the victim.
+	for i := 0; i < 50; i++ {
+		l.allow("newcomer-" + strconv.Itoa(i))
+	}
+	if got := l.len(); got > maxBuckets {
+		t.Errorf("balances = %d, want <= %d", got, maxBuckets)
+	}
+	if ok, _ := l.allow("debtor"); ok {
+		t.Error("debtor was evicted and readmitted with a fresh budget")
+	}
+}
+
+// The spend middleware sheds over-budget eval requests with 429 +
+// Retry-After, counts them as token_limited, and leaves non-eval endpoints
+// alone.
+func TestSpendAdmission(t *testing.T) {
+	s := NewServer(Config{DefaultSeed: 1, Parallel: 4, TokensPerMin: 30})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The first eval is admitted (full one-minute budget) and its streamed
+	// completion tokens are debited; a short batch overdraws the 30-token
+	// budget immediately.
+	lines := decodeNDJSON(t, postEval(t, ts.URL, "syntax", EvalRequest{
+		Model: "GPT4",
+		SQL: []string{
+			"SELECT plate , mjd FROM SpecObj WHERE z > 0.5",
+			"SELECT plate mjd FROM SpecObj",
+			"SELECT plate FROM SpecObj WHERE z > 1.5",
+		},
+	}))
+	if len(lines) != 3 {
+		t.Fatalf("admitted eval streamed %d lines", len(lines))
+	}
+	var spent int
+	for _, l := range lines {
+		if l.Usage != nil {
+			spent += l.Usage.CompletionTokens
+		}
+	}
+	if spent <= 30 {
+		t.Fatalf("test eval spent only %d tokens; raise the batch size", spent)
+	}
+
+	resp := postEval(t, ts.URL, "syntax", EvalRequest{Model: "GPT4", SQL: []string{"SELECT 1"}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget eval status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 lacks Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q", ra)
+	}
+	if got := s.Metrics().TokenLimited.Load(); got < 1 {
+		t.Errorf("token_limited = %d, want >= 1", got)
+	}
+
+	// Non-eval endpoints spend no tokens and stay open.
+	for _, path := range []string{"/v1/healthz", "/v1/tasks", "/v1/experiments"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d under token limiting", path, r.StatusCode)
+		}
+	}
+	m := getMetrics(t, ts.URL)
+	if m.counters["token_limited"] < 1 {
+		t.Errorf("metrics token_limited = %d", m.counters["token_limited"])
+	}
+}
+
+// With no budget configured the spend middleware is inert.
+func TestSpendAdmissionDisabled(t *testing.T) {
+	_, url := testServerAndURL(t)
+	for i := 0; i < 5; i++ {
+		lines := decodeNDJSON(t, postEval(t, url, "perf", EvalRequest{
+			Model: "GPT4", SQL: []string{"SELECT TOP 10 objid FROM PhotoObj"},
+		}))
+		if len(lines) != 1 {
+			t.Fatalf("request %d: %d lines", i, len(lines))
+		}
+	}
+}

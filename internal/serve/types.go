@@ -1,34 +1,44 @@
 package serve
 
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+)
+
 // EvalRequest is the body of POST /v1/eval/{task}. Exactly one source of
 // examples applies, checked in this order:
 //
-//   - SQL (or Pairs, for the equiv task): ad-hoc statements submitted by the
-//     caller. No ground-truth labels exist, so result lines carry only the
-//     model's predictions.
+//   - SQL (or Pairs, for pair-input tasks like equiv): ad-hoc statements
+//     submitted by the caller. No ground-truth labels exist, so result
+//     lines carry only the model's predictions.
 //   - IDs: benchmark example IDs (e.g. "sdss-0017/syn") resolved against the
 //     seed's benchmark. Result lines include the expected label and a
 //     correctness verdict.
 //   - neither: the whole model×dataset cell streams back, labeled.
 //
 // Sources are mutually exclusive, and a source the task does not take
-// (Pairs outside equiv, SQL on equiv) is rejected with 400 rather than
-// silently ignored.
+// (Pairs on an sql-input task, SQL on a pair-input one) is rejected with
+// 400 rather than silently ignored.
 type EvalRequest struct {
 	// Model is the registered model name (GPT4, GPT3.5, Llama3, MistralAI,
 	// Gemini). Required.
 	Model string `json:"model"`
-	// Dataset selects the benchmark dataset for the syntax, tokens, and
-	// equiv tasks (SDSS, SQLShare, Join-Order; default SDSS). The perf task
-	// is SDSS-only and the explain task Spider-only, as in the paper.
+	// Dataset selects the benchmark dataset for multi-dataset tasks (each
+	// task's list and default are in GET /v1/tasks). Single-dataset tasks
+	// (perf: SDSS, explain: Spider, as in the paper) are pinned.
 	Dataset string `json:"dataset,omitempty"`
 	// Seed selects the benchmark seed (0 = server default).
 	Seed int64 `json:"seed,omitempty"`
 	// IDs selects labeled benchmark examples by ID.
 	IDs []string `json:"ids,omitempty"`
-	// SQL holds ad-hoc statements (all tasks except equiv).
+	// SQL holds ad-hoc statements (sql-input tasks).
 	SQL []string `json:"sql,omitempty"`
-	// Pairs holds ad-hoc [left, right] query pairs (equiv task only).
+	// Pairs holds ad-hoc [left, right] query pairs (pair-input tasks).
 	Pairs [][2]string `json:"pairs,omitempty"`
 	// Params optionally sets completion parameters for every request the
 	// eval issues (temperature, max_tokens, model-side seed).
@@ -48,10 +58,77 @@ type EvalParams struct {
 	Seed *int64 `json:"seed,omitempty"`
 }
 
-// EvalLine is one NDJSON line of an eval response: one example's outcome,
-// written as soon as every earlier example has completed. Prediction fields
-// are task-specific; Want* fields appear only for labeled benchmark
-// examples.
+// TaskInfo is one entry of GET /v1/tasks: a registered task's identity,
+// paper skill tags, dataset topology, and the request parameters its eval
+// endpoint accepts.
+type TaskInfo struct {
+	ID             string         `json:"id"`
+	Name           string         `json:"name"`
+	Description    string         `json:"description"`
+	Skills         map[string]int `json:"skills"`
+	Datasets       []string       `json:"datasets"`
+	DefaultDataset string         `json:"default_dataset"`
+	// Input names the ad-hoc example source the task takes: "sql" for
+	// single statements, "pairs" for [left, right] statement pairs.
+	Input  string   `json:"input"`
+	Params []string `json:"params"`
+}
+
+// encodeLine renders one NDJSON eval line from a task-agnostic result view.
+// Field order is fixed — index, id, task, sql[, sql2], the task's
+// pred_*/want_* fields in task order, correct, response, usage, latency_ms —
+// matching the shape the per-task handlers used to emit.
+func encodeLine(index int, task string, v core.ResultView) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	w := func(key string, value any) error {
+		enc, err := json.Marshal(value)
+		if err != nil {
+			return fmt.Errorf("encoding field %s: %w", key, err)
+		}
+		if buf.Len() > 1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('"')
+		buf.WriteString(key)
+		buf.WriteString(`":`)
+		buf.Write(enc)
+		return nil
+	}
+	if err := w("index", index); err != nil {
+		return nil, err
+	}
+	w("id", v.ID)
+	w("task", task)
+	w("sql", v.SQL)
+	if v.SQL2 != "" {
+		w("sql2", v.SQL2)
+	}
+	for _, f := range v.Fields {
+		if err := w(f.Key, f.Value); err != nil {
+			return nil, err
+		}
+	}
+	if v.Correct != nil {
+		w("correct", *v.Correct)
+	}
+	if v.Response != "" {
+		w("response", v.Response)
+	}
+	if v.Usage != (llm.Usage{}) {
+		w("usage", UsageInfo{PromptTokens: v.Usage.PromptTokens, CompletionTokens: v.Usage.CompletionTokens})
+	}
+	if v.Latency != 0 {
+		w("latency_ms", float64(v.Latency)/float64(time.Millisecond))
+	}
+	buf.WriteString("}\n")
+	return buf.Bytes(), nil
+}
+
+// EvalLine is the union of every line shape the generic encoder emits for
+// the built-in tasks — the decode-side companion of encodeLine for tests
+// and clients. Prediction fields are task-specific; Want* fields appear
+// only for labeled benchmark examples.
 type EvalLine struct {
 	Index int    `json:"index"`
 	ID    string `json:"id"`
@@ -82,6 +159,10 @@ type EvalLine struct {
 	// perf task
 	PredCostly *bool `json:"pred_costly,omitempty"`
 	WantCostly *bool `json:"want_costly,omitempty"`
+
+	// fill task
+	PredToken string `json:"pred_token,omitempty"`
+	WantToken string `json:"want_token,omitempty"`
 
 	// explain task
 	Explanation string   `json:"explanation,omitempty"`
@@ -118,8 +199,3 @@ type ExperimentInfo struct {
 	ID    string `json:"id"`
 	Title string `json:"title"`
 }
-
-// boolp, intp, and floatp build the optional-field pointers EvalLine uses.
-func boolp(b bool) *bool        { return &b }
-func intp(i int) *int           { return &i }
-func floatp(f float64) *float64 { return &f }

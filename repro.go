@@ -26,7 +26,6 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/llm"
 	"repro/internal/llm/sim"
-	"repro/internal/prompt"
 )
 
 // Benchmark is the assembled labeled benchmark (workloads plus the
@@ -55,14 +54,26 @@ func Complete(ctx context.Context, c Client, prompt string) (string, error) {
 	return llm.Complete(ctx, c, prompt)
 }
 
-// Result types for the five task families.
+// Result types for the built-in task families.
 type (
 	SyntaxResult  = core.SyntaxResult
 	TokenResult   = core.TokenResult
 	EquivResult   = core.EquivResult
 	PerfResult    = core.PerfResult
 	ExplainResult = core.ExplainResult
+	FillResult    = core.FillResult
 )
+
+// Task is one type-erased entry of the core task registry: identity, skill
+// tags, dataset topology, example codec, and the generic streaming driver.
+type Task = core.Task
+
+// Tasks returns every registered task in registration order (the paper's
+// five plus registered extensions like fill_token).
+func Tasks() []Task { return core.Tasks() }
+
+// TaskIDs lists the registered task ids in registration order.
+func TaskIDs() []string { return core.TaskIDs() }
 
 // Datasets lists the classification-task datasets: SDSS, SQLShare,
 // Join-Order.
@@ -85,13 +96,17 @@ func NewSimRegistry(b *Benchmark) *Registry {
 	return sim.Registry(sim.NewKnowledge(b.SchemasByDataset()))
 }
 
+// The typed Run*Task helpers drive the registry entries through the one
+// generic core driver; RunTask is the type-erased form that works for any
+// registered task id.
+
 // RunSyntaxTask runs the syntax_error task for one model over one dataset.
 func RunSyntaxTask(ctx context.Context, client Client, b *Benchmark, dataset string) ([]SyntaxResult, error) {
 	ds, ok := b.Syntax[dataset]
 	if !ok {
 		return nil, fmt.Errorf("unknown dataset %q", dataset)
 	}
-	return core.RunSyntax(ctx, client, prompt.Default(prompt.SyntaxError), ds)
+	return core.Run(ctx, client, core.SyntaxTask, ds)
 }
 
 // RunTokenTask runs the miss_token task for one model over one dataset.
@@ -100,7 +115,7 @@ func RunTokenTask(ctx context.Context, client Client, b *Benchmark, dataset stri
 	if !ok {
 		return nil, fmt.Errorf("unknown dataset %q", dataset)
 	}
-	return core.RunTokens(ctx, client, prompt.Default(prompt.MissToken), ds)
+	return core.Run(ctx, client, core.TokensTask, ds)
 }
 
 // RunEquivTask runs the query_equiv task for one model over one dataset.
@@ -109,17 +124,52 @@ func RunEquivTask(ctx context.Context, client Client, b *Benchmark, dataset stri
 	if !ok {
 		return nil, fmt.Errorf("unknown dataset %q", dataset)
 	}
-	return core.RunEquiv(ctx, client, prompt.Default(prompt.QueryEquiv), ds)
+	return core.Run(ctx, client, core.EquivTask, ds)
 }
 
 // RunPerfTask runs performance_pred (SDSS) for one model.
 func RunPerfTask(ctx context.Context, client Client, b *Benchmark) ([]PerfResult, error) {
-	return core.RunPerf(ctx, client, prompt.Default(prompt.PerfPred), b.Perf)
+	return core.Run(ctx, client, core.PerfTask, b.Perf)
 }
 
 // RunExplainTask runs query_exp (Spider) for one model.
 func RunExplainTask(ctx context.Context, client Client, b *Benchmark) ([]ExplainResult, error) {
-	return core.RunExplain(ctx, client, prompt.Default(prompt.QueryExp), b.Explain)
+	return core.Run(ctx, client, core.ExplainTask, b.Explain)
+}
+
+// RunFillTask runs the fill_token task for one model over one dataset.
+func RunFillTask(ctx context.Context, client Client, b *Benchmark, dataset string) ([]FillResult, error) {
+	task := core.FillTask
+	cell := task.Cell(b, dataset)
+	if len(cell) == 0 {
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	return core.Run(ctx, client, task, cell)
+}
+
+// RunTask runs any registered task over one benchmark dataset cell by its
+// registry id, returning the task-agnostic result views.
+func RunTask(ctx context.Context, client Client, b *Benchmark, taskID, dataset string) ([]core.ResultView, error) {
+	task, ok := core.TaskByID(taskID)
+	if !ok {
+		return nil, fmt.Errorf("unknown task %q (registered: %v)", taskID, core.TaskIDs())
+	}
+	if dataset == "" {
+		dataset = task.DefaultDataset()
+	}
+	cell, ok := task.Cell(b, dataset)
+	if !ok {
+		return nil, fmt.Errorf("task %s has no %q cell (datasets: %v)", taskID, dataset, task.Datasets())
+	}
+	var out []core.ResultView
+	err := task.RunStream(ctx, client, cell, func(r any) error {
+		out = append(out, task.View(r, true))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Experiments lists the regenerable paper artifacts (table/figure IDs) in
