@@ -9,12 +9,27 @@
 //	modelstub -addr 127.0.0.1:9090
 //	modelstub -addr 127.0.0.1:9090 -fail429 2     # first 2 requests get 429
 //	modelstub -addr 127.0.0.1:9090 -latency 50ms  # per-request delay
+//
+// Chaos flags (the HTTP twin of the in-process faultllm harness):
+//
+//	-fail-rate 0.1 -fail-status 503 -seed 7  # fail 10% of requests, chosen
+//	                                         # deterministically by prompt
+//	                                         # hash, so reruns fail the same
+//	                                         # requests
+//	-flake-every 5                           # every 5th request fails once;
+//	                                         # a retry of the same prompt
+//	                                         # succeeds (exercises Retry)
+//	-slow-every 10 -slow 500ms               # every 10th request stalls an
+//	                                         # extra 500ms (exercises Hedge
+//	                                         # tail-latency cutting)
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net/http"
 	"os"
@@ -59,6 +74,13 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:9090", "listen address")
 		fail429 = flag.Int64("fail429", 0, "reject the first N completion requests with 429 (exercises retry)")
 		latency = flag.Duration("latency", 0, "artificial per-request latency")
+
+		failRate   = flag.Float64("fail-rate", 0, "fraction of requests failing with -fail-status, chosen deterministically by prompt hash and -seed")
+		failStatus = flag.Int("fail-status", 503, "HTTP status of -fail-rate failures")
+		seed       = flag.Int64("seed", 0, "seed for the -fail-rate decision hash")
+		flakeEvery = flag.Int64("flake-every", 0, "every Nth request fails once with -fail-status; retries of the same prompt succeed (0 = off)")
+		slowEvery  = flag.Int64("slow-every", 0, "every Nth request stalls an extra -slow (0 = off)")
+		slow       = flag.Duration("slow", 500*time.Millisecond, "extra latency of -slow-every requests")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "modelstub: ", log.LstdFlags)
@@ -73,7 +95,8 @@ func main() {
 			fmt.Fprintf(w, `{"error":{"message":"decoding request: %v","type":"invalid_request_error"}}`, err)
 			return
 		}
-		if n := served.Add(1); n <= *fail429 {
+		n := served.Add(1)
+		if n <= *fail429 {
 			rejected.Add(1)
 			w.Header().Set("Retry-After", "0")
 			w.Header().Set("Content-Type", "application/json")
@@ -81,14 +104,42 @@ func main() {
 			fmt.Fprint(w, `{"error":{"message":"stub rate limit, retry","type":"rate_limited"}}`)
 			return
 		}
-		if *latency > 0 {
-			time.Sleep(*latency)
-		}
 		var prompt string
 		for _, m := range req.Messages {
 			if m.Role == "user" {
 				prompt = m.Content
 			}
+		}
+		// Deterministic chaos: -fail-rate picks failures by prompt hash (the
+		// same prompt fails on every attempt — a planned failure set),
+		// -flake-every by request count (a retry of the same prompt
+		// succeeds — a transient blip).
+		injected := false
+		if *failRate > 0 {
+			h := fnv.New64a()
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], uint64(*seed))
+			h.Write(buf[:])
+			h.Write([]byte(prompt))
+			if float64(h.Sum64()>>11)/float64(1<<53) < *failRate {
+				injected = true
+			}
+		}
+		if *flakeEvery > 0 && n%*flakeEvery == 0 {
+			injected = true
+		}
+		if injected {
+			rejected.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(*failStatus)
+			fmt.Fprintf(w, `{"error":{"message":"stub injected fault (status %d)","type":"server_error"}}`, *failStatus)
+			return
+		}
+		if *latency > 0 {
+			time.Sleep(*latency)
+		}
+		if *slowEvery > 0 && n%*slowEvery == 0 {
+			time.Sleep(*slow)
 		}
 		text := answer(prompt)
 		promptTokens := (len(prompt) + 3) / 4
@@ -122,7 +173,8 @@ func main() {
 		})
 	})
 
-	logger.Printf("listening on %s (fail429=%d latency=%v)", *addr, *fail429, *latency)
+	logger.Printf("listening on %s (fail429=%d latency=%v fail-rate=%.2f fail-status=%d flake-every=%d slow-every=%d slow=%v)",
+		*addr, *fail429, *latency, *failRate, *failStatus, *flakeEvery, *slowEvery, *slow)
 	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	logger.Fatal(srv.ListenAndServe())
 }

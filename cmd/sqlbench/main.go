@@ -11,6 +11,8 @@
 //	sqlbench -exp all -stats
 //	sqlbench -exp table6 -models '[{"name":"gpt-4o","provider":"http",...}]'
 //	sqlbench -exp table6 -models @models.json
+//	sqlbench -exp all -continue-on-error -max-failures 50
+//	sqlbench -exp all -checkpoint-dir /tmp/ckpt   # rerun resumes, byte-identical
 //
 // Output is byte-identical at every -parallel setting; -parallel 1
 // reproduces the fully sequential pipeline. The -parallel budget reaches
@@ -50,6 +52,10 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for benchmark build, task runs, and intra-query engine execution (1 = sequential)")
 		stats    = flag.Bool("stats", false, "report build/run wall times, engine op counts, and per-model usage to stderr")
 		models   = flag.String("models", "", "JSON model specs (or @file) replacing the default simulated models; providers: sim, http")
+
+		continueOnError = flag.Bool("continue-on-error", false, "record per-example completion failures and keep going instead of aborting the run")
+		maxFailures     = flag.Int("max-failures", 0, "abort a -continue-on-error run once more than this many examples fail (0 = unlimited)")
+		checkpointDir   = flag.String("checkpoint-dir", "", "persist completed model responses to <dir>/<model>.ndjson and replay them on rerun; a resumed run's output is byte-identical to an uninterrupted one")
 	)
 	flag.Parse()
 
@@ -105,11 +111,15 @@ func main() {
 		VerifyEquivalences: !*noVerify,
 		Parallel:           *parallel,
 		Models:             specs,
+		ContinueOnError:    *continueOnError,
+		MaxFailures:        *maxFailures,
+		CheckpointDir:      *checkpointDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlbench: building benchmark:", err)
 		os.Exit(1)
 	}
+	defer env.Close()
 	if *stats {
 		fmt.Fprintf(os.Stderr, "sqlbench: benchmark build took %v (parallel=%d)\n",
 			time.Since(buildStart).Round(time.Millisecond), *parallel)
@@ -135,11 +145,12 @@ func main() {
 		// Per-model client telemetry: how many completions ran, what they
 		// cost in tokens, how they behaved (retries, rate limiting, latency).
 		snap := env.Stats.Snapshot()
+		failedByModel := env.FailedByModel()
 		for _, name := range env.Stats.Names() {
 			ms := snap[name]
 			fmt.Fprintf(os.Stderr,
-				"sqlbench: model %s: requests=%d errors=%d retries=%d prompt_tokens=%d completion_tokens=%d latency_mean_ms=%.1f latency_p95_ms=%.1f\n",
-				name, ms.Requests, ms.Errors, ms.Retries, ms.PromptTokens, ms.CompletionTokens,
+				"sqlbench: model %s: requests=%d errors=%d retries=%d failed_examples=%d prompt_tokens=%d completion_tokens=%d latency_mean_ms=%.1f latency_p95_ms=%.1f\n",
+				name, ms.Requests, ms.Errors, ms.Retries, failedByModel[name], ms.PromptTokens, ms.CompletionTokens,
 				ms.LatencyMeanMS, ms.LatencyP95MS)
 		}
 	}

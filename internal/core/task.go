@@ -45,6 +45,25 @@ type ResultView struct {
 	Response string
 	Usage    llm.Usage
 	Latency  time.Duration
+	// Err is the failure message of an example that produced no graded
+	// result (partial-failure runs). When set, only ID/SQL/SQL2 are
+	// meaningful — a failed row renders alongside graded rows so a stream
+	// accounts for every example it attempted.
+	Err string
+}
+
+// FailedView projects a failed example into the generic renderable form —
+// the row shape partial-failure streams emit for examples whose completion
+// errored.
+func FailedView(ex Example, err error) ResultView {
+	v := ResultView{ID: ex.ID, Err: err.Error()}
+	if len(ex.SQL) > 0 {
+		v.SQL = ex.SQL[0]
+	}
+	if len(ex.SQL) > 1 {
+		v.SQL2 = ex.SQL[1]
+	}
+	return v
 }
 
 // Summary is the generic accuracy aggregation of one task cell — the cell
@@ -56,6 +75,11 @@ type Summary struct {
 	Accuracy      float64
 	Prec, Rec, F1 float64
 	HasPRF        bool
+	// Failed counts examples that produced no graded result in a
+	// partial-failure run. N counts graded results only, so N+Failed is the
+	// attempted total. Summarize leaves it zero; the layer that ran the
+	// cell (experiments, serve) fills it in from its failure records.
+	Failed int
 }
 
 // binarySummary converts a confusion matrix into the generic summary.
@@ -191,6 +215,35 @@ func RunTemplate[E, R any](ctx context.Context, client llm.Client, t *TaskDef[E,
 	})
 }
 
+// RunOpts controls a driver run's failure handling.
+type RunOpts struct {
+	// ContinueOnError switches the run to partial-failure mode: an example
+	// whose completion errors becomes an error row delivered to the sink in
+	// its dataset position, and the run keeps going instead of aborting.
+	ContinueOnError bool
+	// MaxFailures aborts a continuing run once more than this many examples
+	// have failed — the budget that bounds wasted work against a dead
+	// backend. 0 means unlimited. Ignored unless ContinueOnError is set.
+	MaxFailures int
+}
+
+// RunStreamPartial drives one model over a dataset in partial-failure mode
+// with the task's default prompt: each example yields exactly one sink
+// call in dataset order — a graded result, or the completion error. The
+// returned error is nil when every example was attempted (even if all
+// failed); it is a *runner.BudgetError when the failure budget tripped.
+func RunStreamPartial[E, R any](ctx context.Context, client llm.Client, t *TaskDef[E, R], ds []E, maxFailures int, sink func(idx int, r R, err error) error) error {
+	tpl := prompt.Default(t.PromptTask)
+	return runner.MapStreamPartial(ctx, 0, ds, maxFailures, func(ctx context.Context, _ int, ex E) (R, error) {
+		resp, err := client.Do(ctx, llm.NewRequest(t.Render(tpl, ex)))
+		if err != nil {
+			var zero R
+			return zero, fmt.Errorf("completing %s: %w", t.ExampleID(ex), err)
+		}
+		return t.Grade(ex, resp), nil
+	}, sink)
+}
+
 // ---------------------------------------------------------------------------
 // Type-erased view and registry
 
@@ -231,6 +284,12 @@ type Task interface {
 	// graded result (the task's concrete result type, boxed) to sink in
 	// example order as soon as its prefix completes.
 	RunStream(ctx context.Context, client llm.Client, examples []Example, sink func(result any) error) error
+	// RunStreamOpts is RunStream with failure control: in partial mode
+	// (opts.ContinueOnError) every example yields exactly one sink call in
+	// example order — a boxed graded result with a nil error, or a nil
+	// result with the completion error — and the run continues past
+	// failures until opts.MaxFailures trips the budget.
+	RunStreamOpts(ctx context.Context, client llm.Client, examples []Example, opts RunOpts, sink func(idx int, result any, err error) error) error
 	// Grade post-processes one raw response for one example (boxed result).
 	Grade(ex Example, resp llm.Response) (any, error)
 	// View projects one boxed result into the generic renderable form.
@@ -319,6 +378,27 @@ func (a taskAdapter[E, R]) RunStream(ctx context.Context, client llm.Client, exa
 		return err
 	}
 	return RunStream(ctx, client, a.def, ds, func(r R) error { return sink(r) })
+}
+
+func (a taskAdapter[E, R]) RunStreamOpts(ctx context.Context, client llm.Client, examples []Example, opts RunOpts, sink func(int, any, error) error) error {
+	ds, err := a.unwrap(examples)
+	if err != nil {
+		return err
+	}
+	if !opts.ContinueOnError {
+		idx := 0
+		return RunStream(ctx, client, a.def, ds, func(r R) error {
+			err := sink(idx, r, nil)
+			idx++
+			return err
+		})
+	}
+	return RunStreamPartial(ctx, client, a.def, ds, opts.MaxFailures, func(idx int, r R, err error) error {
+		if err != nil {
+			return sink(idx, nil, err)
+		}
+		return sink(idx, r, nil)
+	})
 }
 
 func (a taskAdapter[E, R]) Grade(ex Example, resp llm.Response) (any, error) {

@@ -7,10 +7,16 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/llm"
+	"repro/internal/llm/checkpoint"
+	"repro/internal/llm/faultllm"
 	"repro/internal/llm/httpllm"
 	"repro/internal/llm/sim"
 	"repro/internal/runner"
@@ -35,6 +41,12 @@ type Env struct {
 	// task run and for the model×dataset prefetch in the experiment
 	// definitions. 0 means GOMAXPROCS; 1 reproduces the sequential pipeline.
 	Parallel int
+	// ContinueOnError runs cells in partial-failure mode: an example whose
+	// completion fails is recorded (see Failures) instead of aborting the
+	// cell, and summaries report the failed count. MaxFailures bounds how
+	// many failures a cell tolerates before aborting anyway (0 = unlimited).
+	ContinueOnError bool
+	MaxFailures     int
 
 	// results caches boxed task results per task×model×dataset cell; typed
 	// caches the unboxed form of the same cells so repeated typed accesses
@@ -42,6 +54,37 @@ type Env struct {
 	// and reallocate per call.
 	results runner.Flight[string, []any]
 	typed   runner.Flight[string, any]
+
+	// stores holds the open checkpoint stores (one per model) when the
+	// environment was built with a CheckpointDir; Close releases them.
+	stores []*checkpoint.Store
+
+	// failMu guards failures: per-cell failed-example records accumulated
+	// by partial-failure runs.
+	failMu   sync.Mutex
+	failures map[string][]CellFailure
+}
+
+// CellFailure records one failed example of a partial-failure cell run.
+type CellFailure struct {
+	// Index is the example's position in the cell; ID its stable id.
+	Index int
+	ID    string
+	// Err is the completion error message.
+	Err string
+}
+
+// Close releases the environment's checkpoint stores, if any. Safe to call
+// on environments built without checkpointing.
+func (e *Env) Close() error {
+	var first error
+	for _, s := range e.stores {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.stores = nil
+	return first
 }
 
 // Config controls environment construction.
@@ -68,15 +111,29 @@ type Config struct {
 	// are always built per environment, since the simulators resolve against
 	// the environment's own knowledge context.
 	ClientCache *llm.ClientCache
+	// CheckpointDir enables checkpoint/resume: every model's completed
+	// responses append to <dir>/<model>.ndjson, and requests recorded there
+	// replay without touching the backend. Grading is deterministic given
+	// responses, so a resumed run's artifacts are byte-identical to an
+	// uninterrupted run's. Empty means no checkpointing.
+	CheckpointDir string
+	// ContinueOnError runs every cell in partial-failure mode (see
+	// Env.ContinueOnError); MaxFailures is the per-cell failure budget
+	// (0 = unlimited).
+	ContinueOnError bool
+	MaxFailures     int
 }
 
 // Providers returns the spec provider factories an environment's registry
 // builds from: the calibrated simulators over the given knowledge context,
-// and the OpenAI-compatible HTTP client.
+// and the OpenAI-compatible HTTP client. Every factory is wrapped with the
+// faultllm harness, so a spec's fault_* fields inject deterministic chaos
+// below the middleware stack regardless of provider (fault-free specs build
+// the bare client).
 func Providers(k *sim.Knowledge) map[string]llm.Factory {
 	return map[string]llm.Factory{
-		"sim":  sim.Factory(k),
-		"http": httpllm.Factory,
+		"sim":  faultllm.WrapFactory(sim.Factory(k)),
+		"http": faultllm.WrapFactory(httpllm.Factory),
 	}
 }
 
@@ -98,15 +155,44 @@ func NewEnvConfig(cfg Config) (*Env, error) {
 	if stats == nil {
 		stats = llm.NewStats()
 	}
+	env := &Env{
+		Stats:           stats,
+		Parallel:        cfg.Parallel,
+		ContinueOnError: cfg.ContinueOnError,
+		MaxFailures:     cfg.MaxFailures,
+	}
+	// wrap attaches the checkpoint replay/record layer (outermost, above
+	// even the cache, so resumed runs replay without re-counting stats or
+	// re-spending rate tokens) when a checkpoint directory is configured.
+	wrap := func(c llm.Client) (llm.Client, error) {
+		if cfg.CheckpointDir == "" {
+			return c, nil
+		}
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("checkpoint dir: %w", err)
+		}
+		store, err := checkpoint.Open(filepath.Join(cfg.CheckpointDir, checkpoint.Filename(c.Name())))
+		if err != nil {
+			return nil, err
+		}
+		env.stores = append(env.stores, store)
+		return llm.Chain(c, checkpoint.Middleware(store)), nil
+	}
 	reg := llm.NewRegistry()
 	models := llm.ModelNames
 	if len(cfg.Models) == 0 {
 		for _, name := range llm.ModelNames {
 			m, err := sim.New(name, knowledge)
 			if err != nil {
+				env.Close()
 				return nil, fmt.Errorf("building simulator %s: %w", name, err)
 			}
-			reg.Register(llm.Chain(m, llm.Instrument(stats)))
+			c, err := wrap(llm.Chain(m, llm.Instrument(stats)))
+			if err != nil {
+				env.Close()
+				return nil, err
+			}
+			reg.Register(c)
 		}
 	} else {
 		providers := Providers(knowledge)
@@ -118,20 +204,21 @@ func NewEnvConfig(cfg Config) (*Env, error) {
 			} else {
 				c, err = llm.BuildClient(spec, providers, stats)
 			}
+			if err == nil {
+				c, err = wrap(c)
+			}
 			if err != nil {
+				env.Close()
 				return nil, fmt.Errorf("building model registry: %w", err)
 			}
 			reg.Register(c)
 			models = append(models, spec.Name)
 		}
 	}
-	return &Env{
-		Bench:    bench,
-		Registry: reg,
-		Models:   models,
-		Stats:    stats,
-		Parallel: cfg.Parallel,
-	}, nil
+	env.Bench = bench
+	env.Registry = reg
+	env.Models = models
+	return env, nil
 }
 
 // NewEnv builds the benchmark and the five simulated models with the default
@@ -160,7 +247,8 @@ func (e *Env) Results(taskID, model, ds string) ([]any, error) {
 	if ds == "" {
 		ds = task.DefaultDataset()
 	}
-	return e.results.Do(key(taskID, model, ds), func() ([]any, error) {
+	k := key(taskID, model, ds)
+	return e.results.Do(k, func() ([]any, error) {
 		client, err := e.Registry.Get(model)
 		if err != nil {
 			return nil, err
@@ -169,16 +257,57 @@ func (e *Env) Results(taskID, model, ds string) ([]any, error) {
 		if !ok {
 			return nil, fmt.Errorf("task %s has no %q cell (datasets: %v)", taskID, ds, task.Datasets())
 		}
+		opts := core.RunOpts{ContinueOnError: e.ContinueOnError, MaxFailures: e.MaxFailures}
 		out := make([]any, 0, len(cell))
-		err = task.RunStream(e.ctx(), client, cell, func(r any) error {
+		var failed []CellFailure
+		err = task.RunStreamOpts(e.ctx(), client, cell, opts, func(idx int, r any, err error) error {
+			if err != nil {
+				failed = append(failed, CellFailure{Index: idx, ID: cell[idx].ID, Err: err.Error()})
+				return nil
+			}
 			out = append(out, r)
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
+		if len(failed) > 0 {
+			e.failMu.Lock()
+			if e.failures == nil {
+				e.failures = make(map[string][]CellFailure)
+			}
+			e.failures[k] = failed
+			e.failMu.Unlock()
+		}
 		return out, nil
 	})
+}
+
+// Failures returns the failed-example records of one cell's partial run
+// (nil when the cell ran clean or has not run). ds "" selects the task's
+// default dataset, mirroring Results.
+func (e *Env) Failures(taskID, model, ds string) []CellFailure {
+	if task, ok := core.TaskByID(taskID); ok && ds == "" {
+		ds = task.DefaultDataset()
+	}
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return append([]CellFailure{}, e.failures[key(taskID, model, ds)]...)
+}
+
+// FailedByModel aggregates recorded example failures per model across every
+// cell run so far — the source of the failed column in sqlbench -stats.
+func (e *Env) FailedByModel() map[string]int {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	out := make(map[string]int)
+	for k, fs := range e.failures {
+		parts := strings.SplitN(k, "\x00", 3)
+		if len(parts) == 3 {
+			out[parts[1]] += len(fs)
+		}
+	}
+	return out
 }
 
 // Summary computes the generic accuracy summary of one task cell.
@@ -191,7 +320,9 @@ func (e *Env) Summary(taskID, model, ds string) (core.Summary, error) {
 	if err != nil {
 		return core.Summary{}, err
 	}
-	return task.Summarize(rs), nil
+	s := task.Summarize(rs)
+	s.Failed = len(e.Failures(taskID, model, ds))
+	return s, nil
 }
 
 // typedResults unboxes a cached cell into the task's concrete result type —

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/llm/faultllm"
+	"repro/internal/prompt"
+)
+
+// TestPartialRunMatchesFaultPlan is the end-to-end chaos guarantee: under a
+// deterministic 10% fault plan, a continue-on-error cell run completes with
+// zero aborts, and the failed examples are exactly the ones the plan names
+// — no more (spurious failures), no fewer (silently dropped errors).
+func TestPartialRunMatchesFaultPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds an environment")
+	}
+	plan := faultllm.Plan{Seed: 7, ErrorRate: 0.10}
+	env, err := NewEnvConfig(Config{
+		Seed:     1,
+		Parallel: 8,
+		Models: []llm.Spec{{
+			Name: llm.GPT4, Provider: "sim",
+			FaultRate: plan.ErrorRate, FaultSeed: plan.Seed,
+		}},
+		ContinueOnError: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	taskID := core.SyntaxTask.TaskID
+	ds := core.SyntaxTask.DefaultDataset
+	cell := core.SyntaxTask.Cell(env.Bench, ds)
+	if len(cell) == 0 {
+		t.Fatal("empty cell")
+	}
+	// The plan is pure, so the expected failure set is computable up front
+	// from the exact prompts the driver will issue.
+	tpl := prompt.Default(core.SyntaxTask.PromptTask)
+	expected := map[string]bool{}
+	for _, ex := range cell {
+		req := llm.NewRequest(core.SyntaxTask.Render(tpl, ex))
+		if plan.Decide(llm.GPT4, req).Fail {
+			expected[core.SyntaxTask.ExampleID(ex)] = true
+		}
+	}
+	if len(expected) == 0 {
+		t.Fatalf("plan fails nothing over %d examples; pick a different seed", len(cell))
+	}
+
+	results, err := env.Results(taskID, llm.GPT4, ds)
+	if err != nil {
+		t.Fatalf("partial run aborted: %v", err)
+	}
+	failures := env.Failures(taskID, llm.GPT4, ds)
+	if len(results)+len(failures) != len(cell) {
+		t.Fatalf("attempted %d+%d examples, cell has %d", len(results), len(failures), len(cell))
+	}
+	got := map[string]bool{}
+	for _, f := range failures {
+		if f.Err == "" {
+			t.Errorf("failure %s has no error message", f.ID)
+		}
+		got[f.ID] = true
+	}
+	if !reflect.DeepEqual(got, expected) {
+		t.Errorf("failed set diverges from plan: got %d failures, plan names %d", len(got), len(expected))
+	}
+
+	sum, err := env.Summary(taskID, llm.GPT4, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != len(expected) || sum.N != len(cell)-len(expected) {
+		t.Errorf("summary N=%d Failed=%d, want N=%d Failed=%d",
+			sum.N, sum.Failed, len(cell)-len(expected), len(expected))
+	}
+}
+
+// TestCheckpointResumeByteIdentical drives the resume guarantee end to end:
+// a run interrupted by faults leaves a partial checkpoint; resuming against
+// it replays recorded responses (never re-querying the backend for them)
+// and produces results identical to a never-interrupted run.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds three environments")
+	}
+	dir := t.TempDir()
+	taskID := core.SyntaxTask.TaskID
+	spec := llm.Spec{Name: llm.GPT4, Provider: "sim"}
+
+	// Uninterrupted baseline, no checkpointing.
+	baseEnv, err := NewEnvConfig(Config{Seed: 1, Parallel: 8, Models: []llm.Spec{spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := baseEnv.Results(taskID, llm.GPT4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First attempt: 30% of requests fail under a deterministic plan, the
+	// run continues past them, and successes land in the checkpoint.
+	faulty := spec
+	faulty.FaultRate = 0.3
+	faulty.FaultSeed = 11
+	firstEnv, err := NewEnvConfig(Config{
+		Seed: 1, Parallel: 8,
+		Models:          []llm.Spec{faulty},
+		ContinueOnError: true,
+		CheckpointDir:   dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := firstEnv.Results(taskID, llm.GPT4, ""); err != nil {
+		t.Fatalf("interrupted run aborted: %v", err)
+	}
+	failed := len(firstEnv.Failures(taskID, llm.GPT4, ""))
+	if failed == 0 {
+		t.Fatal("fault plan failed nothing; resume would be trivial")
+	}
+	if err := firstEnv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: same checkpoint dir, faults gone (the outage ended).
+	resumeEnv, err := NewEnvConfig(Config{
+		Seed: 1, Parallel: 8,
+		Models:        []llm.Spec{spec},
+		CheckpointDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumeEnv.Close()
+	resumed, err := resumeEnv.Results(taskID, llm.GPT4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, baseline) {
+		t.Errorf("resumed results diverge from uninterrupted run (%d vs %d results)", len(resumed), len(baseline))
+	}
+	// Only the previously-failed examples may touch the backend on resume:
+	// the checkpoint layer sits above Instrument, so replayed hits are
+	// invisible to stats.
+	if got := resumeEnv.Stats.Model(llm.GPT4).Requests.Load(); got != int64(failed) {
+		t.Errorf("resume issued %d backend requests, want %d (one per previously-failed example)", got, failed)
+	}
+}

@@ -1,0 +1,238 @@
+// Package checkpoint persists completed model responses to NDJSON files so
+// an interrupted evaluation can resume without repeating paid work. The
+// insight that keeps this cheap is that everything downstream of the model
+// is deterministic: grading a response, summarizing a cell, rendering a
+// table all replay identically given the same responses. So the checkpoint
+// stores raw responses keyed by request hash — not task-specific graded
+// results — and a resumed run replays recorded responses through the full
+// pipeline, producing output byte-identical to an uninterrupted run.
+//
+// The store appends one JSON line per completed response and recovers from
+// a torn final line (the signature a killed process leaves), truncating it
+// before appending. Errors are never recorded: a request that failed last
+// run is retried fresh on resume.
+package checkpoint
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/llm"
+)
+
+// Entry is one recorded response.
+type Entry struct {
+	// Key is the request's stable digest (llm.Request.Hash, hex).
+	Key string `json:"key"`
+	// Model is the provider-reported model identifier of the response.
+	Model string `json:"model,omitempty"`
+	// Text is the completion text.
+	Text string `json:"text"`
+	// PromptTokens and CompletionTokens are the recorded usage.
+	PromptTokens     int `json:"prompt_tokens,omitempty"`
+	CompletionTokens int `json:"completion_tokens,omitempty"`
+	// LatencyNS is the recorded completion latency in nanoseconds, replayed
+	// verbatim so latency-derived artifact columns survive a resume.
+	LatencyNS int64 `json:"latency_ns,omitempty"`
+	// Finish is the recorded finish reason.
+	Finish string `json:"finish,omitempty"`
+}
+
+// response converts the entry back to the llm.Response it recorded.
+func (e Entry) response() llm.Response {
+	return llm.Response{
+		Text:  e.Text,
+		Model: e.Model,
+		Usage: llm.Usage{
+			PromptTokens:     e.PromptTokens,
+			CompletionTokens: e.CompletionTokens,
+		},
+		Latency:      time.Duration(e.LatencyNS),
+		FinishReason: e.Finish,
+	}
+}
+
+// Store is one NDJSON checkpoint file: an in-memory index of every recorded
+// entry plus an append handle for new ones. Safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]Entry
+}
+
+// Open reads an existing checkpoint file (creating it if absent) and opens
+// it for appending. A torn final line — the mark of a killed writer — is
+// dropped and truncated away; corruption anywhere else is an error, since
+// silently skipping recorded work would make a resume quietly recompute it.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	entries := make(map[string]Entry)
+	var good int64 // offset just past the last parseable line
+	r := bufio.NewReader(f)
+	var off int64
+	for {
+		line, err := r.ReadBytes('\n')
+		off += int64(len(line))
+		complete := err == nil
+		if len(line) > 0 {
+			var e Entry
+			if jsonErr := json.Unmarshal(line, &e); jsonErr != nil {
+				if complete {
+					f.Close()
+					return nil, fmt.Errorf("checkpoint: %s: corrupt entry at offset %d: %w", path, good, jsonErr)
+				}
+				// Torn final line from a killed run: drop it.
+				break
+			}
+			if e.Key == "" {
+				f.Close()
+				return nil, fmt.Errorf("checkpoint: %s: entry at offset %d has no key", path, good)
+			}
+			entries[e.Key] = e
+			good = off
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: reading %s: %w", path, err)
+		}
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: truncating torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Store{f: f, entries: entries}, nil
+}
+
+// Lookup returns the recorded entry for a key.
+func (s *Store) Lookup(key string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	return e, ok
+}
+
+// Record appends an entry and adds it to the index. Each entry is written
+// with a single write call, so a kill between requests never tears more
+// than the final line.
+func (s *Store) Record(e Entry) error {
+	if e.Key == "" {
+		return fmt.Errorf("checkpoint: entry has no key")
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("checkpoint: store is closed")
+	}
+	if _, ok := s.entries[e.Key]; ok {
+		return nil // already recorded (a replayed hit re-recorded by a racing caller)
+	}
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	s.entries[e.Key] = e
+	return nil
+}
+
+// Len returns the number of recorded entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Close closes the append handle. Lookups keep working; further Records
+// fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// Key returns the store key for a request.
+func Key(req llm.Request) string {
+	return fmt.Sprintf("%016x", req.Hash())
+}
+
+// Middleware returns a replay/record layer over a client: recorded requests
+// are answered from the store without touching anything below, and fresh
+// successes are recorded before returning. Attach it outermost (above even
+// the cache), so a resumed run replays responses without re-counting them
+// in stats or re-spending rate tokens.
+func Middleware(s *Store) llm.Middleware {
+	return func(next llm.Client) llm.Client {
+		return &replayClient{next: next, store: s}
+	}
+}
+
+type replayClient struct {
+	next  llm.Client
+	store *Store
+}
+
+func (c *replayClient) Name() string { return c.next.Name() }
+
+func (c *replayClient) Do(ctx context.Context, req llm.Request) (llm.Response, error) {
+	key := Key(req)
+	if e, ok := c.store.Lookup(key); ok {
+		return e.response(), nil
+	}
+	resp, err := c.next.Do(ctx, req)
+	if err != nil {
+		return llm.Response{}, err
+	}
+	rec := Entry{
+		Key:              key,
+		Model:            resp.Model,
+		Text:             resp.Text,
+		PromptTokens:     resp.Usage.PromptTokens,
+		CompletionTokens: resp.Usage.CompletionTokens,
+		LatencyNS:        int64(resp.Latency),
+		Finish:           resp.FinishReason,
+	}
+	if err := c.store.Record(rec); err != nil {
+		return llm.Response{}, err
+	}
+	return resp, nil
+}
+
+// Filename returns the checkpoint filename for a model name, replacing
+// path-hostile characters so "GPT3.5" and friends map to safe files.
+func Filename(model string) string {
+	var b strings.Builder
+	for _, r := range model {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String() + ".ndjson"
+}

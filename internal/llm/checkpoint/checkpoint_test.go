@@ -1,0 +1,204 @@
+package checkpoint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+)
+
+// countingClient answers deterministically and counts backend calls.
+type countingClient struct {
+	calls atomic.Int64
+	fail  func(req llm.Request) bool
+}
+
+func (c *countingClient) Name() string { return "m" }
+
+func (c *countingClient) Do(_ context.Context, req llm.Request) (llm.Response, error) {
+	c.calls.Add(1)
+	if c.fail != nil && c.fail(req) {
+		return llm.Response{}, &llm.Error{Status: 503, Code: "unavailable"}
+	}
+	return llm.Response{
+		Text:         "ans:" + req.UserPrompt(),
+		Model:        "m-2024",
+		Usage:        llm.Usage{PromptTokens: 5, CompletionTokens: 9},
+		Latency:      123 * time.Millisecond,
+		FinishReason: llm.FinishStop,
+	}, nil
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ndjson")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		e := Entry{Key: fmt.Sprintf("k%d", i), Text: fmt.Sprintf("t%d", i), Model: "m", PromptTokens: i, LatencyNS: int64(i) * 1000, Finish: "stop"}
+		if err := s.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: every entry survives with its fields intact.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 5 {
+		t.Fatalf("reopened Len = %d, want 5", s2.Len())
+	}
+	e, ok := s2.Lookup("k3")
+	if !ok || e.Text != "t3" || e.PromptTokens != 3 || e.LatencyNS != 3000 || e.Finish != "stop" {
+		t.Fatalf("k3 = %+v, %v", e, ok)
+	}
+}
+
+func TestOpenRecoversTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ndjson")
+	full := `{"key":"a","text":"one"}` + "\n" + `{"key":"b","text":"two"}` + "\n"
+	torn := full + `{"key":"c","text":"thr` // killed mid-write: no newline, invalid JSON
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (torn tail dropped)", s.Len())
+	}
+	// Appending after recovery must produce a valid file, not a line glued
+	// onto the torn fragment.
+	if err := s.Record(Entry{Key: "c", Text: "three"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("file corrupt after torn-tail append: %v", err)
+	}
+	defer s2.Close()
+	if e, ok := s2.Lookup("c"); !ok || e.Text != "three" {
+		t.Fatalf("c = %+v, %v", e, ok)
+	}
+}
+
+func TestOpenRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ndjson")
+	bad := `{"key":"a"}` + "\n" + `garbage` + "\n" + `{"key":"b"}` + "\n"
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("mid-file corruption silently accepted")
+	}
+}
+
+func TestMiddlewareReplaysAndRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ndjson")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := &countingClient{}
+	client := llm.Chain(backend, Middleware(s))
+	if client.Name() != "m" {
+		t.Fatalf("Name = %q", client.Name())
+	}
+
+	req := llm.NewRequest("SELECT 1")
+	first, err := client.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := client.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend.calls.Load() != 1 {
+		t.Fatalf("backend called %d times, want 1 (second call replayed)", backend.calls.Load())
+	}
+	if again != first {
+		t.Fatalf("replayed response differs:\n  %+v\n  %+v", again, first)
+	}
+	s.Close()
+
+	// A fresh store over the same file replays without any backend call —
+	// the resume path.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	backend2 := &countingClient{}
+	resumed, err := llm.Chain(backend2, Middleware(s2)).Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend2.calls.Load() != 0 {
+		t.Fatalf("resume hit the backend %d times", backend2.calls.Load())
+	}
+	if resumed != first {
+		t.Fatalf("resumed response differs:\n  %+v\n  %+v", resumed, first)
+	}
+}
+
+func TestMiddlewareDoesNotRecordErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ndjson")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	broken := &countingClient{fail: func(llm.Request) bool { return true }}
+	client := llm.Chain(broken, Middleware(s))
+	req := llm.NewRequest("SELECT 1")
+	if _, err := client.Do(context.Background(), req); err == nil {
+		t.Fatal("expected backend error")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("error was checkpointed: Len = %d", s.Len())
+	}
+	// The failed request is retried fresh, not replayed as a failure.
+	if _, err := client.Do(context.Background(), req); err == nil {
+		t.Fatal("expected backend error")
+	}
+	var le *llm.Error
+	_, err = client.Do(context.Background(), req)
+	if !errors.As(err, &le) {
+		t.Fatalf("got %v, want typed backend error on every attempt", err)
+	}
+	if broken.calls.Load() != 3 {
+		t.Fatalf("backend called %d times, want 3 (failures never cached)", broken.calls.Load())
+	}
+}
+
+func TestFilename(t *testing.T) {
+	cases := map[string]string{
+		"GPT4":      "GPT4.ndjson",
+		"GPT3.5":    "GPT3.5.ndjson",
+		"meta/ll-3": "meta_ll-3.ndjson",
+		"a b":       "a_b.ndjson",
+	}
+	for in, want := range cases {
+		if got := Filename(in); got != want {
+			t.Errorf("Filename(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package faultllm is a deterministic fault-injection harness for llm
+// clients. A Plan describes a fault mix — typed errors at a configured
+// rate, added latency, mid-text truncation, hangs that last until the
+// caller cancels — and every decision derives from a hash of (seed, model,
+// request), so a plan names an exact, reproducible failure set rather than
+// a random one: the same run fails the same requests every time, which is
+// what makes chaos tests assertable.
+//
+// The wrapper sits below the middleware stack (WrapFactory wraps a provider
+// factory, and spec-built clients stack Cache→…→Retry→… above the backend),
+// so retries, breakers, and hedges all observe injected faults exactly as
+// they would observe real provider failures. A deterministically failing
+// request fails on every retry too — by design: the plan's failure set is
+// the contract.
+package faultllm
+
+import (
+	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/llm"
+)
+
+// Plan is one deterministic fault mix. The zero value injects nothing.
+type Plan struct {
+	// Seed salts every decision hash; two seeds give independent failure
+	// sets over the same requests.
+	Seed int64
+	// ErrorRate is the fraction of requests that fail with Status.
+	ErrorRate float64
+	// Status is the injected error's HTTP-style status (default 503, which
+	// the Retry middleware classifies as retryable).
+	Status int
+	// Latency is added to every surviving completion (and reported in the
+	// response's Latency, as a slow provider would).
+	Latency time.Duration
+	// TruncateRate is the fraction of surviving completions cut mid-text
+	// with finish reason "length".
+	TruncateRate float64
+	// HangRate is the fraction of requests that block until the caller's
+	// context is cancelled — the pathology breakers and hedges exist for.
+	HangRate float64
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p Plan) Enabled() bool {
+	return p.ErrorRate > 0 || p.Latency > 0 || p.TruncateRate > 0 || p.HangRate > 0
+}
+
+// FromSpec extracts the fault plan from a model spec's fault_* fields.
+func FromSpec(spec llm.Spec) Plan {
+	return Plan{
+		Seed:         spec.FaultSeed,
+		ErrorRate:    spec.FaultRate,
+		Status:       spec.FaultStatus,
+		Latency:      time.Duration(spec.FaultLatencyMS) * time.Millisecond,
+		TruncateRate: spec.FaultTruncateRate,
+		HangRate:     spec.FaultHangRate,
+	}
+}
+
+// Decision is the plan's verdict for one request. At most one of Fail and
+// Hang is set (failing wins); Truncate applies only to surviving
+// completions.
+type Decision struct {
+	Fail     bool
+	Hang     bool
+	Truncate bool
+}
+
+// roll maps (seed, salt, model, request hash) to a uniform float in [0, 1).
+// fnv-1a over the tuple keeps decisions independent across salts and models
+// while staying stable across runs and processes.
+func (p Plan) roll(salt, model string, reqHash uint64) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(p.Seed))
+	h.Write(buf[:])
+	h.Write([]byte(salt))
+	h.Write([]byte{0})
+	h.Write([]byte(model))
+	h.Write([]byte{0})
+	binary.LittleEndian.PutUint64(buf[:], reqHash)
+	h.Write(buf[:])
+	// 53 mantissa bits of the digest → uniform in [0, 1).
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Decide returns the plan's deterministic verdict for a request to the
+// named model. Calling it is free of side effects, so a test (or a
+// chaos-run assertion) can precompute the exact planned failure set.
+func (p Plan) Decide(model string, req llm.Request) Decision {
+	hash := req.Hash()
+	var d Decision
+	if p.ErrorRate > 0 && p.roll("fail", model, hash) < p.ErrorRate {
+		d.Fail = true
+		return d
+	}
+	if p.HangRate > 0 && p.roll("hang", model, hash) < p.HangRate {
+		d.Hang = true
+		return d
+	}
+	if p.TruncateRate > 0 && p.roll("trunc", model, hash) < p.TruncateRate {
+		d.Truncate = true
+	}
+	return d
+}
+
+// Counters tallies the faults a wrapped client actually injected.
+type Counters struct {
+	Failed    atomic.Int64
+	Hung      atomic.Int64
+	Truncated atomic.Int64
+}
+
+// Client wraps an inner llm.Client with a fault plan. It preserves the
+// inner client's name so registry lookup, stats, and artifacts are
+// unchanged by the harness.
+type Client struct {
+	inner llm.Client
+	plan  Plan
+	// Injected tallies what the plan actually did to traffic.
+	Injected Counters
+}
+
+// Wrap returns the inner client wrapped with the plan. A disabled plan
+// still wraps (with zero overhead beyond one Decide per request) so call
+// sites don't need to branch; use Plan.Enabled to skip wrapping entirely.
+func Wrap(inner llm.Client, plan Plan) *Client {
+	return &Client{inner: inner, plan: plan}
+}
+
+// Name returns the inner client's name.
+func (c *Client) Name() string { return c.inner.Name() }
+
+// Plan returns the client's fault plan.
+func (c *Client) Plan() Plan { return c.plan }
+
+// Do applies the plan's verdict: injected failures return a typed
+// *llm.Error carrying the plan's status, hangs block until ctx is done,
+// and surviving completions pick up added latency and truncation.
+func (c *Client) Do(ctx context.Context, req llm.Request) (llm.Response, error) {
+	d := c.plan.Decide(c.inner.Name(), req)
+	if d.Fail {
+		c.Injected.Failed.Add(1)
+		status := c.plan.Status
+		if status == 0 {
+			status = 503
+		}
+		return llm.Response{}, &llm.Error{
+			Status:  status,
+			Code:    "injected_fault",
+			Message: "faultllm: planned failure",
+		}
+	}
+	if d.Hang {
+		c.Injected.Hung.Add(1)
+		<-ctx.Done()
+		return llm.Response{}, ctx.Err()
+	}
+	resp, err := c.inner.Do(ctx, req)
+	if err != nil {
+		return llm.Response{}, err
+	}
+	if c.plan.Latency > 0 {
+		t := time.NewTimer(c.plan.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return llm.Response{}, ctx.Err()
+		}
+		resp.Latency += c.plan.Latency
+	}
+	if d.Truncate {
+		c.Injected.Truncated.Add(1)
+		resp.Text = truncate(resp.Text)
+		resp.FinishReason = llm.FinishLength
+	}
+	return resp, nil
+}
+
+// truncate cuts a completion roughly in half on a rune boundary — far
+// enough in to look like a real length-capped answer, far enough short to
+// break any grader expecting the full text.
+func truncate(s string) string {
+	runes := []rune(s)
+	return string(runes[:len(runes)/2])
+}
+
+// WrapFactory returns a provider factory whose clients honor the spec's
+// fault_* fields. Specs with no faults configured build the inner client
+// untouched, so the wrapper is safe to install unconditionally (the
+// experiments layer wraps every provider with it).
+func WrapFactory(inner llm.Factory) llm.Factory {
+	return func(spec llm.Spec) (llm.Client, error) {
+		c, err := inner(spec)
+		if err != nil {
+			return nil, err
+		}
+		plan := FromSpec(spec)
+		if !plan.Enabled() {
+			return c, nil
+		}
+		return Wrap(c, plan), nil
+	}
+}

@@ -1,0 +1,219 @@
+package faultllm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+)
+
+// echo is a trivial backend returning its prompt.
+type echo struct{ name string }
+
+func (e echo) Name() string { return e.name }
+
+func (e echo) Do(_ context.Context, req llm.Request) (llm.Response, error) {
+	return llm.Response{
+		Text:         req.UserPrompt(),
+		Model:        e.name,
+		Usage:        llm.Usage{PromptTokens: 3, CompletionTokens: 7},
+		FinishReason: llm.FinishStop,
+	}, nil
+}
+
+func reqN(i int) llm.Request { return llm.NewRequest(fmt.Sprintf("query %d: SELECT %d", i, i)) }
+
+func TestDecideDeterministic(t *testing.T) {
+	plan := Plan{Seed: 42, ErrorRate: 0.1, TruncateRate: 0.2, HangRate: 0.05}
+	for i := 0; i < 200; i++ {
+		req := reqN(i)
+		a := plan.Decide("GPT4", req)
+		b := plan.Decide("GPT4", req)
+		if a != b {
+			t.Fatalf("request %d: decisions differ: %+v vs %+v", i, a, b)
+		}
+	}
+	// A different seed must give a different failure set (overwhelmingly).
+	other := Plan{Seed: 43, ErrorRate: 0.1, TruncateRate: 0.2, HangRate: 0.05}
+	same := 0
+	for i := 0; i < 200; i++ {
+		if plan.Decide("GPT4", reqN(i)) == other.Decide("GPT4", reqN(i)) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("seed 42 and 43 produced identical decision sets")
+	}
+}
+
+func TestDecideRates(t *testing.T) {
+	const n = 4000
+	plan := Plan{Seed: 7, ErrorRate: 0.10}
+	failed := 0
+	for i := 0; i < n; i++ {
+		if plan.Decide("m", reqN(i)).Fail {
+			failed++
+		}
+	}
+	got := float64(failed) / n
+	if math.Abs(got-0.10) > 0.03 {
+		t.Errorf("fail rate %.3f, want ~0.10", got)
+	}
+}
+
+func TestWrapInjectsTypedError(t *testing.T) {
+	plan := Plan{Seed: 1, ErrorRate: 0.5}
+	c := Wrap(echo{"m"}, plan)
+	if c.Name() != "m" {
+		t.Fatalf("Name() = %q, want inner name", c.Name())
+	}
+	sawFail, sawOK := false, false
+	for i := 0; i < 50; i++ {
+		resp, err := c.Do(context.Background(), reqN(i))
+		if plan.Decide("m", reqN(i)).Fail {
+			sawFail = true
+			var le *llm.Error
+			if !errors.As(err, &le) {
+				t.Fatalf("request %d: injected fault is %T, want *llm.Error", i, err)
+			}
+			if le.Status != 503 || le.Code != "injected_fault" {
+				t.Fatalf("request %d: injected %v, want 503 injected_fault", i, le)
+			}
+			if !le.Retryable() {
+				t.Fatalf("request %d: injected 503 not retryable", i)
+			}
+		} else {
+			sawOK = true
+			if err != nil {
+				t.Fatalf("request %d: unplanned error %v", i, err)
+			}
+			if resp.Text == "" {
+				t.Fatalf("request %d: empty surviving completion", i)
+			}
+		}
+	}
+	if !sawFail || !sawOK {
+		t.Fatalf("degenerate plan: sawFail=%v sawOK=%v", sawFail, sawOK)
+	}
+	if c.Injected.Failed.Load() == 0 {
+		t.Error("Injected.Failed not counted")
+	}
+}
+
+func TestWrapStatusOverride(t *testing.T) {
+	c := Wrap(echo{"m"}, Plan{Seed: 1, ErrorRate: 1, Status: 429})
+	_, err := c.Do(context.Background(), reqN(0))
+	var le *llm.Error
+	if !errors.As(err, &le) || le.Status != 429 {
+		t.Fatalf("got %v, want typed 429", err)
+	}
+}
+
+func TestWrapTruncates(t *testing.T) {
+	plan := Plan{Seed: 3, TruncateRate: 0.5}
+	c := Wrap(echo{"m"}, plan)
+	sawTrunc := false
+	for i := 0; i < 50; i++ {
+		req := reqN(i)
+		resp, err := c.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		full := req.UserPrompt()
+		if plan.Decide("m", req).Truncate {
+			sawTrunc = true
+			if resp.FinishReason != llm.FinishLength {
+				t.Fatalf("request %d: finish %q, want length", i, resp.FinishReason)
+			}
+			if len(resp.Text) >= len(full) || !strings.HasPrefix(full, resp.Text) {
+				t.Fatalf("request %d: truncation %q not a proper prefix of %q", i, resp.Text, full)
+			}
+		} else if resp.Text != full {
+			t.Fatalf("request %d: surviving completion mangled", i)
+		}
+	}
+	if !sawTrunc {
+		t.Fatal("plan never truncated in 50 requests")
+	}
+	if c.Injected.Truncated.Load() == 0 {
+		t.Error("Injected.Truncated not counted")
+	}
+}
+
+func TestWrapHangsUntilCancel(t *testing.T) {
+	c := Wrap(echo{"m"}, Plan{Seed: 5, HangRate: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, reqN(0))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hang returned before cancel: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("hang returned %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("hang did not return after cancel")
+	}
+	if c.Injected.Hung.Load() != 1 {
+		t.Errorf("Injected.Hung = %d, want 1", c.Injected.Hung.Load())
+	}
+}
+
+func TestWrapAddsLatency(t *testing.T) {
+	c := Wrap(echo{"m"}, Plan{Latency: 15 * time.Millisecond})
+	start := time.Now()
+	resp, err := c.Do(context.Background(), reqN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("completion returned in %v, want >= 15ms", elapsed)
+	}
+	if resp.Latency < 15*time.Millisecond {
+		t.Errorf("reported latency %v does not include injected delay", resp.Latency)
+	}
+}
+
+func TestFromSpecAndFactory(t *testing.T) {
+	inner := func(spec llm.Spec) (llm.Client, error) { return echo{spec.Name}, nil }
+	factory := WrapFactory(inner)
+
+	// No fault fields: the inner client passes through untouched.
+	plain, err := factory(llm.Spec{Name: "m", Provider: "sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, wrapped := plain.(*Client); wrapped {
+		t.Error("fault-free spec produced a wrapped client")
+	}
+
+	faulty, err := factory(llm.Spec{
+		Name: "m", Provider: "sim",
+		FaultRate: 0.25, FaultStatus: 500, FaultSeed: 99,
+		FaultLatencyMS: 5, FaultTruncateRate: 0.1, FaultHangRate: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, ok := faulty.(*Client)
+	if !ok {
+		t.Fatalf("faulty spec built %T, want *faultllm.Client", faulty)
+	}
+	want := Plan{Seed: 99, ErrorRate: 0.25, Status: 500, Latency: 5 * time.Millisecond, TruncateRate: 0.1, HangRate: 0.05}
+	if fc.Plan() != want {
+		t.Errorf("FromSpec plan %+v, want %+v", fc.Plan(), want)
+	}
+}

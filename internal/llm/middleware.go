@@ -57,6 +57,10 @@ type RetryConfig struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff (default 5s).
 	MaxDelay time.Duration
+	// MaxRetryAfter caps how much of a provider Retry-After hint is honored
+	// (default 15s), so one hostile or buggy header cannot stall a worker
+	// for minutes.
+	MaxRetryAfter time.Duration
 	// OnRetry, when set, observes every scheduled retry (attempt counts the
 	// failed attempts so far, starting at 1).
 	OnRetry func(clientName string, attempt int, err error, delay time.Duration)
@@ -73,6 +77,9 @@ func (cfg *RetryConfig) fill() {
 	}
 	if cfg.MaxDelay <= 0 {
 		cfg.MaxDelay = 5 * time.Second
+	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 15 * time.Second
 	}
 	if cfg.sleep == nil {
 		cfg.sleep = sleepCtx
@@ -113,6 +120,12 @@ func RetryWith(cfg RetryConfig) Middleware {
 					return Response{}, err
 				}
 				delay := backoff(cfg, inner.Name(), req, attempt, err)
+				// Never sleep past the context deadline: a backoff that
+				// cannot complete before the caller's cutoff would trade a
+				// concrete provider error for a certain DeadlineExceeded.
+				if deadline, ok := ctx.Deadline(); ok && delay > time.Until(deadline) {
+					return Response{}, err
+				}
 				if cfg.OnRetry != nil {
 					cfg.OnRetry(inner.Name(), attempt, err, delay)
 				}
@@ -130,7 +143,9 @@ func RetryWith(cfg RetryConfig) Middleware {
 // BaseDelay, capped at MaxDelay, scaled by a deterministic jitter factor in
 // [0.5, 1.0) derived from (client, request, attempt) — reproducible, yet
 // de-synchronized across clients and requests. A provider Retry-After hint
-// raises the delay when it is longer.
+// raises the delay when it is longer, but only up to MaxRetryAfter: the
+// hint is provider-controlled input and must not be able to park a worker
+// indefinitely.
 func backoff(cfg RetryConfig, name string, req Request, attempt int, err error) time.Duration {
 	d := cfg.BaseDelay << (attempt - 1)
 	if d > cfg.MaxDelay || d <= 0 { // <=0 guards shift overflow
@@ -147,6 +162,9 @@ func backoff(cfg RetryConfig, name string, req Request, attempt int, err error) 
 	var le *Error
 	if errors.As(err, &le) && le.RetryAfter > d {
 		d = le.RetryAfter
+		if d > cfg.MaxRetryAfter {
+			d = cfg.MaxRetryAfter
+		}
 	}
 	return d
 }

@@ -157,10 +157,15 @@ func TestBackoffDeterministicAndBounded(t *testing.T) {
 	if backoff(cfg, "m", NewRequest("q"), 1, err) == a && backoff(cfg, "n", req, 1, err) == a {
 		t.Error("jitter ignores client and request identity")
 	}
-	// A longer Retry-After hint wins.
-	hinted := backoff(cfg, "m", req, 1, &Error{Status: 429, RetryAfter: time.Minute})
-	if hinted != time.Minute {
+	// A longer Retry-After hint wins — but only up to the MaxRetryAfter
+	// cap, so a hostile header cannot park a worker for minutes.
+	hinted := backoff(cfg, "m", req, 1, &Error{Status: 429, RetryAfter: 10 * time.Second})
+	if hinted != 10*time.Second {
 		t.Errorf("Retry-After hint ignored: %v", hinted)
+	}
+	capped := backoff(cfg, "m", req, 1, &Error{Status: 429, RetryAfter: time.Hour})
+	if capped != cfg.MaxRetryAfter {
+		t.Errorf("hostile Retry-After not capped: %v, want %v", capped, cfg.MaxRetryAfter)
 	}
 }
 

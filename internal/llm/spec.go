@@ -45,6 +45,48 @@ type Spec struct {
 	// CacheSize enables request-hash memoization: maximum cached responses
 	// (-1 = unbounded, 0 = no cache).
 	CacheSize int `json:"cache_size,omitempty"`
+	// MaxRetryAfterMS caps honored provider Retry-After hints in
+	// milliseconds (0 = the Retry middleware's 15s default).
+	MaxRetryAfterMS int `json:"max_retry_after_ms,omitempty"`
+
+	// BreakerFailures enables the circuit breaker: consecutive failures
+	// that open it (0 with BreakerErrorRate 0 = no breaker; see
+	// BreakerConfig for defaults of the remaining knobs).
+	BreakerFailures int `json:"breaker_failures,omitempty"`
+	// BreakerErrorRate opens the breaker at this failure fraction over the
+	// last BreakerWindow outcomes (0 = consecutive-failures only).
+	BreakerErrorRate float64 `json:"breaker_error_rate,omitempty"`
+	// BreakerWindow is the rolling outcome window for BreakerErrorRate.
+	BreakerWindow int `json:"breaker_window,omitempty"`
+	// BreakerCooldownMS is how long the breaker stays open before half-open
+	// probes, in milliseconds.
+	BreakerCooldownMS int `json:"breaker_cooldown_ms,omitempty"`
+	// BreakerProbes is the half-open probe count that closes the breaker.
+	BreakerProbes int `json:"breaker_probes,omitempty"`
+
+	// HedgeDelayMS enables tail-latency hedging: a second attempt races the
+	// first once it has run this many milliseconds (0 = no hedging).
+	HedgeDelayMS int `json:"hedge_delay_ms,omitempty"`
+	// HedgeMax caps extra attempts per request (default 1).
+	HedgeMax int `json:"hedge_max,omitempty"`
+
+	// Fault injection (deterministic chaos harness wrapping the backend;
+	// see internal/llm/faultllm). FaultRate is the fraction of requests
+	// failing with FaultStatus; decisions derive from FaultSeed and the
+	// request hash, so a plan is reproducible run to run.
+	FaultRate float64 `json:"fault_rate,omitempty"`
+	// FaultStatus is the injected error's HTTP-style status (default 503).
+	FaultStatus int `json:"fault_status,omitempty"`
+	// FaultSeed seeds the fault plan's deterministic decisions.
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// FaultLatencyMS adds fixed latency to every surviving completion.
+	FaultLatencyMS int `json:"fault_latency_ms,omitempty"`
+	// FaultTruncateRate is the fraction of surviving completions truncated
+	// mid-text with finish reason "length".
+	FaultTruncateRate float64 `json:"fault_truncate_rate,omitempty"`
+	// FaultHangRate is the fraction of requests that hang until the caller's
+	// context cancels them.
+	FaultHangRate float64 `json:"fault_hang_rate,omitempty"`
 }
 
 // Factory constructs a backend client from a spec. The built-in providers
@@ -91,9 +133,12 @@ func ParseSpecs(data []byte) ([]Spec, error) {
 
 // BuildClient constructs one client from a spec: the provider backend
 // wrapped in the spec's middleware stack, outermost first:
-// Cache → Instrument → Retry → RateLimit → MaxInFlight → backend. Cached
-// hits therefore skip accounting and throttling entirely, every retry
-// attempt re-acquires a rate-limit token, and the instrumented latency is
+// Cache → Instrument → Breaker → Retry → RateLimit → Hedge → MaxInFlight →
+// backend. Cached hits therefore skip accounting and throttling entirely;
+// an open breaker fast-fails before any retrying (and the fast-fail is
+// counted by Instrument but never retried); every retry attempt re-acquires
+// a rate-limit token; each hedged attempt takes its own in-flight slot but
+// shares the logical request's rate token; and the instrumented latency is
 // the backend-reported completion latency of the final attempt (backoff
 // waits are not included). stats may be nil to skip instrumentation.
 func BuildClient(spec Spec, providers map[string]Factory, stats *Stats) (Client, error) {
@@ -119,10 +164,20 @@ func BuildClient(spec Spec, providers map[string]Factory, stats *Stats) (Client,
 	if stats != nil {
 		mws = append(mws, Instrument(stats))
 	}
+	if spec.BreakerFailures > 0 || spec.BreakerErrorRate > 0 {
+		mws = append(mws, BreakerWith(BreakerConfig{
+			Failures:  spec.BreakerFailures,
+			ErrorRate: spec.BreakerErrorRate,
+			Window:    spec.BreakerWindow,
+			Cooldown:  time.Duration(spec.BreakerCooldownMS) * time.Millisecond,
+			Probes:    spec.BreakerProbes,
+		}, stats))
+	}
 	if spec.MaxAttempts > 1 {
 		cfg := RetryConfig{
-			MaxAttempts: spec.MaxAttempts,
-			BaseDelay:   time.Duration(spec.RetryBaseMS) * time.Millisecond,
+			MaxAttempts:   spec.MaxAttempts,
+			BaseDelay:     time.Duration(spec.RetryBaseMS) * time.Millisecond,
+			MaxRetryAfter: time.Duration(spec.MaxRetryAfterMS) * time.Millisecond,
 		}
 		if stats != nil {
 			cfg.OnRetry = stats.RetryHook()
@@ -131,6 +186,12 @@ func BuildClient(spec Spec, providers map[string]Factory, stats *Stats) (Client,
 	}
 	if spec.RPS > 0 {
 		mws = append(mws, RateLimitWith(spec.RPS, spec.Burst, stats))
+	}
+	if spec.HedgeDelayMS > 0 {
+		mws = append(mws, HedgeWith(HedgeConfig{
+			Delay:     time.Duration(spec.HedgeDelayMS) * time.Millisecond,
+			MaxHedges: spec.HedgeMax,
+		}, stats))
 	}
 	if spec.MaxInFlight > 0 {
 		mws = append(mws, MaxInFlight(spec.MaxInFlight))

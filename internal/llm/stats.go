@@ -29,6 +29,23 @@ type ModelStats struct {
 	CompletionTokens atomic.Int64
 	// Latency is the per-request latency histogram.
 	Latency metrics.LatencyHistogram
+
+	// BreakerOpens counts transitions into the open state; BreakerFastFails
+	// counts requests shed while open; BreakerState is the current state
+	// gauge (0 closed, 1 half-open, 2 open) and BreakerOpenUntil the open
+	// deadline in unix nanos — the serve layer reads both to shed eval
+	// requests with 503 + Retry-After before they start.
+	BreakerOpens     atomic.Int64
+	BreakerFastFails atomic.Int64
+	BreakerState     atomic.Int32
+	BreakerOpenUntil atomic.Int64
+	// HedgesLaunched counts extra attempts the Hedge middleware raced;
+	// HedgesWon counts requests a hedge (not the primary) answered;
+	// HedgeWastedTokens accumulates the usage of cancelled losers that
+	// completed anyway (also folded into Prompt/CompletionTokens).
+	HedgesLaunched    atomic.Int64
+	HedgesWon         atomic.Int64
+	HedgeWastedTokens atomic.Int64
 }
 
 // ModelSnapshot is a point-in-time copy of one model's stats, shaped for
@@ -45,6 +62,16 @@ type ModelSnapshot struct {
 	LatencyP50MS     float64 `json:"latency_p50_ms"`
 	LatencyP95MS     float64 `json:"latency_p95_ms"`
 	LatencyMaxMS     float64 `json:"latency_max_ms"`
+	// Breaker telemetry: state is "closed", "half_open", or "open" (omitted
+	// while closed with no opens recorded — i.e. no breaker configured or
+	// never tripped).
+	BreakerState     string `json:"breaker_state,omitempty"`
+	BreakerOpens     int64  `json:"breaker_opens,omitempty"`
+	BreakerFastFails int64  `json:"breaker_fast_fails,omitempty"`
+	// Hedge telemetry.
+	HedgesLaunched    int64 `json:"hedges_launched,omitempty"`
+	HedgesWon         int64 `json:"hedges_won,omitempty"`
+	HedgeWastedTokens int64 `json:"hedge_wasted_tokens,omitempty"`
 }
 
 // Stats holds per-model telemetry, keyed by client name. The zero value is
@@ -96,19 +123,28 @@ func (s *Stats) Snapshot() map[string]ModelSnapshot {
 	out := make(map[string]ModelSnapshot)
 	for _, name := range s.Names() {
 		ms := s.Model(name)
-		out[name] = ModelSnapshot{
-			Requests:         ms.Requests.Load(),
-			Errors:           ms.Errors.Load(),
-			Retries:          ms.Retries.Load(),
-			RateLimited:      ms.RateLimited.Load(),
-			PromptTokens:     ms.PromptTokens.Load(),
-			CompletionTokens: ms.CompletionTokens.Load(),
-			TotalTokens:      ms.PromptTokens.Load() + ms.CompletionTokens.Load(),
-			LatencyMeanMS:    durMS(ms.Latency.Mean()),
-			LatencyP50MS:     durMS(ms.Latency.Quantile(0.50)),
-			LatencyP95MS:     durMS(ms.Latency.Quantile(0.95)),
-			LatencyMaxMS:     durMS(ms.Latency.Max()),
+		snap := ModelSnapshot{
+			Requests:          ms.Requests.Load(),
+			Errors:            ms.Errors.Load(),
+			Retries:           ms.Retries.Load(),
+			RateLimited:       ms.RateLimited.Load(),
+			PromptTokens:      ms.PromptTokens.Load(),
+			CompletionTokens:  ms.CompletionTokens.Load(),
+			TotalTokens:       ms.PromptTokens.Load() + ms.CompletionTokens.Load(),
+			LatencyMeanMS:     durMS(ms.Latency.Mean()),
+			LatencyP50MS:      durMS(ms.Latency.Quantile(0.50)),
+			LatencyP95MS:      durMS(ms.Latency.Quantile(0.95)),
+			LatencyMaxMS:      durMS(ms.Latency.Max()),
+			BreakerOpens:      ms.BreakerOpens.Load(),
+			BreakerFastFails:  ms.BreakerFastFails.Load(),
+			HedgesLaunched:    ms.HedgesLaunched.Load(),
+			HedgesWon:         ms.HedgesWon.Load(),
+			HedgeWastedTokens: ms.HedgeWastedTokens.Load(),
 		}
+		if state := BreakerState(ms.BreakerState.Load()); state != BreakerClosed || snap.BreakerOpens > 0 {
+			snap.BreakerState = state.String()
+		}
+		out[name] = snap
 	}
 	return out
 }

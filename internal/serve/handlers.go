@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -38,6 +39,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	payload := make(map[string]any)
 	for k, v := range s.metrics.Snapshot() {
 		payload[k] = v
+	}
+	if byTask := s.metrics.FailedByTask(); len(byTask) > 0 {
+		payload["failed_by_task"] = byTask
 	}
 	payload["models"] = s.llmStats.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
@@ -77,7 +81,7 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 			Datasets:       t.Datasets(),
 			DefaultDataset: t.DefaultDataset(),
 			Input:          input,
-			Params:         []string{"temperature", "max_tokens", "seed"},
+			Params:         []string{"temperature", "max_tokens", "seed", "continue_on_error", "max_failures"},
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -221,6 +225,20 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// An open circuit breaker means every completion would fast-fail:
+	// shed the whole eval up front with 503 + Retry-After instead of
+	// streaming a response full of identical errors. Half-open is admitted
+	// so probes can close the breaker.
+	ms := s.llmStats.Model(req.Model)
+	if llm.BreakerState(ms.BreakerState.Load()) == llm.BreakerOpen {
+		if wait := time.Until(time.Unix(0, ms.BreakerOpenUntil.Load())); wait > 0 {
+			s.metrics.BreakerSheds.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int(wait/time.Second)+1))
+			httpError(w, http.StatusServiceUnavailable,
+				"circuit breaker open for model %s: backend shedding load", req.Model)
+			return
+		}
+	}
 	// Caller-supplied completion parameters apply to every request of the
 	// batch; explicit per-request values (none today) would win.
 	if p := req.Params; p != nil {
@@ -278,7 +296,16 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := runner.WithParallelism(r.Context(), env.Parallel)
-	err = task.RunStream(ctx, client, examples, func(res any) error {
+	opts := core.RunOpts{}
+	if p := req.Params; p != nil {
+		opts.ContinueOnError = p.ContinueOnError
+		opts.MaxFailures = p.MaxFailures
+	}
+	err = task.RunStreamOpts(ctx, client, examples, opts, func(idx int, res any, err error) error {
+		if err != nil {
+			s.metrics.FailedExample(task.ID())
+			return st.send(core.FailedView(examples[idx], err))
+		}
 		return st.send(task.View(res, labeled))
 	})
 	if err != nil {

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"expvar"
+	"sync"
 	"sync/atomic"
 )
 
@@ -38,6 +39,36 @@ type Metrics struct {
 	// TokenLimited counts eval requests rejected with 429 by the spend-based
 	// (completion-token budget) admission middleware.
 	TokenLimited atomic.Int64
+	// FailedExamples counts inline error rows streamed by continue-on-error
+	// evals, across all tasks; per-task counts live in failedByTask.
+	FailedExamples atomic.Int64
+	// BreakerSheds counts eval requests rejected with 503 + Retry-After
+	// because the target model's circuit breaker was open.
+	BreakerSheds atomic.Int64
+
+	// failedByTask breaks FailedExamples down by task id.
+	failedByTask sync.Map // string → *atomic.Int64
+}
+
+// FailedExample records one streamed error row against the totals and the
+// per-task breakdown.
+func (m *Metrics) FailedExample(task string) {
+	m.FailedExamples.Add(1)
+	c, ok := m.failedByTask.Load(task)
+	if !ok {
+		c, _ = m.failedByTask.LoadOrStore(task, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
+}
+
+// FailedByTask returns the per-task failed-example counts.
+func (m *Metrics) FailedByTask() map[string]int64 {
+	out := make(map[string]int64)
+	m.failedByTask.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
 }
 
 // NewMetrics returns zeroed metrics.
@@ -57,6 +88,8 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"cache_evictions":     m.CacheEvictions.Load(),
 		"rate_limited":        m.RateLimited.Load(),
 		"token_limited":       m.TokenLimited.Load(),
+		"failed_examples":     m.FailedExamples.Load(),
+		"breaker_sheds":       m.BreakerSheds.Load(),
 	}
 }
 

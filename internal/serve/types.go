@@ -56,6 +56,14 @@ type EvalParams struct {
 	// This is the model-side sampling seed, unrelated to the benchmark
 	// Seed above.
 	Seed *int64 `json:"seed,omitempty"`
+	// ContinueOnError switches the eval to partial-failure mode: an example
+	// whose completion fails becomes an inline error line (failed=true) in
+	// its stream position instead of aborting the whole response.
+	ContinueOnError bool `json:"continue_on_error,omitempty"`
+	// MaxFailures aborts a continuing eval once more than this many
+	// examples have failed (0 = unlimited). Ignored without
+	// ContinueOnError.
+	MaxFailures int `json:"max_failures,omitempty"`
 }
 
 // TaskInfo is one entry of GET /v1/tasks: a registered task's identity,
@@ -103,6 +111,16 @@ func encodeLine(index int, task string, v core.ResultView) ([]byte, error) {
 	w("sql", v.SQL)
 	if v.SQL2 != "" {
 		w("sql2", v.SQL2)
+	}
+	// A failed example renders as an error row in its stream position:
+	// identity fields plus the failure, no predictions.
+	if v.Err != "" {
+		w("failed", true)
+		if err := w("error", v.Err); err != nil {
+			return nil, err
+		}
+		buf.WriteString("}\n")
+		return buf.Bytes(), nil
 	}
 	for _, f := range v.Fields {
 		if err := w(f.Key, f.Value); err != nil {
@@ -180,6 +198,12 @@ type EvalLine struct {
 	// (deterministic simulated values under the sim backends).
 	Usage     *UsageInfo `json:"usage,omitempty"`
 	LatencyMS float64    `json:"latency_ms,omitempty"`
+
+	// Failed marks an inline error row of a continue-on-error eval; Error
+	// carries the completion failure. Prediction fields are absent on such
+	// rows.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // UsageInfo is one completion's token accounting on an EvalLine.
