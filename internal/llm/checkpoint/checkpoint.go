@@ -82,17 +82,23 @@ func Open(path string) (*Store, error) {
 	var off int64
 	for {
 		line, err := r.ReadBytes('\n')
-		off += int64(len(line))
-		complete := err == nil
+		if err != nil && err != io.EOF {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: reading %s: %w", path, err)
+		}
 		if len(line) > 0 {
+			if err != nil {
+				// Unterminated final line from a killed run: torn, even if
+				// it happens to parse as complete JSON — without the
+				// trailing newline the next Record would fuse onto it and
+				// corrupt the file. Drop and truncate it.
+				break
+			}
+			off += int64(len(line))
 			var e Entry
 			if jsonErr := json.Unmarshal(line, &e); jsonErr != nil {
-				if complete {
-					f.Close()
-					return nil, fmt.Errorf("checkpoint: %s: corrupt entry at offset %d: %w", path, good, jsonErr)
-				}
-				// Torn final line from a killed run: drop it.
-				break
+				f.Close()
+				return nil, fmt.Errorf("checkpoint: %s: corrupt entry at offset %d: %w", path, good, jsonErr)
 			}
 			if e.Key == "" {
 				f.Close()
@@ -103,10 +109,6 @@ func Open(path string) (*Store, error) {
 		}
 		if err == io.EOF {
 			break
-		}
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("checkpoint: reading %s: %w", path, err)
 		}
 	}
 	if err := f.Truncate(good); err != nil {

@@ -99,6 +99,40 @@ func TestOpenRecoversTornTail(t *testing.T) {
 	}
 }
 
+func TestOpenDropsParseableUnterminatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ndjson")
+	// Kill boundary landed exactly on the closing brace: the tail parses as
+	// complete JSON but was never newline-terminated. It must be treated as
+	// torn — accepting it would make the next Record fuse onto the same
+	// physical line and the following Open fail hard.
+	data := `{"key":"a","text":"one"}` + "\n" + `{"key":"b","text":"two"}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (unterminated tail dropped)", s.Len())
+	}
+	if _, ok := s.Lookup("b"); ok {
+		t.Fatal("unterminated tail entry was indexed")
+	}
+	if err := s.Record(Entry{Key: "c", Text: "three"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("file corrupt after recovery append: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2 (a and c)", s2.Len())
+	}
+}
+
 func TestOpenRejectsMidFileCorruption(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "m.ndjson")
 	bad := `{"key":"a"}` + "\n" + `garbage` + "\n" + `{"key":"b"}` + "\n"

@@ -129,44 +129,47 @@ func (b *breaker) openLocked(now time.Time) {
 	b.setStateLocked(BreakerOpen)
 }
 
-// admit decides whether a request may proceed. It returns (true, probe) to
-// proceed — probe marks a half-open trial — or (false, _) with the
-// remaining cooldown to fast-fail.
-func (b *breaker) admit() (ok bool, probe bool, wait time.Duration) {
+// admit decides whether a request may proceed. It returns (true, probe, _, _)
+// to proceed — probe marks a half-open trial — or (false, _, wait, shed) to
+// fast-fail, where wait is the suggested retry delay and shed is the state
+// that caused the shed (open cooldown vs. saturated half-open).
+func (b *breaker) admit() (ok bool, probe bool, wait time.Duration, shed BreakerState) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	now := b.cfg.Clock()
 	switch b.state {
 	case BreakerClosed:
-		return true, false, 0
+		return true, false, 0, BreakerClosed
 	case BreakerOpen:
 		if now.Before(b.openUntil) {
-			return false, false, b.openUntil.Sub(now)
+			return false, false, b.openUntil.Sub(now), BreakerOpen
 		}
 		b.setStateLocked(BreakerHalfOpen)
 		fallthrough
 	case BreakerHalfOpen:
 		if b.probing >= b.cfg.Probes {
-			// Half-open is saturated; shed with a minimal hint.
-			return false, false, time.Second
+			// Half-open is saturated; shed with a minimal hint — the
+			// in-flight probe decides recovery within roughly one RTT.
+			return false, false, time.Second, BreakerHalfOpen
 		}
 		b.probing++
-		return true, true, 0
+		return true, true, 0, BreakerHalfOpen
 	}
-	return true, false, 0
+	return true, false, 0, b.state
 }
 
-// record registers one completed request's outcome.
+// record registers one completed request's outcome. A probe always frees its
+// half-open slot here, even when the outcome is no evidence either way
+// (caller bug, caller-side cancellation) — otherwise one cancelled probe
+// would saturate the probe budget forever and the breaker could never close.
 func (b *breaker) record(probe bool, err error) {
-	failed := err != nil && countable(err)
-	if err != nil && !failed {
-		return // caller bug or cancellation: no evidence either way
-	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	failed := err != nil && countable(err)
+	noEvidence := err != nil && !failed
 	if probe {
 		b.probing--
-		if b.state != BreakerHalfOpen {
+		if noEvidence || b.state != BreakerHalfOpen {
 			return
 		}
 		if failed {
@@ -180,7 +183,7 @@ func (b *breaker) record(probe bool, err error) {
 		}
 		return
 	}
-	if b.state != BreakerClosed {
+	if noEvidence || b.state != BreakerClosed {
 		return
 	}
 	if !failed {
@@ -228,7 +231,9 @@ func (b *breaker) rateTrippedLocked() bool {
 // typed *Error (Status 503, Code "breaker_open", RetryAfter = remaining
 // cooldown) instead of reaching the backend; after the cooldown, limited
 // half-open probes test recovery, closing the breaker on success and
-// re-opening it on failure.
+// re-opening it on failure. Requests arriving while the probe budget is
+// saturated shed with Code "breaker_probing" and a short RetryAfter,
+// distinguishing a momentary half-open shed from a cooldown-long outage.
 func Breaker(cfg BreakerConfig) Middleware {
 	return BreakerWith(cfg, nil)
 }
@@ -255,15 +260,21 @@ func BreakerWith(cfg BreakerConfig, stats *Stats) Middleware {
 			}
 		}
 		return Wrap(inner, func(ctx context.Context, req Request) (Response, error) {
-			ok, probe, wait := b.admit()
+			ok, probe, wait, shed := b.admit()
 			if !ok {
 				if stats != nil {
 					stats.Model(inner.Name()).BreakerFastFails.Add(1)
 				}
+				code, msg := "breaker_open", "circuit breaker open: backend shedding load"
+				if shed == BreakerHalfOpen {
+					// Saturated half-open: a probe is already in flight, so
+					// this shed is momentary, not a cooldown-long outage.
+					code, msg = "breaker_probing", "circuit breaker half-open: recovery probe in flight"
+				}
 				return Response{}, &Error{
 					Status:     503,
-					Code:       "breaker_open",
-					Message:    "circuit breaker open: backend shedding load",
+					Code:       code,
+					Message:    msg,
 					RetryAfter: wait,
 				}
 			}

@@ -182,6 +182,95 @@ func TestBreakerIgnoresCallerBugs(t *testing.T) {
 	}
 }
 
+// A half-open probe that completes without evidence (caller-side
+// cancellation, 4xx) must still free its probe slot; otherwise one
+// abandoned probe saturates the probe budget forever and the breaker can
+// never close — a permanent 503 for the model.
+func TestBreakerCancelledProbeFreesSlot(t *testing.T) {
+	now := time.Unix(0, 0)
+	inner := &outcomeClient{name: "m", outcome: func(call int64, _ context.Context, _ Request) (Response, error) {
+		switch {
+		case call <= 2:
+			return Response{}, &Error{Status: 503, Code: "unavailable"}
+		case call == 3:
+			return Response{}, context.Canceled // probe abandoned by the caller
+		default:
+			return Response{Text: "ok"}, nil
+		}
+	}}
+	stats := NewStats()
+	c := Chain(inner, BreakerWith(BreakerConfig{
+		Failures: 2,
+		Cooldown: 5 * time.Second,
+		Clock:    func() time.Time { return now },
+	}, stats))
+	ctx := context.Background()
+	c.Do(ctx, NewRequest("q"))
+	c.Do(ctx, NewRequest("q")) // breaker opens
+	now = now.Add(6 * time.Second)
+	if _, err := c.Do(ctx, NewRequest("q")); err == nil {
+		t.Fatal("cancelled probe unexpectedly succeeded")
+	}
+	// The cancellation is no evidence either way, but the slot must be
+	// free: the next request runs as a fresh probe and closes the breaker.
+	resp, err := c.Do(ctx, NewRequest("q"))
+	if err != nil || resp.Text != "ok" {
+		t.Fatalf("follow-up probe = %v, %v; want success", resp, err)
+	}
+	if got := BreakerState(stats.Model("m").BreakerState.Load()); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed after successful probe", got)
+	}
+}
+
+// While a half-open probe is in flight, additional requests shed with the
+// distinct "breaker_probing" code, so callers and metrics can tell a
+// momentary half-open shed from a cooldown-long open one.
+func TestBreakerSaturatedHalfOpenShedCode(t *testing.T) {
+	now := time.Unix(0, 0)
+	block := make(chan struct{})
+	inner := &outcomeClient{name: "m", outcome: func(call int64, _ context.Context, _ Request) (Response, error) {
+		if call <= 2 {
+			return Response{}, &Error{Status: 503, Code: "unavailable"}
+		}
+		<-block // hold the probe in flight
+		return Response{Text: "ok"}, nil
+	}}
+	stats := NewStats()
+	c := Chain(inner, BreakerWith(BreakerConfig{
+		Failures: 2,
+		Cooldown: 5 * time.Second,
+		Clock:    func() time.Time { return now },
+	}, stats))
+	ctx := context.Background()
+	c.Do(ctx, NewRequest("q"))
+	c.Do(ctx, NewRequest("q")) // breaker opens
+	now = now.Add(6 * time.Second)
+	probeDone := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, NewRequest("q"))
+		probeDone <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for inner.calls.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond) // wait for the probe to reach the backend
+	}
+	_, err := c.Do(ctx, NewRequest("q"))
+	var le *Error
+	if !errors.As(err, &le) || le.Status != 503 || le.Code != "breaker_probing" {
+		t.Fatalf("saturated half-open shed = %v, want 503 breaker_probing", err)
+	}
+	if le.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", le.RetryAfter)
+	}
+	close(block)
+	if perr := <-probeDone; perr != nil {
+		t.Fatal(perr)
+	}
+	if got := BreakerState(stats.Model("m").BreakerState.Load()); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed once the probe succeeds", got)
+	}
+}
+
 // A slow primary must lose to the hedge: the hedge's response wins, the
 // stats count the launch and the win, and the cancelled loser's tokens are
 // still charged once it drains.

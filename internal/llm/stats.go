@@ -31,7 +31,9 @@ type ModelStats struct {
 	Latency metrics.LatencyHistogram
 
 	// BreakerOpens counts transitions into the open state; BreakerFastFails
-	// counts requests shed while open; BreakerState is the current state
+	// counts requests the breaker shed (code "breaker_open" during the open
+	// cooldown, "breaker_probing" while half-open with the probe budget
+	// saturated); BreakerState is the current state
 	// gauge (0 closed, 1 half-open, 2 open) and BreakerOpenUntil the open
 	// deadline in unix nanos — the serve layer reads both to shed eval
 	// requests with 503 + Retry-After before they start.
