@@ -13,6 +13,8 @@
 //	sqlbench -exp table6 -models @models.json
 //	sqlbench -exp all -continue-on-error -max-failures 50
 //	sqlbench -exp all -checkpoint-dir /tmp/ckpt   # rerun resumes, byte-identical
+//	sqlbench -exp table3 -trace-out run.json      # Chrome trace of the whole run
+//	sqlbench -exp table3 -trace-out run.ndjson    # one span record per line
 //
 // Output is byte-identical at every -parallel setting; -parallel 1
 // reproduces the fully sequential pipeline. The -parallel budget reaches
@@ -40,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/llm"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -56,6 +59,7 @@ func main() {
 		continueOnError = flag.Bool("continue-on-error", false, "record per-example completion failures and keep going instead of aborting the run")
 		maxFailures     = flag.Int("max-failures", 0, "abort a -continue-on-error run once more than this many examples fail (0 = unlimited)")
 		checkpointDir   = flag.String("checkpoint-dir", "", "persist completed model responses to <dir>/<model>.ndjson and replay them on rerun; a resumed run's output is byte-identical to an uninterrupted one")
+		traceOut        = flag.String("trace-out", "", "write the run's trace spans to this file: *.ndjson for one span record per line, anything else as Chrome trace_event JSON (load in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -105,6 +109,15 @@ func main() {
 		}
 	}
 
+	// -trace-out collects every span of the run (build, cells, examples, LLM
+	// attempts, engine executions) in memory and writes them after the
+	// experiments finish. Without the flag no tracer exists and the span call
+	// sites are allocation-free no-ops.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.New(obs.WithCollector())
+	}
+
 	buildStart := time.Now()
 	env, err := experiments.NewEnvConfig(experiments.Config{
 		Seed:               *seed,
@@ -114,6 +127,7 @@ func main() {
 		ContinueOnError:    *continueOnError,
 		MaxFailures:        *maxFailures,
 		CheckpointDir:      *checkpointDir,
+		Tracer:             tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlbench: building benchmark:", err)
@@ -149,9 +163,36 @@ func main() {
 		for _, name := range env.Stats.Names() {
 			ms := snap[name]
 			fmt.Fprintf(os.Stderr,
-				"sqlbench: model %s: requests=%d errors=%d retries=%d failed_examples=%d prompt_tokens=%d completion_tokens=%d latency_mean_ms=%.1f latency_p95_ms=%.1f\n",
+				"sqlbench: model %s: requests=%d errors=%d retries=%d failed_examples=%d prompt_tokens=%d completion_tokens=%d latency_mean_ms=%.1f latency_p50_ms=%.1f latency_p95_ms=%.1f latency_p99_ms=%.1f\n",
 				name, ms.Requests, ms.Errors, ms.Retries, failedByModel[name], ms.PromptTokens, ms.CompletionTokens,
-				ms.LatencyMeanMS, ms.LatencyP95MS)
+				ms.LatencyMeanMS, ms.LatencyP50MS, ms.LatencyP95MS, ms.LatencyP99MS)
 		}
 	}
+	if *traceOut != "" {
+		// Close ends the root run span so it reaches the collector; the
+		// deferred second Close is a no-op.
+		env.Close()
+		if err := writeTrace(*traceOut, tracer.Collected()); err != nil {
+			fmt.Fprintln(os.Stderr, "sqlbench: -trace-out:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace exports collected spans: NDJSON when the path says so, Chrome
+// trace_event JSON otherwise.
+func writeTrace(path string, spans []obs.SpanRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".ndjson") {
+		err = obs.WriteNDJSON(f, spans)
+	} else {
+		err = obs.WriteChromeTrace(f, spans)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -116,6 +116,11 @@ type BuildConfig struct {
 	// dataset derives its own rand.Rand from Seed, exactly as the sequential
 	// build always has, so scheduling never reaches the random streams.
 	Parallel int
+	// Ctx, when set, is the base context for the build's internal fan-out —
+	// it carries an obs tracer/span so engine executions during equivalence
+	// verification appear in the trace. It is never used for cancellation;
+	// builds always run to completion for determinism.
+	Ctx context.Context
 }
 
 // Build assembles the benchmark deterministically.
@@ -123,7 +128,11 @@ func Build(cfg BuildConfig) (*Benchmark, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	ctx := runner.WithParallelism(context.Background(), cfg.Parallel)
+	base := cfg.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	ctx := runner.WithParallelism(base, cfg.Parallel)
 
 	// Stage 1: the four workload generators are independent of one another.
 	type gen struct {
@@ -303,7 +312,7 @@ func buildEquiv(ctx context.Context, w *workload.Workload, r *rand.Rand, verify 
 					return nil, 0, fmt.Errorf("transform %s produced unparsable SQL %q: %w", typ, printed, err)
 				}
 				if verify {
-					equal, err := checker.Equivalent(sel, out2)
+					equal, err := checker.EquivalentCtx(ctx, sel, out2)
 					if err != nil || !equal {
 						continue // unverifiable pair: try another type
 					}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/prompt"
 	"repro/internal/runner"
 )
@@ -177,18 +178,40 @@ func collect[R any](n int, stream func(sink func(R) error) error) ([]R, error) {
 	return out, nil
 }
 
+// runExample renders, completes, and grades one example — the shared worker
+// body under every driver form. When a tracer rides the context it wraps the
+// example in a "task.example" span (task/example/model attributes) with a
+// "prompt.render" child covering template rendering; the span tree then
+// continues into the client's own llm.request/llm.attempt spans. With no
+// tracer the obs calls are nil no-ops.
+func runExample[E, R any](ctx context.Context, client llm.Client, t *TaskDef[E, R], render func(E) string, ex E) (R, error) {
+	ctx, span := obs.Start(ctx, "task.example")
+	if span != nil {
+		span.SetString("task", t.TaskID)
+		span.SetString("example", t.ExampleID(ex))
+		span.SetString("model", client.Name())
+	}
+	_, rspan := obs.Start(ctx, "prompt.render")
+	text := render(ex)
+	rspan.End()
+	resp, err := client.Do(ctx, llm.NewRequest(text))
+	if err != nil {
+		span.EndErr(err)
+		var zero R
+		return zero, fmt.Errorf("completing %s: %w", t.ExampleID(ex), err)
+	}
+	r := t.Grade(ex, resp)
+	span.End()
+	return r, nil
+}
+
 // RunWith drives one model over a dataset with a custom prompt renderer,
 // delivering each graded result to sink in dataset order as soon as its
 // prefix completes. It is the primitive under every other driver form
 // (few-shot prompting and prompt tuning plug in their own renderers).
 func RunWith[E, R any](ctx context.Context, client llm.Client, t *TaskDef[E, R], render func(E) string, ds []E, sink func(R) error) error {
 	return runner.MapStream(ctx, 0, ds, func(ctx context.Context, _ int, ex E) (R, error) {
-		resp, err := client.Do(ctx, llm.NewRequest(render(ex)))
-		if err != nil {
-			var zero R
-			return zero, fmt.Errorf("completing %s: %w", t.ExampleID(ex), err)
-		}
-		return t.Grade(ex, resp), nil
+		return runExample(ctx, client, t, render, ex)
 	}, dropIdx(sink))
 }
 
@@ -235,12 +258,7 @@ type RunOpts struct {
 func RunStreamPartial[E, R any](ctx context.Context, client llm.Client, t *TaskDef[E, R], ds []E, maxFailures int, sink func(idx int, r R, err error) error) error {
 	tpl := prompt.Default(t.PromptTask)
 	return runner.MapStreamPartial(ctx, 0, ds, maxFailures, func(ctx context.Context, _ int, ex E) (R, error) {
-		resp, err := client.Do(ctx, llm.NewRequest(t.Render(tpl, ex)))
-		if err != nil {
-			var zero R
-			return zero, fmt.Errorf("completing %s: %w", t.ExampleID(ex), err)
-		}
-		return t.Grade(ex, resp), nil
+		return runExample(ctx, client, t, func(ex E) string { return t.Render(tpl, ex) }, ex)
 	}, sink)
 }
 

@@ -7,11 +7,13 @@ package engine
 // evaluation in agg.go.
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/sqlast"
 	"repro/internal/sqlparse"
 )
@@ -70,6 +72,28 @@ func (e *Engine) Query(sel *sqlast.SelectStmt) (*Relation, error) {
 	return e.execSelect(sel, nil, nil)
 }
 
+// QueryCtx is Query wrapped in an "engine.exec" span when a tracer rides the
+// context: the span records whether the logical plan came from the cache,
+// the row operations the query performed (an ops-counter delta, approximate
+// when other queries run concurrently on the same engine), and the result
+// row count. Without a tracer it is exactly Query.
+func (e *Engine) QueryCtx(ctx context.Context, sel *sqlast.SelectStmt) (*Relation, error) {
+	_, span := obs.Start(ctx, "engine.exec")
+	if span == nil {
+		return e.Query(sel)
+	}
+	p, cached := e.planForHit(sel)
+	span.SetBool("plan_cached", cached)
+	opsBefore := e.ops.Load()
+	rel, err := e.execPlan(p, nil, nil)
+	span.SetInt("row_ops", e.ops.Load()-opsBefore)
+	if err == nil {
+		span.SetInt("rows", int64(len(rel.Rows)))
+	}
+	span.EndErr(err)
+	return rel, err
+}
+
 // PlanOf returns the (cached) logical plan the engine would execute for the
 // statement — the EXPLAIN entry point.
 func (e *Engine) PlanOf(sel *sqlast.SelectStmt) *Plan { return e.planFor(sel) }
@@ -84,24 +108,32 @@ const maxCachedPlans = 4096
 // first use. Plans are immutable and shared across concurrent executions
 // (correlated subqueries re-plan per statement pointer, not per row).
 func (e *Engine) planFor(sel *sqlast.SelectStmt) *Plan {
+	p, _ := e.planForHit(sel)
+	return p
+}
+
+// planForHit is planFor additionally reporting whether the plan was served
+// from the cache — the plan_cached attribute on engine.exec spans.
+func (e *Engine) planForHit(sel *sqlast.SelectStmt) (*Plan, bool) {
 	e.planMu.RLock()
 	p := e.plans[sel]
 	e.planMu.RUnlock()
 	if p != nil {
-		return p
+		return p, true
 	}
 	p = BuildPlan(sel, PlanConfig{DisablePlanner: e.DisablePlanner})
 	e.planMu.Lock()
 	if e.plans == nil || len(e.plans) >= maxCachedPlans {
 		e.plans = make(map[*sqlast.SelectStmt]*Plan)
 	}
+	hit := false
 	if cached, ok := e.plans[sel]; ok {
-		p = cached
+		p, hit = cached, true
 	} else {
 		e.plans[sel] = p
 	}
 	e.planMu.Unlock()
-	return p
+	return p, hit
 }
 
 // env is the row-evaluation context: the current relation and row, an

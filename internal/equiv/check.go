@@ -264,19 +264,28 @@ func (c *Checker) instance(seed int64, rows int) *engine.DB {
 // With Parallel > 1 the seeds run concurrently; verdicts combine in seed
 // order, so the outcome is identical to a sequential check.
 func (c *Checker) Equivalent(a, b *sqlast.SelectStmt) (bool, error) {
+	return c.EquivalentCtx(context.Background(), a, b)
+}
+
+// EquivalentCtx is Equivalent threading the caller's context into each
+// engine execution, so a tracer riding the context produces per-seed
+// engine.exec child spans (plan-cache hits, row operations, result sizes).
+// The context does not cancel the check — every seed still runs to
+// completion so the verdict stays order-deterministic.
+func (c *Checker) EquivalentCtx(ctx context.Context, a, b *sqlast.SelectStmt) (bool, error) {
 	rows := c.Rows
 	if rows <= 0 {
 		rows = 24
 	}
-	check := func(seed int64) (bool, error) {
+	check := func(ctx context.Context, seed int64) (bool, error) {
 		e := engine.New(c.instance(seed, rows))
 		e.Parallel = c.Parallel
 		defer func() { c.engineOps.Add(e.Ops()) }()
-		ra, err := e.Query(a)
+		ra, err := e.QueryCtx(ctx, a)
 		if err != nil {
 			return false, fmt.Errorf("left query failed: %w", err)
 		}
-		rb, err := e.Query(b)
+		rb, err := e.QueryCtx(ctx, b)
 		if err != nil {
 			return false, fmt.Errorf("right query failed: %w", err)
 		}
@@ -285,7 +294,7 @@ func (c *Checker) Equivalent(a, b *sqlast.SelectStmt) (bool, error) {
 	}
 	if c.Parallel <= 1 || len(c.Seeds) <= 1 {
 		for _, seed := range c.Seeds {
-			equal, err := check(seed)
+			equal, err := check(ctx, seed)
 			if err != nil || !equal {
 				return false, err
 			}
@@ -298,9 +307,12 @@ func (c *Checker) Equivalent(a, b *sqlast.SelectStmt) (bool, error) {
 	}
 	// Every seed runs to completion and the verdicts combine in seed order,
 	// reproducing the sequential outcome exactly (including which seed's
-	// error or mismatch is reported first).
+	// error or mismatch is reported first). The span context is carried
+	// explicitly into the workers; the Map context stays Background so a
+	// caller cancellation cannot make the verdict seed-dependent.
+	spanCtx := ctx
 	verdicts, _ := runner.Map(context.Background(), c.Parallel, c.Seeds, func(_ context.Context, _ int, seed int64) (verdict, error) {
-		equal, err := check(seed)
+		equal, err := check(spanCtx, seed)
 		return verdict{equal, err}, nil
 	})
 	for _, v := range verdicts {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/llm/faultllm"
 	"repro/internal/llm/httpllm"
 	"repro/internal/llm/sim"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -63,6 +64,12 @@ type Env struct {
 	// by partial-failure runs.
 	failMu   sync.Mutex
 	failures map[string][]CellFailure
+
+	// traceCtx carries the environment's tracer and run span (when one was
+	// configured) into every task run; runSpan is the root "run" span Close
+	// ends.
+	traceCtx context.Context
+	runSpan  *obs.Span
 }
 
 // CellFailure records one failed example of a partial-failure cell run.
@@ -74,9 +81,11 @@ type CellFailure struct {
 	Err string
 }
 
-// Close releases the environment's checkpoint stores, if any. Safe to call
-// on environments built without checkpointing.
+// Close releases the environment's checkpoint stores, if any, and ends the
+// environment's root trace span. Safe to call repeatedly and on
+// environments built without checkpointing or tracing.
 func (e *Env) Close() error {
+	e.runSpan.End() // idempotent, nil-safe
 	var first error
 	for _, s := range e.stores {
 		if err := s.Close(); err != nil && first == nil {
@@ -122,6 +131,11 @@ type Config struct {
 	// (0 = unlimited).
 	ContinueOnError bool
 	MaxFailures     int
+	// Tracer, when set, threads an obs tracer through the environment: the
+	// benchmark build and every task cell, example, LLM attempt, and engine
+	// execution report spans to it, rooted under one "run" span that
+	// Env.Close ends. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // Providers returns the spec provider factories an environment's registry
@@ -142,12 +156,23 @@ func Providers(k *sim.Knowledge) map[string]llm.Factory {
 // explicit parallelism control. Every client is wrapped with llm.Instrument
 // so Env.Stats reports usage regardless of backend.
 func NewEnvConfig(cfg Config) (*Env, error) {
+	// Root the whole environment under one "run" span (ended by Env.Close)
+	// so cells, examples, and engine executions nest under it. With no
+	// tracer, traceCtx stays Background and every span below is a nil no-op.
+	traceCtx := obs.With(context.Background(), cfg.Tracer)
+	traceCtx, runSpan := obs.Start(traceCtx, "run")
+	runSpan.SetInt("seed", cfg.Seed)
+
+	buildCtx, buildSpan := obs.Start(traceCtx, "bench.build")
 	bench, err := core.Build(core.BuildConfig{
 		Seed:               cfg.Seed,
 		VerifyEquivalences: cfg.VerifyEquivalences,
 		Parallel:           cfg.Parallel,
+		Ctx:                buildCtx,
 	})
+	buildSpan.EndErr(err)
 	if err != nil {
+		runSpan.End()
 		return nil, fmt.Errorf("building benchmark: %w", err)
 	}
 	knowledge := sim.NewKnowledge(bench.SchemasByDataset())
@@ -160,6 +185,8 @@ func NewEnvConfig(cfg Config) (*Env, error) {
 		Parallel:        cfg.Parallel,
 		ContinueOnError: cfg.ContinueOnError,
 		MaxFailures:     cfg.MaxFailures,
+		traceCtx:        traceCtx,
+		runSpan:         runSpan,
 	}
 	// wrap attaches the checkpoint replay/record layer (outermost, above
 	// even the cache, so resumed runs replay without re-counting stats or
@@ -187,7 +214,7 @@ func NewEnvConfig(cfg Config) (*Env, error) {
 				env.Close()
 				return nil, fmt.Errorf("building simulator %s: %w", name, err)
 			}
-			c, err := wrap(llm.Chain(m, llm.Instrument(stats)))
+			c, err := wrap(llm.Chain(m, llm.Trace("llm.request"), llm.Instrument(stats)))
 			if err != nil {
 				env.Close()
 				return nil, err
@@ -228,9 +255,14 @@ func NewEnv(seed int64, verifyEquiv bool) (*Env, error) {
 }
 
 // ctx returns the context task runs execute under, carrying the worker
-// budget for runner.Map fan-out inside core.Run*.
+// budget for runner.Map fan-out inside core.Run* — and the environment's
+// tracer and run span when tracing is on.
 func (e *Env) ctx() context.Context {
-	return runner.WithParallelism(context.Background(), e.Parallel)
+	base := e.traceCtx
+	if base == nil {
+		base = context.Background()
+	}
+	return runner.WithParallelism(base, e.Parallel)
 }
 
 func key(task, model, ds string) string { return task + "\x00" + model + "\x00" + ds }
@@ -257,10 +289,17 @@ func (e *Env) Results(taskID, model, ds string) ([]any, error) {
 		if !ok {
 			return nil, fmt.Errorf("task %s has no %q cell (datasets: %v)", taskID, ds, task.Datasets())
 		}
+		ctx, span := obs.Start(e.ctx(), "task.cell")
+		if span != nil {
+			span.SetString("task", taskID)
+			span.SetString("model", model)
+			span.SetString("dataset", ds)
+			span.SetInt("examples", int64(len(cell)))
+		}
 		opts := core.RunOpts{ContinueOnError: e.ContinueOnError, MaxFailures: e.MaxFailures}
 		out := make([]any, 0, len(cell))
 		var failed []CellFailure
-		err = task.RunStreamOpts(e.ctx(), client, cell, opts, func(idx int, r any, err error) error {
+		err = task.RunStreamOpts(ctx, client, cell, opts, func(idx int, r any, err error) error {
 			if err != nil {
 				failed = append(failed, CellFailure{Index: idx, ID: cell[idx].ID, Err: err.Error()})
 				return nil
@@ -268,6 +307,10 @@ func (e *Env) Results(taskID, model, ds string) ([]any, error) {
 			out = append(out, r)
 			return nil
 		})
+		if span != nil {
+			span.SetInt("failed", int64(len(failed)))
+		}
+		span.EndErr(err)
 		if err != nil {
 			return nil, err
 		}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/llm"
+	"repro/internal/obs"
 )
 
 // Entry is one recorded response.
@@ -203,6 +204,11 @@ func (c *replayClient) Name() string { return c.next.Name() }
 func (c *replayClient) Do(ctx context.Context, req llm.Request) (llm.Response, error) {
 	key := Key(req)
 	if e, ok := c.store.Lookup(key); ok {
+		if span := obs.SpanFrom(ctx); span != nil {
+			span.Event("checkpoint_replay",
+				obs.String("model", c.next.Name()),
+				obs.String("key", key))
+		}
 		return e.response(), nil
 	}
 	resp, err := c.next.Do(ctx, req)

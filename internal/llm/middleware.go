@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -128,6 +129,12 @@ func RetryWith(cfg RetryConfig) Middleware {
 				}
 				if cfg.OnRetry != nil {
 					cfg.OnRetry(inner.Name(), attempt, err, delay)
+				}
+				if span := obs.SpanFrom(ctx); span != nil {
+					span.Event("retry",
+						obs.Int("attempt", int64(attempt)),
+						obs.String("error", err.Error()),
+						obs.Int("delay_ms", delay.Milliseconds()))
 				}
 				// A cancellation during backoff surfaces as ctx.Err(), per
 				// the Client contract — not as the prior provider error.
@@ -319,9 +326,14 @@ func CacheWith(flight *runner.Flight[string, Response]) Middleware {
 				return Response{}, err
 			}
 			key := inner.Name() + "\x00" + strconv.FormatUint(req.Hash(), 16)
-			resp, err := flight.Do(key, func() (Response, error) {
+			resp, shared, err := flight.DoShared(key, func() (Response, error) {
 				return inner.Do(context.WithoutCancel(ctx), req)
 			})
+			if shared && err == nil {
+				if span := obs.SpanFrom(ctx); span != nil {
+					span.Event("cache_hit", obs.String("model", inner.Name()))
+				}
+			}
 			if err == nil {
 				if cerr := ctx.Err(); cerr != nil {
 					return Response{}, cerr
@@ -396,6 +408,38 @@ func Instrument(s *Stats) Middleware {
 			ms.CompletionTokens.Add(int64(resp.Usage.CompletionTokens))
 			ms.Latency.Observe(lat)
 			return resp, nil
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+
+// Trace returns a middleware that wraps every Do in an obs span of the given
+// name, annotated with the model and request hash and ended with the error,
+// if any. BuildClient stacks it twice — "llm.request" around the whole
+// resilient request and "llm.attempt" inside Retry, so each retry shows as a
+// fresh child attempt span. With no tracer in the context the middleware is
+// pass-through at zero allocation cost.
+func Trace(name string) Middleware {
+	return func(inner Client) Client {
+		return Wrap(inner, func(ctx context.Context, req Request) (Response, error) {
+			ctx, span := obs.Start(ctx, name)
+			if span == nil {
+				return inner.Do(ctx, req)
+			}
+			span.SetString("model", inner.Name())
+			span.SetString("request_hash", strconv.FormatUint(req.Hash(), 16))
+			resp, err := inner.Do(ctx, req)
+			if err == nil {
+				span.SetInt("prompt_tokens", int64(resp.Usage.PromptTokens))
+				span.SetInt("completion_tokens", int64(resp.Usage.CompletionTokens))
+				if resp.FinishReason != "" {
+					span.SetString("finish_reason", resp.FinishReason)
+				}
+			}
+			span.EndErr(err)
+			return resp, err
 		})
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file holds the availability middleware: a circuit breaker that stops
@@ -90,8 +92,8 @@ type breaker struct {
 
 	mu          sync.Mutex
 	state       BreakerState
-	consecutive int       // consecutive failures while closed
-	window      []bool    // rolling outcome ring, true = failure
+	consecutive int    // consecutive failures while closed
+	window      []bool // rolling outcome ring, true = failure
 	windowPos   int
 	windowFull  bool
 	openUntil   time.Time // when the open state admits probes again
@@ -158,13 +160,17 @@ func (b *breaker) admit() (ok bool, probe bool, wait time.Duration, shed Breaker
 	return true, false, 0, b.state
 }
 
-// record registers one completed request's outcome. A probe always frees its
+// record registers one completed request's outcome and reports the state
+// transition it caused (from == to when none), so the caller can emit a
+// span event outside the lock. A probe always frees its
 // half-open slot here, even when the outcome is no evidence either way
 // (caller bug, caller-side cancellation) — otherwise one cancelled probe
 // would saturate the probe budget forever and the breaker could never close.
-func (b *breaker) record(probe bool, err error) {
+func (b *breaker) record(probe bool, err error) (from, to BreakerState) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	from = b.state
+	defer func() { to = b.state }()
 	failed := err != nil && countable(err)
 	noEvidence := err != nil && !failed
 	if probe {
@@ -196,6 +202,7 @@ func (b *breaker) record(probe bool, err error) {
 	if b.consecutive >= b.cfg.Failures || b.rateTrippedLocked() {
 		b.openLocked(b.cfg.Clock())
 	}
+	return
 }
 
 func (b *breaker) pushLocked(failed bool) {
@@ -271,6 +278,12 @@ func BreakerWith(cfg BreakerConfig, stats *Stats) Middleware {
 					// this shed is momentary, not a cooldown-long outage.
 					code, msg = "breaker_probing", "circuit breaker half-open: recovery probe in flight"
 				}
+				if span := obs.SpanFrom(ctx); span != nil {
+					span.Event("breaker_shed",
+						obs.String("model", inner.Name()),
+						obs.String("code", code),
+						obs.Int("retry_after_ms", wait.Milliseconds()))
+				}
 				return Response{}, &Error{
 					Status:     503,
 					Code:       code,
@@ -279,7 +292,15 @@ func BreakerWith(cfg BreakerConfig, stats *Stats) Middleware {
 				}
 			}
 			resp, err := inner.Do(ctx, req)
-			b.record(probe, err)
+			from, to := b.record(probe, err)
+			if from != to {
+				if span := obs.SpanFrom(ctx); span != nil {
+					span.Event("breaker_state_change",
+						obs.String("model", inner.Name()),
+						obs.String("from", from.String()),
+						obs.String("to", to.String()))
+				}
+			}
 			return resp, err
 		})
 	}
@@ -346,6 +367,11 @@ func HedgeWith(cfg HedgeConfig, stats *Stats) Middleware {
 						if stats != nil {
 							stats.Model(inner.Name()).HedgesLaunched.Add(1)
 						}
+						if span := obs.SpanFrom(ctx); span != nil {
+							span.Event("hedge_launch",
+								obs.String("model", inner.Name()),
+								obs.Int("attempt", int64(launched-1)))
+						}
 						if launched <= cfg.MaxHedges {
 							timer.Reset(cfg.Delay)
 						}
@@ -356,6 +382,18 @@ func HedgeWith(cfg HedgeConfig, stats *Stats) Middleware {
 						// Winner. Cancel the rest and account their tokens
 						// as they drain, off the caller's critical path.
 						cancelAll()
+						if span := obs.SpanFrom(ctx); span != nil {
+							if out.idx > 0 {
+								span.Event("hedge_win",
+									obs.String("model", inner.Name()),
+									obs.Int("attempt", int64(out.idx)))
+							}
+							if pending > 0 {
+								span.Event("hedge_cancel",
+									obs.String("model", inner.Name()),
+									obs.Int("cancelled", int64(pending)))
+							}
+						}
 						if stats != nil {
 							if out.idx > 0 {
 								stats.Model(inner.Name()).HedgesWon.Add(1)

@@ -133,8 +133,12 @@ func ParseSpecs(data []byte) ([]Spec, error) {
 
 // BuildClient constructs one client from a spec: the provider backend
 // wrapped in the spec's middleware stack, outermost first:
-// Cache → Instrument → Breaker → Retry → RateLimit → Hedge → MaxInFlight →
-// backend. Cached hits therefore skip accounting and throttling entirely;
+// Trace("llm.request") → Cache → Instrument → Breaker → Retry →
+// Trace("llm.attempt") → RateLimit → Hedge → MaxInFlight →
+// backend. The request span therefore covers the whole resilient request
+// (cache hits included, marked by a cache_hit event), while each retry
+// produces a fresh child attempt span — both free when no tracer rides the
+// context. Cached hits skip accounting and throttling entirely;
 // an open breaker fast-fails before any retrying (and the fast-fail is
 // counted by Instrument but never retried); every retry attempt re-acquires
 // a rate-limit token; each hedged attempt takes its own in-flight slot but
@@ -154,6 +158,7 @@ func BuildClient(spec Spec, providers map[string]Factory, stats *Stats) (Client,
 		return nil, fmt.Errorf("llm: model %q: provider built client named %q", spec.Name, base.Name())
 	}
 	var mws []Middleware
+	mws = append(mws, Trace("llm.request"))
 	if spec.CacheSize != 0 {
 		limit := spec.CacheSize
 		if limit < 0 {
@@ -184,6 +189,7 @@ func BuildClient(spec Spec, providers map[string]Factory, stats *Stats) (Client,
 		}
 		mws = append(mws, RetryWith(cfg))
 	}
+	mws = append(mws, Trace("llm.attempt"))
 	if spec.RPS > 0 {
 		mws = append(mws, RateLimitWith(spec.RPS, spec.Burst, stats))
 	}

@@ -53,16 +53,17 @@ type ModelStats struct {
 // ModelSnapshot is a point-in-time copy of one model's stats, shaped for
 // JSON (the serve layer's /v1/metrics embeds it).
 type ModelSnapshot struct {
-	Requests         int64 `json:"requests"`
-	Errors           int64 `json:"errors"`
-	Retries          int64 `json:"retries"`
-	RateLimited      int64 `json:"rate_limited,omitempty"`
-	PromptTokens     int64 `json:"prompt_tokens"`
-	CompletionTokens int64 `json:"completion_tokens"`
-	TotalTokens      int64 `json:"total_tokens"`
+	Requests         int64   `json:"requests"`
+	Errors           int64   `json:"errors"`
+	Retries          int64   `json:"retries"`
+	RateLimited      int64   `json:"rate_limited,omitempty"`
+	PromptTokens     int64   `json:"prompt_tokens"`
+	CompletionTokens int64   `json:"completion_tokens"`
+	TotalTokens      int64   `json:"total_tokens"`
 	LatencyMeanMS    float64 `json:"latency_mean_ms"`
 	LatencyP50MS     float64 `json:"latency_p50_ms"`
 	LatencyP95MS     float64 `json:"latency_p95_ms"`
+	LatencyP99MS     float64 `json:"latency_p99_ms"`
 	LatencyMaxMS     float64 `json:"latency_max_ms"`
 	// Breaker telemetry: state is "closed", "half_open", or "open" (omitted
 	// while closed with no opens recorded — i.e. no breaker configured or
@@ -136,6 +137,7 @@ func (s *Stats) Snapshot() map[string]ModelSnapshot {
 			LatencyMeanMS:     durMS(ms.Latency.Mean()),
 			LatencyP50MS:      durMS(ms.Latency.Quantile(0.50)),
 			LatencyP95MS:      durMS(ms.Latency.Quantile(0.95)),
+			LatencyP99MS:      durMS(ms.Latency.Quantile(0.99)),
 			LatencyMaxMS:      durMS(ms.Latency.Max()),
 			BreakerOpens:      ms.BreakerOpens.Load(),
 			BreakerFastFails:  ms.BreakerFastFails.Load(),

@@ -1,0 +1,101 @@
+package llm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// traceStack builds the observed slice of the production middleware order:
+// request span outermost, retry inside it, one attempt span per try.
+func traceStack(backend Client) Client {
+	return Chain(backend,
+		Trace("llm.request"),
+		RetryWith(RetryConfig{
+			MaxAttempts: 3,
+			BaseDelay:   time.Millisecond,
+			sleep:       func(context.Context, time.Duration) error { return nil },
+		}),
+		Trace("llm.attempt"),
+	)
+}
+
+// A retried request must export one llm.request span carrying the retry
+// event and one llm.attempt child span per try — the trace shape the chaos
+// smoke asserts end to end against a flaky backend.
+func TestTraceRetriedRequestSpans(t *testing.T) {
+	backend := &scriptClient{name: "Flaky", fails: []error{&Error{Status: 503}}}
+	client := traceStack(backend)
+	tracer := obs.New(obs.WithCollector())
+	ctx := obs.With(context.Background(), tracer)
+
+	if _, err := client.Do(ctx, NewRequest("SELECT 1")); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if got := backend.callCount(); got != 2 {
+		t.Fatalf("backend calls = %d, want 2", got)
+	}
+
+	var request *obs.SpanRecord
+	var attempts []obs.SpanRecord
+	for _, rec := range tracer.Collected() {
+		rec := rec
+		switch rec.Name {
+		case "llm.request":
+			if request != nil {
+				t.Fatalf("multiple llm.request spans")
+			}
+			request = &rec
+		case "llm.attempt":
+			attempts = append(attempts, rec)
+		}
+	}
+	if request == nil {
+		t.Fatal("no llm.request span exported")
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("llm.attempt spans = %d, want 2 (one per try)", len(attempts))
+	}
+	for i, a := range attempts {
+		if a.ParentID != request.SpanID {
+			t.Errorf("attempt %d parent = %q, want request span %q", i, a.ParentID, request.SpanID)
+		}
+		if a.TraceID != request.TraceID {
+			t.Errorf("attempt %d trace id = %q, want %q", i, a.TraceID, request.TraceID)
+		}
+	}
+	// The failed first attempt records its error; the second is clean.
+	if attempts[0].Attrs["error"] == nil {
+		t.Errorf("first attempt should carry an error attr, got %v", attempts[0].Attrs)
+	}
+	if attempts[1].Attrs["error"] != nil {
+		t.Errorf("second attempt should be clean, got %v", attempts[1].Attrs)
+	}
+	var retry *obs.EventRecord
+	for i := range request.Events {
+		if request.Events[i].Name == "retry" {
+			retry = &request.Events[i]
+		}
+	}
+	if retry == nil {
+		t.Fatalf("no retry event on llm.request span (events %v)", request.Events)
+	}
+	if got := retry.Attrs["attempt"]; got != float64(1) && got != int64(1) {
+		t.Errorf("retry attempt attr = %v", got)
+	}
+	if request.Attrs["model"] != "Flaky" {
+		t.Errorf("request model attr = %v", request.Attrs["model"])
+	}
+}
+
+// Without a tracer on the context the same stack must still work and export
+// nothing — the disabled path is pass-through.
+func TestTraceStackNoTracer(t *testing.T) {
+	backend := &scriptClient{name: "Plain"}
+	client := traceStack(backend)
+	if _, err := client.Do(context.Background(), NewRequest("SELECT 1")); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+}

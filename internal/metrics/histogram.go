@@ -137,3 +137,24 @@ func (h *LatencyHistogram) Buckets() []HistogramBucket {
 	}
 	return out
 }
+
+// Sum returns the total of all recorded samples — with Count, the _sum and
+// _count of a Prometheus histogram exposition.
+func (h *LatencyHistogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Cumulative returns every bucket (empty ones included) with cumulative
+// counts, the Prometheus histogram form: each bucket counts all samples at
+// or below its upper bound, and the final bucket (UpperBound 0, i.e. +Inf)
+// equals Count.
+func (h *LatencyHistogram) Cumulative() []HistogramBucket {
+	out := make([]HistogramBucket, latencyBucketCount)
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		out[i] = HistogramBucket{Count: running}
+		if i < len(latencyBounds) {
+			out[i].UpperBound = latencyBounds[i]
+		}
+	}
+	return out
+}

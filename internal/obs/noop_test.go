@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// The ISSUE requires the disabled path to be allocation-free so traced-off
+// benchmarks stay at PERF.md numbers. Start on a tracer-less context must
+// return (ctx, nil) without allocating, and the guarded-event idiom
+// (`if s := SpanFrom(ctx); s != nil`) must not build the attr slice.
+
+func TestNoopStartAllocFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, s := Start(ctx, "noop")
+		s.SetInt("n", 1)
+		s.End()
+		_ = c
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Start/End allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestNoopGuardedEventAllocFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if s := SpanFrom(ctx); s != nil {
+			s.Event("retry", Int("attempt", 1))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("guarded event allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkNoopStart(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := Start(ctx, "noop")
+		s.End()
+	}
+}
+
+func BenchmarkTracedStart(b *testing.B) {
+	tr := New(WithRing(256))
+	ctx := With(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := Start(ctx, "traced")
+		s.End()
+	}
+}

@@ -48,6 +48,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(payload)
 }
 
+// handleTrace serves the bounded in-memory span ring: the most recent
+// completed spans (oldest first) plus how many older spans the ring has
+// evicted. Intended for ad-hoc debugging — scrape it after a request to see
+// that request's span tree by trace id (the X-Request-Id the client saw).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	spans, evicted := s.tracer.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(TraceSnapshot{Spans: spans, Evicted: evicted})
+}
+
 func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
 	var out []ExperimentInfo
 	for _, e := range experiments.All() {

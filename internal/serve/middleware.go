@@ -2,7 +2,7 @@ package serve
 
 import (
 	"context"
-	"log"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/llm"
+	"repro/internal/obs"
 )
 
 // middleware wraps a handler.
@@ -56,8 +57,69 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// requestLog logs one line per request: method, path, status, duration.
-func requestLog(logger *log.Logger) middleware {
+// requestID roots every request in a span whose trace id doubles as the
+// request id: an incoming W3C traceparent header (or bare X-Request-Id)
+// propagates the caller's trace id, otherwise a fresh one is generated. The
+// id is echoed in the X-Request-Id response header before the handler runs
+// and carried on the context so the access log — and every span started
+// below, down to individual LLM attempts — correlates by trace id.
+func requestID(tracer *obs.Tracer) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := incomingTraceID(r)
+			if id == "" {
+				id = tracer.NewTraceID()
+			}
+			w.Header().Set("X-Request-Id", id)
+			ctx, span := obs.StartTrace(obs.With(r.Context(), tracer), "http.request", id)
+			span.SetString("method", r.Method)
+			span.SetString("path", r.URL.Path)
+			sw := &statusWriter{ResponseWriter: w}
+			next.ServeHTTP(sw, r.WithContext(ctx))
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			span.SetInt("status", int64(sw.status))
+			span.End()
+		})
+	}
+}
+
+// incomingTraceID extracts a propagated trace id from the request:
+// traceparent ("00-<32 hex trace>-<16 hex span>-<flags>") wins, then a
+// well-formed X-Request-Id. Anything malformed is ignored so a garbage
+// header cannot pollute the trace ring with unparseable ids.
+func incomingTraceID(r *http.Request) string {
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		parts := strings.Split(tp, "-")
+		if len(parts) >= 3 && isHexID(parts[1], 32) && parts[1] != strings.Repeat("0", 32) {
+			return strings.ToLower(parts[1])
+		}
+	}
+	if id := r.Header.Get("X-Request-Id"); isHexID(id, 32) {
+		return strings.ToLower(id)
+	}
+	return ""
+}
+
+// isHexID reports whether s is exactly n hex digits.
+func isHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// requestLog logs one structured record per request: method, path, status,
+// duration, and the trace id planted by requestID (so log lines join against
+// exported spans and the X-Request-Id a client saw).
+func requestLog(logger *slog.Logger) middleware {
 	return func(next http.Handler) http.Handler {
 		if logger == nil {
 			return next
@@ -69,20 +131,31 @@ func requestLog(logger *log.Logger) middleware {
 			if sw.status == 0 {
 				sw.status = http.StatusOK
 			}
-			logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+			logger.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"dur", time.Since(start).Round(time.Microsecond),
+				"trace_id", obs.SpanFrom(r.Context()).TraceID(),
+			)
 		})
 	}
 }
 
 // recovery converts handler panics into 500s instead of killing the
 // connection, logging the stack when a logger is configured.
-func recovery(logger *log.Logger) middleware {
+func recovery(logger *slog.Logger) middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			defer func() {
 				if rec := recover(); rec != nil {
 					if logger != nil {
-						logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+						logger.Error("panic",
+							"method", r.Method,
+							"path", r.URL.Path,
+							"value", rec,
+							"stack", string(debug.Stack()),
+						)
 					}
 					// Headers may already be out on a streaming response;
 					// WriteHeader is then a no-op warning, which is fine.

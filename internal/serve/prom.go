@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// promServiceMetrics maps the /v1/metrics JSON keys onto the Prometheus
+// exposition: same counters, same values, text format. Order is fixed so the
+// scrape output is deterministic (and trivially diffable in tests).
+var promServiceMetrics = []struct {
+	key  string // Metrics.Snapshot key
+	typ  string // "counter" or "gauge"
+	help string
+}{
+	{"requests_total", "counter", "HTTP requests received, including errors."},
+	{"eval_requests", "counter", "POST /v1/eval/* requests received."},
+	{"experiment_requests", "counter", "GET /v1/experiments/* requests received."},
+	{"results_streamed", "counter", "NDJSON eval result lines written."},
+	{"coalesce_hits", "counter", "Requests served by joining an in-flight or cached computation."},
+	{"in_flight", "gauge", "Requests currently being served."},
+	{"env_cache_size", "gauge", "Cached evaluation environments."},
+	{"artifact_cache_size", "gauge", "Cached rendered artifacts."},
+	{"cache_evictions", "counter", "Cache entries evicted to honor LRU caps."},
+	{"rate_limited", "counter", "Requests rejected 429 by request-rate admission control."},
+	{"token_limited", "counter", "Eval requests rejected 429 by the completion-token budget."},
+	{"failed_examples", "counter", "Inline error rows streamed by continue-on-error evals."},
+	{"breaker_sheds", "counter", "Eval requests rejected 503 while a model breaker was open."},
+}
+
+// promModelCounters are the per-model counters, one {model="..."} labeled
+// sample per model with recorded stats.
+var promModelCounters = []struct {
+	name string
+	help string
+	load func(*modelCounterSnap) int64
+}{
+	{"requests", "Logical requests entering the model client.", func(m *modelCounterSnap) int64 { return m.requests }},
+	{"errors", "Requests that failed after any retrying.", func(m *modelCounterSnap) int64 { return m.errors }},
+	{"retries", "Retry attempts scheduled.", func(m *modelCounterSnap) int64 { return m.retries }},
+	{"rate_limited", "Requests made to wait for a rate-limit token.", func(m *modelCounterSnap) int64 { return m.rateLimited }},
+	{"prompt_tokens", "Prompt tokens consumed.", func(m *modelCounterSnap) int64 { return m.promptTokens }},
+	{"completion_tokens", "Completion tokens consumed.", func(m *modelCounterSnap) int64 { return m.completionTokens }},
+	{"breaker_opens", "Circuit-breaker transitions into the open state.", func(m *modelCounterSnap) int64 { return m.breakerOpens }},
+	{"breaker_fast_fails", "Requests shed by an open or probing breaker.", func(m *modelCounterSnap) int64 { return m.breakerFastFails }},
+	{"hedges_launched", "Hedged extra attempts raced.", func(m *modelCounterSnap) int64 { return m.hedgesLaunched }},
+	{"hedges_won", "Requests answered by a hedge instead of the primary.", func(m *modelCounterSnap) int64 { return m.hedgesWon }},
+}
+
+type modelCounterSnap struct {
+	requests, errors, retries, rateLimited int64
+	promptTokens, completionTokens         int64
+	breakerOpens, breakerFastFails         int64
+	hedgesLaunched, hedgesWon              int64
+}
+
+// handleMetricsProm serves the counters of /v1/metrics in Prometheus text
+// exposition format (version 0.0.4): service counters as sqlserved_*,
+// per-task failure counts and per-model telemetry as labeled samples, and
+// each model's latency histogram in cumulative-bucket form.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	s.syncCacheMetrics()
+	var b bytes.Buffer
+
+	snap := s.metrics.Snapshot()
+	for _, m := range promServiceMetrics {
+		name := "sqlserved_" + m.key
+		promHeader(&b, name, m.typ, m.help)
+		fmt.Fprintf(&b, "%s %d\n", name, snap[m.key])
+	}
+
+	if byTask := s.metrics.FailedByTask(); len(byTask) > 0 {
+		tasks := make([]string, 0, len(byTask))
+		for t := range byTask {
+			tasks = append(tasks, t)
+		}
+		sort.Strings(tasks)
+		promHeader(&b, "sqlserved_failed_examples_by_task", "counter",
+			"Inline error rows streamed, by task.")
+		for _, t := range tasks {
+			fmt.Fprintf(&b, "sqlserved_failed_examples_by_task{task=%q} %d\n", t, byTask[t])
+		}
+	}
+
+	names := s.llmStats.Names()
+	if len(names) > 0 {
+		counters := make(map[string]*modelCounterSnap, len(names))
+		for _, name := range names {
+			ms := s.llmStats.Model(name)
+			counters[name] = &modelCounterSnap{
+				requests:         ms.Requests.Load(),
+				errors:           ms.Errors.Load(),
+				retries:          ms.Retries.Load(),
+				rateLimited:      ms.RateLimited.Load(),
+				promptTokens:     ms.PromptTokens.Load(),
+				completionTokens: ms.CompletionTokens.Load(),
+				breakerOpens:     ms.BreakerOpens.Load(),
+				breakerFastFails: ms.BreakerFastFails.Load(),
+				hedgesLaunched:   ms.HedgesLaunched.Load(),
+				hedgesWon:        ms.HedgesWon.Load(),
+			}
+		}
+		for _, m := range promModelCounters {
+			name := "sqlserved_model_" + m.name
+			promHeader(&b, name, "counter", m.help)
+			for _, model := range names {
+				fmt.Fprintf(&b, "%s{model=%q} %d\n", name, model, m.load(counters[model]))
+			}
+		}
+		promHeader(&b, "sqlserved_model_latency_seconds", "histogram",
+			"Model request latency.")
+		for _, model := range names {
+			h := &s.llmStats.Model(model).Latency
+			for _, bkt := range h.Cumulative() {
+				fmt.Fprintf(&b, "sqlserved_model_latency_seconds_bucket{model=%q,le=%q} %d\n",
+					model, promLE(bkt.UpperBound), bkt.Count)
+			}
+			fmt.Fprintf(&b, "sqlserved_model_latency_seconds_sum{model=%q} %s\n",
+				model, promFloat(h.Sum().Seconds()))
+			fmt.Fprintf(&b, "sqlserved_model_latency_seconds_count{model=%q} %d\n",
+				model, h.Count())
+		}
+	}
+
+	spans, evicted := s.tracer.Snapshot()
+	promHeader(&b, "sqlserved_trace_spans", "gauge", "Completed spans retained in the trace ring.")
+	fmt.Fprintf(&b, "sqlserved_trace_spans %d\n", len(spans))
+	promHeader(&b, "sqlserved_trace_evicted_total", "counter", "Spans evicted from the trace ring.")
+	fmt.Fprintf(&b, "sqlserved_trace_evicted_total %d\n", evicted)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(b.Bytes())
+}
+
+// promHeader writes the # HELP / # TYPE preamble of one metric family.
+func promHeader(b *bytes.Buffer, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// promLE renders a histogram bucket bound in seconds; UpperBound 0 is the
+// final unbounded bucket, rendered as +Inf per the exposition format.
+func promLE(d time.Duration) string {
+	if d == 0 {
+		return "+Inf"
+	}
+	return promFloat(d.Seconds())
+}
+
+// promFloat renders a float sample the exposition way: shortest decimal form,
+// never scientific notation for the magnitudes in play here.
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}

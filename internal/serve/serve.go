@@ -12,11 +12,12 @@ package serve
 import (
 	"bytes"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 
 	"repro/internal/experiments"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -56,8 +57,13 @@ type Config struct {
 	// Models optionally replaces the default simulated models with a
 	// config-driven spec set (sqlserved -models); see llm.Spec.
 	Models []llm.Spec
-	// Logger receives request logs; nil disables logging.
-	Logger *log.Logger
+	// Logger receives structured request logs (one record per request, with
+	// the trace id); nil disables logging.
+	Logger *slog.Logger
+	// TraceRing bounds the in-memory span ring served at GET /v1/trace:
+	// 0 means the default of 2048, negative disables span retention (request
+	// ids are still generated and propagated).
+	TraceRing int
 }
 
 // Default cache caps: environments embed a whole benchmark plus memoized
@@ -65,6 +71,7 @@ type Config struct {
 const (
 	defaultEnvCacheCap      = 4
 	defaultArtifactCacheCap = 256
+	defaultTraceRing        = 2048
 )
 
 // cacheCap resolves a configured cap: 0 = default, negative = unbounded.
@@ -106,7 +113,11 @@ type Server struct {
 	// spend tracks per-client completion-token budgets when spend-based
 	// admission control is enabled (nil otherwise).
 	spend *spendLimiter
-	mux   *http.ServeMux
+	// tracer creates request spans and retains the bounded ring behind
+	// GET /v1/trace; every request is rooted in a span whose trace id doubles
+	// as the X-Request-Id.
+	tracer *obs.Tracer
+	mux    *http.ServeMux
 
 	// envs caches fully built evaluation environments per (seed, verify):
 	// the benchmark plus simulated model registry plus memoized cell
@@ -128,22 +139,32 @@ func NewServer(cfg Config) *Server {
 	if cfg.TokensPerMin > 0 {
 		s.spend = newSpendLimiter(cfg.TokensPerMin)
 	}
+	if ringCap := cacheCap(cfg.TraceRing, defaultTraceRing); ringCap > 0 {
+		s.tracer = obs.New(obs.WithRing(ringCap))
+	} else {
+		s.tracer = obs.New()
+	}
 	s.mux.HandleFunc("POST /v1/eval/{task}", s.handleEval)
 	s.mux.HandleFunc("GET /v1/tasks", s.handleTasks)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/metrics/prom", s.handleMetricsProm)
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	return s
 }
 
 // Handler returns the service's root handler with middleware applied:
-// recovery and logging outermost, then request counting, then per-client
-// admission control (so shed requests are still counted and logged), then
-// spend-based token-budget admission layered inside the request-rate bucket.
+// recovery outermost, then request-id/span creation (so every inner layer —
+// logging included — sees the trace id), then logging and request counting,
+// then per-client admission control (so shed requests are still counted and
+// logged), then spend-based token-budget admission layered inside the
+// request-rate bucket.
 func (s *Server) Handler() http.Handler {
 	return chain(s.mux,
 		recovery(s.cfg.Logger),
+		requestID(s.tracer),
 		requestLog(s.cfg.Logger),
 		count(s.metrics),
 		admission(s.cfg.RPS, s.cfg.Burst, s.metrics),
@@ -169,6 +190,7 @@ func (s *Server) env(key envKey) (*experiments.Env, error) {
 			Models:             s.cfg.Models,
 			Stats:              s.llmStats,
 			ClientCache:        &s.llmClients,
+			Tracer:             s.tracer,
 		})
 	})
 	if shared {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/llm"
+	"repro/internal/obs"
 )
 
 // EvalRequest is the body of POST /v1/eval/{task}. Exactly one source of
@@ -222,4 +223,12 @@ type ErrorLine struct {
 type ExperimentInfo struct {
 	ID    string `json:"id"`
 	Title string `json:"title"`
+}
+
+// TraceSnapshot is the GET /v1/trace payload: the span ring's current
+// contents (oldest first) and how many older spans were evicted to stay
+// within the configured bound.
+type TraceSnapshot struct {
+	Spans   []obs.SpanRecord `json:"spans"`
+	Evicted uint64           `json:"evicted"`
 }
