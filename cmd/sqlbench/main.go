@@ -15,6 +15,8 @@
 //	sqlbench -exp all -checkpoint-dir /tmp/ckpt   # rerun resumes, byte-identical
 //	sqlbench -exp table3 -trace-out run.json      # Chrome trace of the whole run
 //	sqlbench -exp table3 -trace-out run.ndjson    # one span record per line
+//	sqlbench -exp all -no-optimize                # plan optimizer off (ablation)
+//	sqlbench -explain-plan 'SELECT ...'           # plan before/after optimization
 //
 // Output is byte-identical at every -parallel setting; -parallel 1
 // reproduces the fully sequential pipeline. The -parallel budget reaches
@@ -34,15 +36,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/llm"
 	"repro/internal/obs"
+	"repro/internal/sqlparse"
 )
 
 func main() {
@@ -56,6 +63,9 @@ func main() {
 		stats    = flag.Bool("stats", false, "report build/run wall times, engine op counts, and per-model usage to stderr")
 		models   = flag.String("models", "", "JSON model specs (or @file) replacing the default simulated models; providers: sim, http")
 
+		noOptimize  = flag.Bool("no-optimize", false, "run engine queries without the plan optimizer (pushdown, join reordering, streaming hash joins); output is byte-identical, only speed changes")
+		explainPlan = flag.String("explain-plan", "", "print the logical plan of this SELECT before and after optimization (against a synthetic SDSS instance) and exit")
+
 		continueOnError = flag.Bool("continue-on-error", false, "record per-example completion failures and keep going instead of aborting the run")
 		maxFailures     = flag.Int("max-failures", 0, "abort a -continue-on-error run once more than this many examples fail (0 = unlimited)")
 		checkpointDir   = flag.String("checkpoint-dir", "", "persist completed model responses to <dir>/<model>.ndjson and replay them on rerun; a resumed run's output is byte-identical to an uninterrupted one")
@@ -63,6 +73,13 @@ func main() {
 	)
 	flag.Parse()
 
+	if *explainPlan != "" {
+		if err := printExplain(os.Stdout, *explainPlan); err != nil {
+			fmt.Fprintln(os.Stderr, "sqlbench: -explain-plan:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
@@ -122,6 +139,7 @@ func main() {
 	env, err := experiments.NewEnvConfig(experiments.Config{
 		Seed:               *seed,
 		VerifyEquivalences: !*noVerify,
+		NoOptimize:         *noOptimize,
 		Parallel:           *parallel,
 		Models:             specs,
 		ContinueOnError:    *continueOnError,
@@ -177,6 +195,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// printExplain renders a SELECT's logical plan before and after the engine's
+// optimizer pass, resolved against a small synthetic SDSS instance (the
+// optimizer's cost estimates read actual table sizes, so a concrete database
+// is required).
+func printExplain(w io.Writer, sql string) error {
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		return err
+	}
+	db := datagen.Instance(catalog.SDSS(), datagen.Config{Seed: 1, Rows: 100})
+	before, after := engine.New(db).Explain(sel)
+	fmt.Fprintln(w, "-- plan before optimization:")
+	fmt.Fprint(w, before)
+	fmt.Fprintln(w, "-- plan after optimization:")
+	fmt.Fprint(w, after)
+	return nil
 }
 
 // writeTrace exports collected spans: NDJSON when the path says so, Chrome

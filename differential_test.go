@@ -1,0 +1,82 @@
+package repro_test
+
+// Differential stress test for the engine's plan optimizer: the fully
+// verified benchmark build runs every dataset's equivalence pairs through
+// the engine (both queries, three seeds each), so building it with the
+// optimizer on and off — and at parallel 1 and 8 — and requiring identical
+// output exercises the optimizer's byte-identity contract across thousands
+// of generated queries, including the pairs whose verification errors.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func buildBench(t *testing.T, noOptimize bool, parallel int) *core.Benchmark {
+	t.Helper()
+	b, err := core.Build(core.BuildConfig{
+		Seed:               1,
+		VerifyEquivalences: true,
+		NoOptimize:         noOptimize,
+		Parallel:           parallel,
+	})
+	if err != nil {
+		t.Fatalf("Build(noOptimize=%v, parallel=%d): %v", noOptimize, parallel, err)
+	}
+	return b
+}
+
+func TestOptimizerDifferentialBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four fully verified benchmark builds")
+	}
+	ref := buildBench(t, false, 1)
+	refOff := buildBench(t, true, 1)
+
+	cases := []struct {
+		name  string
+		bench *core.Benchmark
+	}{
+		{"no-optimize parallel=1", refOff},
+		{"optimize parallel=8", buildBench(t, false, 8)},
+		{"no-optimize parallel=8", buildBench(t, true, 8)},
+	}
+	for _, c := range cases {
+		if !reflect.DeepEqual(ref.Workloads, c.bench.Workloads) {
+			t.Errorf("%s: workloads diverge from optimized parallel=1 build", c.name)
+		}
+		if !reflect.DeepEqual(ref.Equiv, c.bench.Equiv) {
+			t.Errorf("%s: verified equivalence pairs diverge", c.name)
+		}
+		if !reflect.DeepEqual(ref.Syntax, c.bench.Syntax) {
+			t.Errorf("%s: syntax examples diverge", c.name)
+		}
+		if !reflect.DeepEqual(ref.Tokens, c.bench.Tokens) {
+			t.Errorf("%s: token examples diverge", c.name)
+		}
+		if !reflect.DeepEqual(ref.Perf, c.bench.Perf) {
+			t.Errorf("%s: perf examples diverge", c.name)
+		}
+		if !reflect.DeepEqual(ref.Explain, c.bench.Explain) {
+			t.Errorf("%s: explain examples diverge", c.name)
+		}
+	}
+
+	// The ops totals are compared at parallel 1 only: queries that error
+	// under intra-query parallelism cancel their workers mid-batch, so the
+	// partial counts they contribute are schedule-dependent (the counter's
+	// determinism guarantee covers successful queries). The optimizer must
+	// actually reduce the sequential total — that is the point of the pass.
+	var on, off int64
+	for _, v := range ref.EngineOps {
+		on += v
+	}
+	for _, v := range refOff.EngineOps {
+		off += v
+	}
+	if on >= off {
+		t.Errorf("optimizer did not reduce engine ops: %d (on) >= %d (off)", on, off)
+	}
+}

@@ -45,6 +45,11 @@ type PlanConfig struct {
 	// DisablePlanner lowers comma-joined FROM lists to cross products with a
 	// post-filter instead of an ImplicitJoinNode (ablation).
 	DisablePlanner bool
+	// Optimize runs the plan through the rewrite pipeline in optimize.go
+	// (predicate pushdown, join-order and join-strategy hints) after
+	// lowering. It is part of the plan cache key: plans built under
+	// different optimizer settings never alias.
+	Optimize bool
 }
 
 // OneRowNode produces a single zero-width row (SELECT without FROM).
@@ -67,6 +72,17 @@ type JoinNode struct {
 	Left, Right PlanNode
 	Type        string // INNER, LEFT, RIGHT, FULL, CROSS
 	On          sqlast.Expr
+
+	// Stream is an optimizer hint: the ON clause is a plain column equality,
+	// so the physical layer may use the streaming hash join (build one side,
+	// stream the probe side batch by batch instead of materializing it).
+	// Output is byte-identical to the materializing join.
+	Stream bool
+	// BuildLeft, with Stream, hashes the (estimated-smaller) left input and
+	// streams the right one. Only ever set for INNER joins, where emitting
+	// matches grouped by left row preserves the left-major output order of
+	// the materializing join.
+	BuildLeft bool
 }
 
 // CrossNode is a left-deep cross product of comma-joined inputs.
@@ -81,6 +97,12 @@ type CrossNode struct {
 type ImplicitJoinNode struct {
 	Inputs []PlanNode
 	Where  sqlast.Expr
+
+	// CostOrder is an optimizer hint: at execution time, compare the default
+	// greedy join sequence against a cardinality-greedy one and run whichever
+	// the actual input sizes favor, restoring the default sequence's column
+	// layout and row order afterwards so results stay byte-identical.
+	CostOrder bool
 }
 
 // FilterNode keeps the input rows whose condition is truthy.
@@ -263,11 +285,22 @@ func (n *JoinNode) Describe() string {
 	if n.On == nil || n.Type == "CROSS" {
 		return "CrossJoin"
 	}
-	return fmt.Sprintf("%s Join ON %s", n.Type, sqlast.PrintExpr(n.On))
+	s := fmt.Sprintf("%s Join ON %s", n.Type, sqlast.PrintExpr(n.On))
+	switch {
+	case n.BuildLeft:
+		s += " [stream hash, build left]"
+	case n.Stream:
+		s += " [stream hash, build right]"
+	}
+	return s
 }
 func (n *CrossNode) Describe() string { return "Cross" }
 func (n *ImplicitJoinNode) Describe() string {
-	return fmt.Sprintf("ImplicitJoin (%d inputs) WHERE %s", len(n.Inputs), sqlast.PrintExpr(n.Where))
+	s := fmt.Sprintf("ImplicitJoin (%d inputs) WHERE %s", len(n.Inputs), sqlast.PrintExpr(n.Where))
+	if n.CostOrder {
+		s += " [cost-ordered]"
+	}
+	return s
 }
 func (n *FilterNode) Describe() string { return "Filter " + sqlast.PrintExpr(n.Cond) }
 func (n *ProjectNode) Describe() string {
