@@ -36,6 +36,11 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/engine"
+	"repro/internal/prompt"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
 )
 
 type wireRequest struct {
@@ -64,9 +69,49 @@ func answer(prompt string) string {
 		return "No, this query should run quickly; it touches limited data."
 	case strings.Contains(lower, "describing this query") || strings.Contains(lower, "purpose of this query"):
 		return "This query returns rows selected from the referenced tables."
+	case strings.Contains(lower, "final contents") || strings.Contains(lower, "contain after running"):
+		return answerState(prompt)
 	default:
 		return "No, the query does not contain any syntax errors. It is well-formed SQL."
 	}
+}
+
+// answerState really executes the embedded DML/transaction script on the
+// in-memory engine, so state-task evals through the stub grade against true
+// final contents instead of a canned string.
+func answerState(promptText string) string {
+	const empty = "After running the script, the table is empty."
+	script, ok := prompt.ExtractQuery(promptText)
+	if !ok {
+		return empty
+	}
+	stmts, err := sqlparse.ParseAll(script)
+	if err != nil {
+		return empty
+	}
+	db := engine.NewDB(nil)
+	ms := engine.NewMemStore(db)
+	if err := engine.New(db).ApplyScript(ms, stmts); err != nil {
+		return empty
+	}
+	if ms.InTxn() {
+		ms.Rollback()
+	}
+	table := ""
+	for _, s := range stmts {
+		if ct, ok := s.(*sqlast.CreateTableStmt); ok {
+			table = ct.Name
+		}
+	}
+	rel, ok := db.Table(table)
+	if !ok || len(rel.Rows) == 0 {
+		return empty
+	}
+	parts := make([]string, len(rel.Rows))
+	for i, row := range rel.Rows {
+		parts[i] = engine.FormatRow(row)
+	}
+	return "Final contents: " + strings.Join(parts, " ")
 }
 
 func main() {

@@ -62,6 +62,9 @@ func TestOptimizerDifferentialBuild(t *testing.T) {
 		if !reflect.DeepEqual(ref.Explain, c.bench.Explain) {
 			t.Errorf("%s: explain examples diverge", c.name)
 		}
+		if !reflect.DeepEqual(ref.State, c.bench.State) {
+			t.Errorf("%s: state examples diverge", c.name)
+		}
 	}
 
 	// The ops totals are compared at parallel 1 only: queries that error

@@ -457,6 +457,7 @@ func init() {
 	RegisterTask(PerfTask)
 	RegisterTask(ExplainTask)
 	RegisterTask(FillTask)
+	RegisterTask(StateTask)
 }
 
 // RegisterTask validates a definition and adds it to the registry. It

@@ -3,6 +3,7 @@ package core_test
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -67,7 +68,7 @@ func field(t *testing.T, v core.ResultView, key string) any {
 // serve-endpoint order, then registered extensions.
 func TestTaskRegistry(t *testing.T) {
 	ids := core.TaskIDs()
-	want := []string{"syntax", "tokens", "equiv", "perf", "explain", "fill"}
+	want := []string{"syntax", "tokens", "equiv", "perf", "explain", "fill", "state"}
 	if len(ids) != len(want) {
 		t.Fatalf("registered tasks = %v, want %v", ids, want)
 	}
@@ -152,6 +153,15 @@ func TestTaskContracts(t *testing.T) {
 				{Name: "good", Example: pos, Response: fmt.Sprintf("The missing token is %q.", removed), WantCorrect: true},
 				{Name: "bad", Example: pos, Response: "The query is complete.", WantCorrect: false},
 			}
+		case "state":
+			pos := findExample(t, b, task, func(v any) bool {
+				return len(v.(core.StateExample).Want) > 0
+			})
+			rows := pos.Value().(core.StateExample).Want
+			return []tasktest.GradeCase{
+				{Name: "good", Example: pos, Response: "Final contents: " + strings.Join(rows, " "), WantCorrect: true},
+				{Name: "bad", Example: pos, Response: "After running the script the table is empty.", WantCorrect: false},
+			}
 		default:
 			t.Fatalf("no grading fixtures for task %s — add them here", task.ID())
 			return nil
@@ -203,6 +213,47 @@ func TestFillTaskEndToEnd(t *testing.T) {
 	}
 	if exact == 0 {
 		t.Error("no exact token recovery at all")
+	}
+}
+
+// TestStateTaskEndToEnd drives the seventh task through the generic driver:
+// every response must parse, a strong model lands well above chance, and a
+// weak model stays clearly below a strong one (the error channel separates
+// the profiles).
+func TestStateTaskEndToEnd(t *testing.T) {
+	b, k := suiteEnv(t)
+	accuracy := func(model string) float64 {
+		client, err := sim.New(model, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []core.StateResult
+		for _, ds := range core.TaskDatasets {
+			res, err := core.Run(context.Background(), client, core.StateTask, core.StateTask.Cell(b, ds))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != len(b.State[ds]) {
+				t.Fatalf("%s/%s: %d results, want %d", model, ds, len(res), len(b.State[ds]))
+			}
+			all = append(all, res...)
+		}
+		for _, r := range all {
+			if !r.Parsed {
+				t.Errorf("%s: unparseable state response on %s: %q", model, r.Example.ID, r.Response)
+			}
+		}
+		return core.StateTask.Summarize(all).Accuracy
+	}
+	strong, weak := accuracy("GPT4"), accuracy("Gemini")
+	if strong < 0.6 {
+		t.Errorf("GPT4 state accuracy = %.2f, want >= 0.6", strong)
+	}
+	if strong >= 0.999 {
+		t.Errorf("GPT4 state accuracy = %.2f: error channel never fired", strong)
+	}
+	if weak >= strong {
+		t.Errorf("Gemini (%.2f) should not beat GPT4 (%.2f) on state tracking", weak, strong)
 	}
 }
 

@@ -35,6 +35,11 @@ var (
 	// token leans even harder on contextual completion, but the Table 1
 	// emphasis grid tops out at 2.
 	fillSkills = map[Skill]int{Recognition: 1, Semantics: 1, Context: 2, Coherence: 0}
+	// table_state asks for the final table contents after a DML/transaction
+	// script: it probes statement semantics directly and coherence across
+	// statements (each answer depends on every prior statement and on
+	// transaction visibility).
+	stateSkills = map[Skill]int{Recognition: 0, Semantics: 2, Context: 1, Coherence: 2}
 )
 
 // TaskInfo describes one SQL task and the skills it probes, with emphasis

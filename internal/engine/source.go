@@ -1,0 +1,22 @@
+package engine
+
+// TableSource supplies tables stored outside the DB's in-memory relations —
+// the durable heap files of internal/store. DB.Table lookups that miss fall
+// through to the source, and scans stream batches through a cursor instead of
+// materializing the table, so a store-backed table may exceed RAM (and the
+// buffer pool pages it in and out underneath the cursor).
+type TableSource interface {
+	// SourceCols reports the columns of a table, unqualified.
+	SourceCols(name string) ([]Col, bool)
+	// SourceRows reports the table's row count, for optimizer size estimates.
+	SourceRows(name string) (int, bool)
+	// OpenScan opens a streaming cursor over the table's rows.
+	OpenScan(name string) (ScanCursor, error)
+}
+
+// ScanCursor streams batches of rows. Next returns a nil batch at the end of
+// the table. Close must be called exactly once.
+type ScanCursor interface {
+	Next() ([][]Value, error)
+	Close()
+}

@@ -1,0 +1,146 @@
+package equiv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+// storePairs are transform pairs spanning both verdicts, reused by the
+// memory/store differential test and the benchmarks.
+var storePairs = []struct {
+	typ Type
+	sql string
+}{
+	{ReorderConditions, "SELECT plate FROM SpecObj WHERE z > 0.5 AND mjd > 55000 AND plate < 3000"},
+	{BetweenSplit, "SELECT plate FROM SpecObj WHERE z BETWEEN 0.5 AND 1.5"},
+	{CommuteJoin, "SELECT s.plate , p.ra FROM SpecObj AS s JOIN PhotoObj AS p ON s.bestobjid = p.objid"},
+	{DistinctGroupBy, "SELECT DISTINCT plate , mjd FROM SpecObj"},
+	{DropPredicate, "SELECT plate FROM SpecObj WHERE z > 0.5 AND z < 2.5"},
+	{ValueChange, "SELECT plate FROM SpecObj WHERE z > 0.5"},
+	{DistinctToggle, "SELECT class FROM SpecObj"},
+}
+
+// Store-backed checking must reach the same verdict as the in-memory
+// instances on every pair, sequentially and with parallel seeds, and the
+// per-seed rollback must leave the shared tables empty for the next seed.
+func TestStoreCheckerMatchesMemory(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	mem := sdssChecker()
+	st := NewChecker(catalog.SDSS())
+	st.StoreDir = t.TempDir()
+	defer st.Close()
+	stPar := NewChecker(catalog.SDSS())
+	stPar.StoreDir = t.TempDir()
+	stPar.Parallel = 4
+	defer stPar.Close()
+
+	for _, p := range storePairs {
+		sel := parse(t, p.sql)
+		out, ok := Transform(sel, p.typ, r)
+		if !ok {
+			t.Fatalf("Transform(%s) not applicable to %q", p.typ, p.sql)
+		}
+		want, err := mem.Equivalent(sel, out)
+		if err != nil {
+			t.Fatalf("memory check failed on %s: %v", p.typ, err)
+		}
+		got, err := st.Equivalent(sel, out)
+		if err != nil {
+			t.Fatalf("store check failed on %s: %v", p.typ, err)
+		}
+		if got != want {
+			t.Errorf("%s: store verdict %v, memory verdict %v\n left: %s\nright: %s",
+				p.typ, got, want, p.sql, sqlast.Print(out))
+		}
+		gotPar, err := stPar.Equivalent(sel, out)
+		if err != nil {
+			t.Fatalf("parallel store check failed on %s: %v", p.typ, err)
+		}
+		if gotPar != want {
+			t.Errorf("%s: parallel store verdict %v, memory verdict %v", p.typ, gotPar, want)
+		}
+	}
+
+	// Rollback-based reuse: between checks every shared table is empty.
+	for _, tab := range catalog.SDSS().Tables() {
+		if n, ok := st.store.Rows(tab.Name); !ok || n != 0 {
+			t.Errorf("table %s has %d rows after rollback, want 0", tab.Name, n)
+		}
+	}
+	if s := st.StoreStats(); s.WALRecords == 0 {
+		t.Error("store stats recorded no WAL records — table creation never committed?")
+	}
+}
+
+// A reopened store directory keeps its (empty) tables; the checker must not
+// fail creating them again.
+func TestStoreCheckerReopenDirectory(t *testing.T) {
+	dir := t.TempDir()
+	sel := parse(t, "SELECT plate FROM SpecObj WHERE z > 0.5")
+	for i := 0; i < 2; i++ {
+		c := NewChecker(catalog.SDSS())
+		c.StoreDir = dir
+		if equal, err := c.Equivalent(sel, sel); err != nil || !equal {
+			t.Fatalf("round %d: Equivalent(q, q) = %v, %v", i, equal, err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("round %d: Close: %v", i, err)
+		}
+	}
+}
+
+func benchQueries(b *testing.B) (*sqlast.SelectStmt, *sqlast.SelectStmt) {
+	b.Helper()
+	r := rand.New(rand.NewSource(5))
+	sel, err := sqlparse.ParseSelect("SELECT plate FROM SpecObj WHERE z > 0.5 AND mjd > 55000 AND plate < 3000")
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, ok := Transform(sel, ReorderConditions, r)
+	if !ok {
+		b.Fatal("transform not applicable")
+	}
+	return sel, out
+}
+
+// BenchmarkStoreSeedRollback measures one store-backed seed check when the
+// heap files are shared across seeds via load-then-rollback (the shipping
+// path).
+func BenchmarkStoreSeedRollback(b *testing.B) {
+	c := NewChecker(catalog.SDSS())
+	c.StoreDir = b.TempDir()
+	c.Seeds = []int64{11}
+	defer c.Close()
+	qa, qb := benchQueries(b)
+	if _, err := c.Equivalent(qa, qb); err != nil { // create tables once, warm the pool
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Equivalent(qa, qb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreSeedRebuild measures the same seed check when every seed
+// rebuilds its store from scratch (open, create tables, load, check, close).
+func BenchmarkStoreSeedRebuild(b *testing.B) {
+	qa, qb := benchQueries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewChecker(catalog.SDSS())
+		c.StoreDir = b.TempDir()
+		c.Seeds = []int64{11}
+		if _, err := c.Equivalent(qa, qb); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

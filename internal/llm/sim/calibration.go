@@ -55,6 +55,13 @@ type Profile struct {
 	ExplainSkill    float64 // fact-retention probability in query_exp
 	FlipSuperlative float64 // probability of misreading ASC/DESC LIMIT 1
 	Tilt            float64 // complexity-tilt exponent alpha
+	// table_state channel: StateSkill is the probability of tracing a
+	// DML/transaction script perfectly; a failed trace mis-applies a
+	// ROLLBACK as if it committed with probability StateTxnConfuse (the
+	// transaction-visibility error), otherwise it drops the script's last
+	// DML statement (the attention-slip error).
+	StateSkill      float64
+	StateTxnConfuse float64
 }
 
 // datasetNames used as calibration keys.
@@ -149,6 +156,8 @@ var profiles = map[string]Profile{
 		ExplainSkill:    0.92,
 		FlipSuperlative: 0.5,
 		Tilt:            0.55,
+		StateSkill:      0.85,
+		StateTxnConfuse: 0.55,
 	},
 	"GPT3.5": {
 		SyntaxError: map[string]BinaryTarget{
@@ -170,6 +179,8 @@ var profiles = map[string]Profile{
 		ExplainSkill:    0.80,
 		FlipSuperlative: 0.6,
 		Tilt:            0.6,
+		StateSkill:      0.62,
+		StateTxnConfuse: 0.55,
 	},
 	"Llama3": {
 		SyntaxError: map[string]BinaryTarget{
@@ -191,6 +202,8 @@ var profiles = map[string]Profile{
 		ExplainSkill:    0.75,
 		FlipSuperlative: 0.7,
 		Tilt:            0.65,
+		StateSkill:      0.55,
+		StateTxnConfuse: 0.60,
 	},
 	"MistralAI": {
 		SyntaxError: map[string]BinaryTarget{
@@ -212,6 +225,8 @@ var profiles = map[string]Profile{
 		ExplainSkill:    0.80,
 		FlipSuperlative: 0.05,
 		Tilt:            0.6,
+		StateSkill:      0.58,
+		StateTxnConfuse: 0.50,
 	},
 	"Gemini": {
 		SyntaxError: map[string]BinaryTarget{
@@ -233,6 +248,8 @@ var profiles = map[string]Profile{
 		ExplainSkill:    0.65,
 		FlipSuperlative: 0.6,
 		Tilt:            0.7,
+		StateSkill:      0.45,
+		StateTxnConfuse: 0.65,
 	},
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/analyze"
 	"repro/internal/catalog"
+	"repro/internal/engine"
 	"repro/internal/equiv"
 	"repro/internal/llm"
 	"repro/internal/mutate"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/prompt"
 	"repro/internal/repair"
 	"repro/internal/semcheck"
+	"repro/internal/sqlast"
 	"repro/internal/sqllex"
 	"repro/internal/sqlparse"
 )
@@ -264,6 +266,8 @@ func (m *Model) answer(promptText string) string {
 			return m.answerPerf(q)
 		case prompt.QueryExp:
 			return m.answerExplain(q)
+		case prompt.TableState:
+			return m.answerState(q, quality)
 		}
 	}
 	return m.style().unsure
@@ -285,13 +289,15 @@ func promptQuality(promptText string) float64 {
 	case strings.Contains(lower, "reply yes/no"),
 		strings.Contains(lower, "say yes or no"),
 		strings.Contains(lower, "answer yes or no"),
-		strings.Contains(lower, "same results or not"):
+		strings.Contains(lower, "same results or not"),
+		strings.Contains(lower, "trace the script"):
 		return 1.6
 	// Reworded v2-style prompts: close to the tuned one.
 	case strings.Contains(lower, "you are a sql reviewer"),
 		strings.Contains(lower, "report its type"),
 		strings.Contains(lower, "classify the rewrite"),
-		strings.Contains(lower, "runtime cost"):
+		strings.Contains(lower, "runtime cost"),
+		strings.Contains(lower, "execute this dml script mentally"):
 		return 1.15
 	default:
 		return 1.0
@@ -636,6 +642,103 @@ func (m *Model) answerExplain(sql string) string {
 }
 
 // ---------------------------------------------------------------------------
+// table_state
+
+// answerState traces a DML/transaction script and reports the table's final
+// contents. The oracle is the in-memory DML executor — the same semantics
+// the benchmark's durable-store oracle implements — degraded by the
+// calibrated channel: a failed trace either treats a ROLLBACK as if it
+// committed or silently drops the script's last DML statement, the two
+// error families the task is designed to separate.
+func (m *Model) answerState(script string, quality float64) string {
+	stmts, err := sqlparse.ParseAll(script)
+	if err != nil {
+		return m.style().unsure
+	}
+	st := m.style()
+	errRate := (1 - m.profile.StateSkill) * quality
+	if errRate > 0.95 {
+		errRate = 0.95
+	}
+	if m.unit("state", "fail", script) < errRate {
+		if m.unit("state", "mode", script) < m.profile.StateTxnConfuse {
+			// Transaction-visibility slip: the ROLLBACK "commits".
+			for i, s := range stmts {
+				if txn, ok := s.(*sqlast.TxnStmt); ok && txn.Kind == "ROLLBACK" {
+					stmts[i] = &sqlast.TxnStmt{Kind: "COMMIT"}
+				}
+			}
+		} else {
+			// Attention slip: the last DML statement never happened.
+			for i := len(stmts) - 1; i >= 0; i-- {
+				switch stmts[i].(type) {
+				case *sqlast.InsertStmt, *sqlast.UpdateStmt, *sqlast.DeleteStmt:
+					stmts = append(stmts[:i], stmts[i+1:]...)
+					i = -1
+				}
+			}
+		}
+	}
+	rows, ok := execStateScript(stmts)
+	if !ok {
+		return st.unsure
+	}
+	if len(rows) == 0 {
+		return st.stateEmpty
+	}
+	parts := make([]string, len(rows))
+	for i, row := range rows {
+		parts[i] = renderStateRow(row, st.stateCompact, st.stateDouble)
+	}
+	return st.statePrefix + strings.Join(parts, st.stateSep)
+}
+
+// execStateScript runs the (possibly degraded) script on the in-memory
+// executor and returns the created table's final rows.
+func execStateScript(stmts []sqlast.Stmt) ([][]engine.Value, bool) {
+	db := engine.NewDB(nil)
+	ms := engine.NewMemStore(db)
+	if err := engine.New(db).ApplyScript(ms, stmts); err != nil {
+		if ms.InTxn() {
+			ms.Rollback()
+		}
+		return nil, false
+	}
+	if ms.InTxn() {
+		ms.Rollback()
+	}
+	table := ""
+	for _, s := range stmts {
+		if ct, ok := s.(*sqlast.CreateTableStmt); ok {
+			table = ct.Name
+		}
+	}
+	rel, ok := db.Table(table)
+	if !ok {
+		return nil, false
+	}
+	return rel.Rows, true
+}
+
+// renderStateRow renders one row in the model's tuple style: spaced
+// canonical form, or compact, optionally double-quoting text — the format
+// variety the response parser has to canonicalize away.
+func renderStateRow(row []engine.Value, compact, doubleQuote bool) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		lit := engine.FormatLiteral(v)
+		if doubleQuote && !v.Null && v.Kind == catalog.TypeText {
+			lit = `"` + v.S + `"`
+		}
+		parts[i] = lit
+	}
+	if compact {
+		return "(" + strings.Join(parts, ", ") + ")"
+	}
+	return "( " + strings.Join(parts, " , ") + " )"
+}
+
+// ---------------------------------------------------------------------------
 // Response styling
 
 // styleSet holds the per-model response phrasing; the variety exercises the
@@ -654,6 +757,11 @@ type styleSet struct {
 	equivTypeSuffix string // arg: transformation type
 	explainPrefix   string
 	unsure          string
+	statePrefix     string // leads the row list in table_state answers
+	stateSep        string // joins rendered rows
+	stateEmpty      string // the empty-table claim
+	stateCompact    bool   // "(1, 'a')" tuples instead of "( 1 , 'a' )"
+	stateDouble     bool   // double-quoted text values
 }
 
 var styles = map[string]styleSet{
@@ -671,6 +779,9 @@ var styles = map[string]styleSet{
 		equivTypeSuffix: " The difference is a %s change.",
 		explainPrefix:   "",
 		unsure:          "I am not certain how to answer that request.",
+		statePrefix:     "After running the script, the table contains the following rows:\n",
+		stateSep:        "\n",
+		stateEmpty:      "After running the script, the table is empty.",
 	},
 	"GPT3.5": {
 		noError:         "No syntax errors found. The query looks fine.",
@@ -686,6 +797,10 @@ var styles = map[string]styleSet{
 		equivTypeSuffix: " The change looks like %s.",
 		explainPrefix:   "",
 		unsure:          "Sorry, I could not process that.",
+		statePrefix:     "Final rows: ",
+		stateSep:        " ",
+		stateEmpty:      "The table ends up empty.",
+		stateCompact:    true,
 	},
 	"Llama3": {
 		noError:         "Based on my analysis, there are no syntax errors in this query.",
@@ -701,6 +816,10 @@ var styles = map[string]styleSet{
 		equivTypeSuffix: " It appears to be a %s modification.",
 		explainPrefix:   "",
 		unsure:          "I am unable to determine that.",
+		statePrefix:     "Based on my analysis, the final contents are: ",
+		stateSep:        ", ",
+		stateEmpty:      "Based on my analysis, the table has no rows at the end.",
+		stateDouble:     true,
 	},
 	"MistralAI": {
 		noError:         "no error",
@@ -716,6 +835,10 @@ var styles = map[string]styleSet{
 		equivTypeSuffix: "; type=%s",
 		explainPrefix:   "",
 		unsure:          "unknown",
+		statePrefix:     "rows: ",
+		stateSep:        " ",
+		stateEmpty:      "empty",
+		stateCompact:    true,
 	},
 	"Gemini": {
 		noError:         "The query appears to be free of syntax errors.",
@@ -731,6 +854,10 @@ var styles = map[string]styleSet{
 		equivTypeSuffix: " The modification resembles %s.",
 		explainPrefix:   "",
 		unsure:          "Unable to answer.",
+		statePrefix:     "The table appears to end with these rows: ",
+		stateSep:        " and ",
+		stateEmpty:      "The table appears to contain no rows after the script runs.",
+		stateDouble:     true,
 	},
 }
 

@@ -20,11 +20,12 @@ const (
 	QueryEquiv  Task = "query_equiv"  // also query_equiv_type
 	PerfPred    Task = "performance_pred"
 	QueryExp    Task = "query_exp"
-	FillToken   Task = "fill_token" // missing-token recovery (fill-in) variant
+	FillToken   Task = "fill_token"  // missing-token recovery (fill-in) variant
+	TableState  Task = "table_state" // final table contents after a DML/transaction script
 )
 
 // Tasks lists all prompted tasks.
-var Tasks = []Task{SyntaxError, MissToken, QueryEquiv, PerfPred, QueryExp, FillToken}
+var Tasks = []Task{SyntaxError, MissToken, QueryEquiv, PerfPred, QueryExp, FillToken, TableState}
 
 // Markers for query embedding.
 const (
@@ -106,6 +107,11 @@ var variants = map[Task][]Template{
 		{FillToken, "fill_token/v2", "Repair this SQL query if a token was dropped: give the exact missing token in double quotes, or state that the query is complete."},
 		{FillToken, "fill_token/v3", "Fill in the gap. Reply with the exact missing token, or 'complete'."},
 	},
+	TableState: {
+		{TableState, "table_state/v1", "The following SQL script creates a table and modifies it. What are the final contents of the table after running the script? List every row in parentheses, separated by commas, with text values in single quotes — for example ( 1 , 'alpha' ). If no rows remain, reply that the table is empty. A BEGIN..ROLLBACK block leaves the table unchanged."},
+		{TableState, "table_state/v2", "Execute this DML script mentally. What rows does the table contain after running it? Give each row as a parenthesized tuple, text in single quotes, or say the table is empty. Remember that a ROLLBACK undoes everything since its BEGIN."},
+		{TableState, "table_state/v3", "Trace the script. Final table contents? Rows in parentheses, or 'empty'."},
+	},
 }
 
 // Variants returns the candidate templates for a task.
@@ -139,6 +145,8 @@ func DetectTask(promptText string) (Task, bool) {
 		return PerfPred, true
 	case strings.Contains(lower, "describing this query") || strings.Contains(lower, "what this sql query returns") || strings.Contains(lower, "purpose of this query"):
 		return QueryExp, true
+	case strings.Contains(lower, "final contents") || strings.Contains(lower, "contain after running") || strings.Contains(lower, "final table contents"):
+		return TableState, true
 	case strings.Contains(lower, "syntax") || strings.Contains(lower, "query valid") || strings.Contains(lower, "semantic errors"):
 		return SyntaxError, true
 	default:

@@ -1,0 +1,160 @@
+package respparse
+
+import "strconv"
+import "strings"
+
+// StateVerdict is the label for the state task: the final table contents as
+// canonical tuples, or an explicit empty-table claim.
+type StateVerdict struct {
+	Rows  []string // canonical "( 1 , 'alpha' )" form, response order
+	Empty bool     // the response says the table ends up empty
+}
+
+var emptyPhrases = []string{
+	"table is empty", "table will be empty", "table ends up empty",
+	"no rows remain", "contains no rows", "contain no rows", "has no rows",
+	"no rows at the end", "empty table",
+	"zero rows", "empty;", "empty.",
+}
+
+// ParseState extracts the state verdict: every parenthesized group in the
+// response whose comma-separated items all canonicalize as SQL literals is
+// taken as a row; parentheticals containing prose are skipped. When no row
+// is found, an empty-table phrase yields Empty. Rows win over empty talk —
+// "after the DELETE the table is not empty: ( 1 , 'a' )" lists a row.
+func ParseState(resp string) (StateVerdict, error) {
+	var rows []string
+	for _, group := range parenGroups(resp) {
+		if row, ok := canonRow(group); ok {
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) > 0 {
+		return StateVerdict{Rows: rows}, nil
+	}
+	lower := strings.ToLower(resp)
+	if strings.TrimSpace(lower) == "empty" {
+		return StateVerdict{Empty: true}, nil
+	}
+	for _, ph := range emptyPhrases {
+		if strings.Contains(lower, ph) {
+			return StateVerdict{Empty: true}, nil
+		}
+	}
+	return StateVerdict{}, ErrUnparseable
+}
+
+// parenGroups returns the contents of every top-level (...) group, honoring
+// quotes so a parenthesis inside a text value does not end the group.
+func parenGroups(s string) []string {
+	var groups []string
+	for i := 0; i < len(s); i++ {
+		if s[i] != '(' {
+			continue
+		}
+		depth := 1
+		var quote byte
+		for j := i + 1; j < len(s); j++ {
+			c := s[j]
+			if quote != 0 {
+				if c == quote {
+					quote = 0
+				}
+				continue
+			}
+			switch c {
+			case '\'', '"':
+				quote = c
+			case '(':
+				depth++
+			case ')':
+				depth--
+				if depth == 0 {
+					groups = append(groups, s[i+1:j])
+					i = j
+					j = len(s)
+				}
+			}
+		}
+		// An unclosed group is dropped.
+	}
+	return groups
+}
+
+// canonRow splits a group on top-level commas and canonicalizes each item;
+// any non-literal item rejects the whole group as prose.
+func canonRow(group string) (string, bool) {
+	items := splitTopLevel(group)
+	if len(items) == 0 {
+		return "", false
+	}
+	parts := make([]string, len(items))
+	for i, it := range items {
+		lit, ok := canonLiteral(strings.TrimSpace(it))
+		if !ok {
+			return "", false
+		}
+		parts[i] = lit
+	}
+	return "( " + strings.Join(parts, " , ") + " )", true
+}
+
+// splitTopLevel splits on commas outside quotes and nested parentheses.
+func splitTopLevel(s string) []string {
+	var items []string
+	depth, start := 0, 0
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			quote = c
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				items = append(items, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	items = append(items, s[start:])
+	return items
+}
+
+// canonLiteral normalizes one value to the engine.FormatLiteral rendering:
+// integers base-10, floats %g, text single-quoted, booleans lowercase,
+// NULL uppercase. Anything else is not a literal.
+func canonLiteral(item string) (string, bool) {
+	if item == "" {
+		return "", false
+	}
+	if n := len(item); n >= 2 {
+		if (item[0] == '\'' && item[n-1] == '\'') || (item[0] == '"' && item[n-1] == '"') {
+			return "'" + item[1:n-1] + "'", true
+		}
+	}
+	switch strings.ToLower(item) {
+	case "null":
+		return "NULL", true
+	case "true":
+		return "true", true
+	case "false":
+		return "false", true
+	}
+	if i, err := strconv.ParseInt(item, 10, 64); err == nil {
+		return strconv.FormatInt(i, 10), true
+	}
+	if f, err := strconv.ParseFloat(item, 64); err == nil {
+		return strconv.FormatFloat(f, 'g', -1, 64), true
+	}
+	return "", false
+}

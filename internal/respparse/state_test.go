@@ -1,0 +1,81 @@
+package respparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseStateTuples(t *testing.T) {
+	cases := []struct {
+		resp string
+		want []string
+	}{
+		{"The final contents are: ( 1 , 'alpha' , 2.5 )", []string{"( 1 , 'alpha' , 2.5 )"}},
+		{"(1,'a')\n(2,'b')", []string{"( 1 , 'a' )", "( 2 , 'b' )"}},
+		{`Rows: (3, "quoted text", true) and (4, NULL, false)`,
+			[]string{"( 3 , 'quoted text' , true )", "( 4 , NULL , false )"}},
+		// Prose parentheticals must not be mistaken for rows.
+		{"After the update (which touches two rows) the table holds ( 7 , 'x' )",
+			[]string{"( 7 , 'x' )"}},
+		// Float canonicalization: 2.50 and 2.5 agree, 7.0 renders as 7 only
+		// when written as an int.
+		{"( 2.50 , 'y' )", []string{"( 2.5 , 'y' )"}},
+		// Commas and parens inside quotes stay inside the value.
+		{"( 1 , 'a, (b)' )", []string{"( 1 , 'a, (b)' )"}},
+		{"answer: (  -4 , 'neg' )", []string{"( -4 , 'neg' )"}},
+	}
+	for _, c := range cases {
+		v, err := ParseState(c.resp)
+		if err != nil {
+			t.Errorf("%q: %v", c.resp, err)
+			continue
+		}
+		if v.Empty {
+			t.Errorf("%q: unexpected Empty", c.resp)
+		}
+		if !reflect.DeepEqual(v.Rows, c.want) {
+			t.Errorf("%q:\n got %v\nwant %v", c.resp, v.Rows, c.want)
+		}
+	}
+}
+
+func TestParseStateEmpty(t *testing.T) {
+	for _, resp := range []string{
+		"After the DELETE the table is empty.",
+		"No rows remain after running the script.",
+		"The table will be empty",
+		"empty",
+		"Final contents: the table contains no rows.",
+	} {
+		v, err := ParseState(resp)
+		if err != nil {
+			t.Errorf("%q: %v", resp, err)
+			continue
+		}
+		if !v.Empty || len(v.Rows) != 0 {
+			t.Errorf("%q: got %+v, want Empty", resp, v)
+		}
+	}
+}
+
+func TestParseStateRowsWinOverEmptyTalk(t *testing.T) {
+	v, err := ParseState("the table is not empty: ( 1 , 'a' )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Empty || len(v.Rows) != 1 {
+		t.Fatalf("got %+v", v)
+	}
+}
+
+func TestParseStateUnparseable(t *testing.T) {
+	for _, resp := range []string{
+		"I cannot determine the final contents.",
+		"(this is prose, not a row)",
+		"",
+	} {
+		if _, err := ParseState(resp); err == nil {
+			t.Errorf("%q: expected error", resp)
+		}
+	}
+}

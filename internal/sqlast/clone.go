@@ -52,6 +52,9 @@ func CloneStmt(s Stmt) Stmt {
 	case *WaitforStmt:
 		cp := *t
 		return &cp
+	case *TxnStmt:
+		cp := *t
+		return &cp
 	default:
 		panic(fmt.Sprintf("sqlast: cannot clone statement %T", s))
 	}

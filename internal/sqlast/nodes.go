@@ -148,6 +148,12 @@ type WaitforStmt struct {
 	Delay string
 }
 
+// TxnStmt is a transaction-control statement: BEGIN, COMMIT, or ROLLBACK.
+// Kind holds the uppercase statement name.
+type TxnStmt struct {
+	Kind string // "BEGIN", "COMMIT", "ROLLBACK"
+}
+
 func (*SelectStmt) node()      {}
 func (*CreateTableStmt) node() {}
 func (*CreateViewStmt) node()  {}
@@ -159,6 +165,7 @@ func (*SetVarStmt) node()      {}
 func (*ExecStmt) node()        {}
 func (*DropStmt) node()        {}
 func (*WaitforStmt) node()     {}
+func (*TxnStmt) node()         {}
 
 func (*SelectStmt) stmtNode()      {}
 func (*CreateTableStmt) stmtNode() {}
@@ -171,6 +178,7 @@ func (*SetVarStmt) stmtNode()      {}
 func (*ExecStmt) stmtNode()        {}
 func (*DropStmt) stmtNode()        {}
 func (*WaitforStmt) stmtNode()     {}
+func (*TxnStmt) stmtNode()         {}
 
 // ---------------------------------------------------------------------------
 // Table references

@@ -143,6 +143,8 @@ func printStmt(b *strings.Builder, s Stmt) {
 		b.WriteString("WAITFOR DELAY '")
 		b.WriteString(t.Delay)
 		b.WriteString("'")
+	case *TxnStmt:
+		b.WriteString(t.Kind)
 	default:
 		panic(fmt.Sprintf("sqlast: unknown statement %T", s))
 	}

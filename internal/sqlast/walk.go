@@ -58,7 +58,7 @@ func Walk(n Node, v Visitor) {
 		for _, a := range t.Args {
 			Walk(a, v)
 		}
-	case *DropStmt, *WaitforStmt:
+	case *DropStmt, *WaitforStmt, *TxnStmt:
 	case *TableName:
 	case *SubqueryTable:
 		walkSelect(t.Select, v)

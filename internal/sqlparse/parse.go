@@ -180,6 +180,15 @@ func (p *parser) identifier(what string) (string, error) {
 
 func (p *parser) parseStatement() (sqlast.Stmt, error) {
 	t := p.cur()
+	// BEGIN/COMMIT/ROLLBACK are not lexer keywords (the workload dialect never
+	// uses them as identifiers, but keeping them out of the keyword table means
+	// zero tokenization risk for existing queries); they arrive as Idents.
+	if t.Kind == sqllex.Ident {
+		switch t.Upper() {
+		case "BEGIN", "COMMIT", "ROLLBACK":
+			return p.parseTxn(t.Upper())
+		}
+	}
 	if t.Kind != sqllex.Keyword {
 		return nil, p.errorf("expected a statement keyword")
 	}
@@ -853,6 +862,16 @@ func (p *parser) parseWaitfor() (sqlast.Stmt, error) {
 		return nil, err
 	}
 	return &sqlast.WaitforStmt{Delay: t.Val()}, nil
+}
+
+// parseTxn parses BEGIN [TRANSACTION|WORK], COMMIT [TRANSACTION|WORK], or
+// ROLLBACK [TRANSACTION|WORK]. The caller has matched the leading word.
+func (p *parser) parseTxn(kind string) (sqlast.Stmt, error) {
+	p.pos++
+	if !p.accept(sqllex.Ident, "TRANSACTION") && !p.accept(sqllex.Ident, "WORK") {
+		p.acceptKw("TRANSACTION") // in case a future lexer promotes it
+	}
+	return &sqlast.TxnStmt{Kind: kind}, nil
 }
 
 func (p *parser) intLiteral() (int, error) {

@@ -1,0 +1,97 @@
+package store
+
+// Tuple codec: each value is a 1-byte tag followed by its payload, so tuples
+// are self-describing and columns of any declared type (including the `any`
+// type CREATE TABLE AS SELECT can produce) round-trip exactly.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+)
+
+const (
+	tagNull  byte = 0
+	tagInt   byte = 1
+	tagFloat byte = 2
+	tagText  byte = 3
+	tagBool  byte = 4
+)
+
+// encodeTuple appends the row's encoding to dst.
+func encodeTuple(dst []byte, row []engine.Value) []byte {
+	for _, v := range row {
+		switch {
+		case v.Null:
+			dst = append(dst, tagNull)
+		case v.Kind == catalog.TypeInt:
+			dst = append(dst, tagInt)
+			dst = binary.AppendVarint(dst, v.I)
+		case v.Kind == catalog.TypeFloat:
+			dst = append(dst, tagFloat)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+		case v.Kind == catalog.TypeBool:
+			b := byte(0)
+			if v.B {
+				b = 1
+			}
+			dst = append(dst, tagBool, b)
+		default: // text and any other textual kind
+			dst = append(dst, tagText)
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		}
+	}
+	return dst
+}
+
+// decodeTuple decodes a tuple of the given arity.
+func decodeTuple(data []byte, arity int) ([]engine.Value, error) {
+	row := make([]engine.Value, arity)
+	for i := 0; i < arity; i++ {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("store: truncated tuple at value %d", i)
+		}
+		tag := data[0]
+		data = data[1:]
+		switch tag {
+		case tagNull:
+			row[i] = engine.NullValue
+		case tagInt:
+			n, sz := binary.Varint(data)
+			if sz <= 0 {
+				return nil, fmt.Errorf("store: bad int at value %d", i)
+			}
+			data = data[sz:]
+			row[i] = engine.IntVal(n)
+		case tagFloat:
+			if len(data) < 8 {
+				return nil, fmt.Errorf("store: bad float at value %d", i)
+			}
+			row[i] = engine.FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(data)))
+			data = data[8:]
+		case tagText:
+			n, sz := binary.Uvarint(data)
+			if sz <= 0 || uint64(len(data)-sz) < n {
+				return nil, fmt.Errorf("store: bad text at value %d", i)
+			}
+			row[i] = engine.TextVal(string(data[sz : sz+int(n)]))
+			data = data[sz+int(n):]
+		case tagBool:
+			if len(data) < 1 {
+				return nil, fmt.Errorf("store: bad bool at value %d", i)
+			}
+			row[i] = engine.BoolVal(data[0] != 0)
+			data = data[1:]
+		default:
+			return nil, fmt.Errorf("store: unknown value tag %d", tag)
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("store: %d trailing tuple bytes", len(data))
+	}
+	return row, nil
+}

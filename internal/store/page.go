@@ -1,0 +1,239 @@
+package store
+
+// Slotted heap pages. Each 4 KiB page holds a small header, a slot directory
+// growing up from the header, and tuple data growing down from the end:
+//
+//	[0:8)   pageLSN — the WAL LSN of the last committed transaction applied
+//	[8:10)  slotCount
+//	[10:12) freeEnd — start of the lowest tuple byte (data grows down)
+//	[12:16) reserved
+//	[16+4i) slot i: offset u16, length u16; offset 0 marks a dead slot
+//
+// Deleting a tuple kills its slot but leaves the bytes; insertion compacts
+// the data area when the contiguous gap is too small but the live bytes
+// would fit. Slot numbers are stable across compaction (scans and WAL
+// records address tuples as page/slot), and dead slots are reused by later
+// inserts, so a page's slot directory never shrinks but also never leaks.
+
+import "encoding/binary"
+
+// PageSize is the fixed on-disk page size.
+const PageSize = 4096
+
+const (
+	pageHeaderSize = 16
+	slotSize       = 4
+)
+
+func pageLSN(b []byte) uint64     { return binary.LittleEndian.Uint64(b[0:8]) }
+func setPageLSN(b []byte, lsn uint64) { binary.LittleEndian.PutUint64(b[0:8], lsn) }
+
+func slotCount(b []byte) int { return int(binary.LittleEndian.Uint16(b[8:10])) }
+func setSlotCount(b []byte, n int) { binary.LittleEndian.PutUint16(b[8:10], uint16(n)) }
+
+func freeEnd(b []byte) int { return int(binary.LittleEndian.Uint16(b[10:12])) }
+func setFreeEnd(b []byte, n int) { binary.LittleEndian.PutUint16(b[10:12], uint16(n)) }
+
+// initPage formats b as an empty page. PageSize is an exact u16 overflow
+// (4096 fits), so freeEnd stores 4096 directly.
+func initPage(b []byte) {
+	for i := range b[:pageHeaderSize] {
+		b[i] = 0
+	}
+	setFreeEnd(b, PageSize)
+}
+
+func slotAt(b []byte, i int) (offset, length int) {
+	base := pageHeaderSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(b[base : base+2])),
+		int(binary.LittleEndian.Uint16(b[base+2 : base+4]))
+}
+
+func setSlot(b []byte, i, offset, length int) {
+	base := pageHeaderSize + i*slotSize
+	binary.LittleEndian.PutUint16(b[base:base+2], uint16(offset))
+	binary.LittleEndian.PutUint16(b[base+2:base+4], uint16(length))
+}
+
+// pageRead returns the tuple bytes at a slot, or nil,false for a dead or
+// out-of-range slot. The returned slice aliases the page buffer.
+func pageRead(b []byte, slot int) ([]byte, bool) {
+	if slot < 0 || slot >= slotCount(b) {
+		return nil, false
+	}
+	off, ln := slotAt(b, slot)
+	if off == 0 {
+		return nil, false
+	}
+	return b[off : off+ln], true
+}
+
+// pageFreeContig is the contiguous gap between the slot directory and the
+// tuple data.
+func pageFreeContig(b []byte) int {
+	return freeEnd(b) - (pageHeaderSize + slotCount(b)*slotSize)
+}
+
+// pageLiveBytes sums the live tuple lengths.
+func pageLiveBytes(b []byte) int {
+	total := 0
+	for i, n := 0, slotCount(b); i < n; i++ {
+		if off, ln := slotAt(b, i); off != 0 {
+			total += ln
+		}
+	}
+	return total
+}
+
+// compact rewrites the data area so the live tuples sit contiguously at the
+// page end, reclaiming dead-tuple bytes. Slot numbers are preserved.
+func compact(b []byte) {
+	var scratch [PageSize]byte
+	end := PageSize
+	n := slotCount(b)
+	type placed struct{ slot, off, ln int }
+	var live []placed
+	for i := 0; i < n; i++ {
+		off, ln := slotAt(b, i)
+		if off == 0 {
+			continue
+		}
+		end -= ln
+		copy(scratch[end:end+ln], b[off:off+ln])
+		live = append(live, placed{i, end, ln})
+	}
+	copy(b[end:], scratch[end:])
+	setFreeEnd(b, end)
+	for _, p := range live {
+		setSlot(b, p.slot, p.off, p.ln)
+	}
+}
+
+// pageCanFit reports whether a tuple of the given length fits, counting a
+// fresh slot entry unless a dead slot is available, allowing compaction.
+func pageCanFit(b []byte, ln int) bool {
+	need := ln
+	if firstDeadSlot(b) < 0 {
+		need += slotSize
+	}
+	if pageFreeContig(b) >= need {
+		return true
+	}
+	// Compaction reclaims dead tuple bytes but not slot entries.
+	slots := slotCount(b)
+	if firstDeadSlot(b) < 0 {
+		slots++
+	}
+	return PageSize - pageLiveBytes(b) - pageHeaderSize - slots*slotSize >= ln
+}
+
+func firstDeadSlot(b []byte) int {
+	for i, n := 0, slotCount(b); i < n; i++ {
+		if off, _ := slotAt(b, i); off == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// pageInsert places a tuple in the first dead slot (or a new one) and
+// reports the slot, or -1 when the tuple cannot fit even after compaction.
+func pageInsert(b []byte, tuple []byte) int {
+	slot := firstDeadSlot(b)
+	if slot < 0 {
+		slot = slotCount(b)
+	}
+	if !pageInsertAt(b, slot, tuple) {
+		return -1
+	}
+	return slot
+}
+
+// pageInsertAt places a tuple at a specific slot (which must be dead or
+// one past the current count — redo replays recorded placements exactly).
+func pageInsertAt(b []byte, slot int, tuple []byte) bool {
+	n := slotCount(b)
+	if slot > n {
+		// Recovery of a page that lost a trailing rolled-back slot: grow the
+		// directory with dead slots up to the target.
+		for n < slot {
+			if pageFreeContig(b) < slotSize {
+				return false
+			}
+			setSlot(b, n, 0, 0)
+			n++
+			setSlotCount(b, n)
+		}
+	}
+	if slot < n {
+		if off, _ := slotAt(b, slot); off != 0 {
+			return false // occupied
+		}
+	}
+	newSlot := 0
+	if slot == n {
+		newSlot = slotSize
+	}
+	if pageFreeContig(b) < len(tuple)+newSlot {
+		if PageSize-pageLiveBytes(b)-pageHeaderSize-(n*slotSize+newSlot) < len(tuple) {
+			return false
+		}
+		compact(b)
+		if pageFreeContig(b) < len(tuple)+newSlot {
+			return false
+		}
+	}
+	if slot == n {
+		setSlotCount(b, n+1)
+	}
+	end := freeEnd(b) - len(tuple)
+	copy(b[end:], tuple)
+	setFreeEnd(b, end)
+	setSlot(b, slot, end, len(tuple))
+	return true
+}
+
+// pageDelete kills a slot; reports whether it was live.
+func pageDelete(b []byte, slot int) bool {
+	if slot < 0 || slot >= slotCount(b) {
+		return false
+	}
+	if off, _ := slotAt(b, slot); off == 0 {
+		return false
+	}
+	setSlot(b, slot, 0, 0)
+	return true
+}
+
+// pageReplace overwrites the tuple at a live slot, in place when the new
+// tuple is no longer than the old one, otherwise via delete + re-insert at
+// the same slot (compacting as needed). Reports success; on failure the
+// page is unchanged.
+func pageReplace(b []byte, slot int, tuple []byte) bool {
+	off, ln := slotAt(b, slot)
+	if off == 0 || slot >= slotCount(b) {
+		return false
+	}
+	if len(tuple) <= ln {
+		copy(b[off:], tuple)
+		setSlot(b, slot, off, len(tuple))
+		return true
+	}
+	setSlot(b, slot, 0, 0)
+	if pageInsertAt(b, slot, tuple) {
+		return true
+	}
+	setSlot(b, slot, off, ln)
+	return false
+}
+
+// pageLiveSlots counts live tuples.
+func pageLiveSlots(b []byte) int {
+	n := 0
+	for i, c := 0, slotCount(b); i < c; i++ {
+		if off, _ := slotAt(b, i); off != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestPageInsertDeleteCompact(t *testing.T) {
+	b := make([]byte, PageSize)
+	initPage(b)
+	var slots []int
+	for i := 0; i < 20; i++ {
+		s := pageInsert(b, bytes.Repeat([]byte{byte(i)}, 50+i))
+		if s < 0 {
+			t.Fatalf("insert %d failed", i)
+		}
+		slots = append(slots, s)
+	}
+	// Kill every other tuple, then insert something that only fits after
+	// compaction reclaims the dead bytes.
+	for i := 0; i < 20; i += 2 {
+		if !pageDelete(b, slots[i]) {
+			t.Fatalf("delete slot %d failed", slots[i])
+		}
+	}
+	free := pageFreeContig(b)
+	big := bytes.Repeat([]byte{0xAB}, free+100)
+	if !pageCanFit(b, len(big)) {
+		t.Fatalf("pageCanFit(%d) = false with dead space available", len(big))
+	}
+	s := pageInsert(b, big)
+	if s < 0 {
+		t.Fatal("insert after compaction failed")
+	}
+	got, ok := pageRead(b, s)
+	if !ok || !bytes.Equal(got, big) {
+		t.Fatal("compaction corrupted the inserted tuple")
+	}
+	// Survivors intact?
+	for i := 1; i < 20; i += 2 {
+		tb, ok := pageRead(b, slots[i])
+		if !ok || !bytes.Equal(tb, bytes.Repeat([]byte{byte(i)}, 50+i)) {
+			t.Fatalf("tuple at slot %d corrupted after compaction", slots[i])
+		}
+	}
+}
+
+func TestPageReplaceGrowAndShrink(t *testing.T) {
+	b := make([]byte, PageSize)
+	initPage(b)
+	s1 := pageInsert(b, []byte("aaaa"))
+	s2 := pageInsert(b, []byte("bbbb"))
+	if !pageReplace(b, s1, []byte("cc")) { // shrink in place
+		t.Fatal("shrink replace failed")
+	}
+	if got, _ := pageRead(b, s1); !bytes.Equal(got, []byte("cc")) {
+		t.Fatal("shrink lost data")
+	}
+	long := bytes.Repeat([]byte{'x'}, 300)
+	if !pageReplace(b, s1, long) { // grow: delete + reinsert at same slot
+		t.Fatal("grow replace failed")
+	}
+	if got, _ := pageRead(b, s1); !bytes.Equal(got, long) {
+		t.Fatal("grow lost data")
+	}
+	if got, _ := pageRead(b, s2); !bytes.Equal(got, []byte("bbbb")) {
+		t.Fatal("neighbor tuple disturbed")
+	}
+}
+
+func TestPageSlotReuse(t *testing.T) {
+	b := make([]byte, PageSize)
+	initPage(b)
+	s0 := pageInsert(b, []byte("one"))
+	pageInsert(b, []byte("two"))
+	pageDelete(b, s0)
+	s2 := pageInsert(b, []byte("three"))
+	if s2 != s0 {
+		t.Fatalf("dead slot not reused: got slot %d, want %d", s2, s0)
+	}
+	if slotCount(b) != 2 {
+		t.Fatalf("slot directory grew to %d", slotCount(b))
+	}
+}
+
+func TestPageInsertAtExtendsDirectory(t *testing.T) {
+	b := make([]byte, PageSize)
+	initPage(b)
+	if !pageInsertAt(b, 3, []byte("redo")) {
+		t.Fatal("insertAt past directory end failed")
+	}
+	if slotCount(b) != 4 {
+		t.Fatalf("slotCount = %d, want 4", slotCount(b))
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := pageRead(b, i); ok {
+			t.Fatalf("filler slot %d is live", i)
+		}
+	}
+	if got, ok := pageRead(b, 3); !ok || !bytes.Equal(got, []byte("redo")) {
+		t.Fatal("tuple missing at forced slot")
+	}
+}
+
+func TestTupleCodecFuzzLengths(t *testing.T) {
+	for n := 0; n < 40; n++ {
+		row := intRow()
+		for i := 0; i < n%5; i++ {
+			row = append(row, intRow(int64(i*7))[0])
+		}
+		enc := encodeTuple(nil, row)
+		dec, err := decodeTuple(enc, len(row))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if fmt.Sprint(dec) != fmt.Sprint(row) {
+			t.Fatalf("n=%d: round-trip mismatch", n)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package store
+
+// Fixed-size buffer pool with pin/unpin and clock (second-chance) eviction.
+// Frames dirtied by the active transaction are never evicted — the WAL holds
+// only committed transactions, so flushing an uncommitted page would break
+// redo-only recovery. When every frame is pinned or transaction-protected
+// the pool temporarily over-allocates instead of deadlocking; the next
+// eviction sweep shrinks it back.
+
+import "sync"
+
+// pageKey addresses a page by table identity (not name: a table dropped and
+// recreated under the same name must not alias the old frames).
+type pageKey struct {
+	tid  uint64
+	page int
+}
+
+type frame struct {
+	key    pageKey
+	buf    []byte
+	pinned int
+	dirty  bool // has changes not yet on disk
+	txn    bool // dirtied by the active (uncommitted) transaction
+	ref    bool // clock reference bit
+	dead   bool // evicted; awaiting removal from the ring
+}
+
+type pool struct {
+	mu     sync.Mutex
+	cap    int
+	frames map[pageKey]*frame
+	ring   []*frame // clock order; dead entries compacted lazily
+	hand   int
+
+	readPage  func(key pageKey, buf []byte) error
+	writePage func(key pageKey, buf []byte) error
+
+	hits, misses, reads, writes int64
+}
+
+func newPool(capacity int, read, write func(pageKey, []byte) error) *pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &pool{
+		cap:       capacity,
+		frames:    make(map[pageKey]*frame),
+		readPage:  read,
+		writePage: write,
+	}
+}
+
+// fetch returns the pinned frame for a page, reading it from disk on a miss.
+// fresh pages (beyond the table's current extent) are initialized empty
+// instead of read. The caller must unpin.
+func (p *pool) fetch(key pageKey, fresh bool) (*frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[key]; ok {
+		p.hits++
+		f.ref = true
+		f.pinned++
+		return f, nil
+	}
+	p.misses++
+	if err := p.evictFor(1); err != nil {
+		return nil, err
+	}
+	f := &frame{key: key, buf: make([]byte, PageSize), pinned: 1, ref: true}
+	if fresh {
+		initPage(f.buf)
+		f.dirty = true
+	} else {
+		p.reads++
+		if err := p.readPage(key, f.buf); err != nil {
+			return nil, err
+		}
+	}
+	p.frames[key] = f
+	p.ring = append(p.ring, f)
+	return f, nil
+}
+
+func (p *pool) unpin(f *frame) {
+	p.mu.Lock()
+	f.pinned--
+	p.mu.Unlock()
+}
+
+// evictFor makes room for n new frames if the pool is at capacity. Called
+// with p.mu held.
+func (p *pool) evictFor(n int) error {
+	for len(p.frames)+n > p.cap {
+		f := p.victim()
+		if f == nil {
+			return nil // everything pinned or txn-protected: over-allocate
+		}
+		if f.dirty {
+			p.writes++
+			if err := p.writePage(f.key, f.buf); err != nil {
+				return err
+			}
+		}
+		delete(p.frames, f.key)
+		f.dead = true
+	}
+	return nil
+}
+
+// victim runs the clock hand over the ring: referenced frames get a second
+// chance, pinned or transaction-dirty frames are skipped.
+func (p *pool) victim() *frame {
+	if len(p.ring) > 4*p.cap {
+		p.compactRing()
+	}
+	for sweep := 0; sweep < 2*len(p.ring); sweep++ {
+		if p.hand >= len(p.ring) {
+			p.hand = 0
+		}
+		f := p.ring[p.hand]
+		p.hand++
+		if f == nil || f.dead || f.pinned > 0 || f.txn {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+func (p *pool) compactRing() {
+	out := p.ring[:0]
+	for _, f := range p.ring {
+		if f != nil && !f.dead {
+			out = append(out, f)
+		}
+	}
+	// Zero the tail so dead frames are collectable.
+	for i := len(out); i < len(p.ring); i++ {
+		p.ring[i] = nil
+	}
+	p.ring = out
+	p.hand = 0
+}
+
+// flushAll writes every dirty frame (checkpoint). Frames stay resident.
+// Transaction-dirty frames must not exist when this is called.
+func (p *pool) flushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if !f.dirty {
+			continue
+		}
+		p.writes++
+		if err := p.writePage(f.key, f.buf); err != nil {
+			return err
+		}
+		f.dirty = false
+	}
+	return nil
+}
+
+// invalidateTable discards all frames of a dropped table without writing.
+func (p *pool) invalidateTable(tid uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, f := range p.frames {
+		if key.tid == tid {
+			delete(p.frames, key)
+			f.dead = true
+		}
+	}
+}

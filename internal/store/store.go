@@ -1,0 +1,625 @@
+// Package store is the durable storage engine: slotted heap-file pages
+// cached in a fixed-size buffer pool, a redo-only write-ahead log with
+// fsync-on-commit and torn-tail-tolerant recovery, a persistent catalog
+// mapping table schemas to heap files, and single-writer/multi-reader
+// transactions with in-memory before-image undo.
+//
+// The recovery invariant: pages dirtied by the active transaction are never
+// evicted (no-steal), and the WAL receives only committed transactions —
+// each commit appends the transaction's records plus a commit marker in one
+// fsynced write. A crash at any byte therefore leaves the log as a sequence
+// of complete committed transactions followed by at most one torn tail;
+// reopening replays the complete ones (page-LSN gated, idempotent) and
+// discards the tail, so a transaction is recovered fully or not at all.
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Options configures Open.
+type Options struct {
+	// PoolPages caps the buffer pool, in pages. Zero means 64 (256 KiB).
+	PoolPages int
+	// Ctx carries an obs tracer; store.read/store.write/wal.append spans are
+	// emitted against it. nil means no tracing.
+	Ctx context.Context
+}
+
+// Stats is a snapshot of the store's I/O counters since Open.
+type Stats struct {
+	PagesRead    int64 // heap pages read from disk
+	PagesWritten int64 // heap pages written (eviction + checkpoint)
+	PoolHits     int64
+	PoolMisses   int64
+	WALBytes     int64 // bytes appended to the WAL
+	WALRecords   int64
+}
+
+// Add accumulates another snapshot into s.
+func (s *Stats) Add(o Stats) {
+	s.PagesRead += o.PagesRead
+	s.PagesWritten += o.PagesWritten
+	s.PoolHits += o.PoolHits
+	s.PoolMisses += o.PoolMisses
+	s.WALBytes += o.WALBytes
+	s.WALRecords += o.WALRecords
+}
+
+// HitRate is the buffer-pool hit fraction, 0 when no fetches happened.
+func (s Stats) HitRate() float64 {
+	if s.PoolHits+s.PoolMisses == 0 {
+		return 0
+	}
+	return float64(s.PoolHits) / float64(s.PoolHits+s.PoolMisses)
+}
+
+type table struct {
+	name      string // canonical name as created
+	id        uint64
+	cols      []engine.Col
+	pages     int // logical page count (may exceed what is on disk)
+	diskPages int // pages known to exist in the heap file
+	rows      int
+	file      *os.File
+}
+
+// Store is a durable table store rooted at a directory. A Store is safe for
+// concurrent use: Begin serializes writers, reads proceed concurrently
+// between transactions.
+type Store struct {
+	dir  string
+	opts Options
+	ctx  context.Context
+
+	mu      sync.RWMutex // writer holds W for the whole transaction
+	tables  map[string]*table
+	byID    map[uint64]*table
+	nextID  uint64
+	txnSeq  uint64
+	lsnBase uint64 // epoch base: LSN = lsnBase + WAL file offset
+
+	wal  *wal
+	pool *pool
+}
+
+type colMetaJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type tableMetaJSON struct {
+	Name  string        `json:"name"`
+	ID    uint64        `json:"id"`
+	Cols  []colMetaJSON `json:"cols"`
+	Pages int           `json:"pages"`
+	Rows  int           `json:"rows"`
+}
+
+type catalogJSON struct {
+	NextID  uint64          `json:"next_id"`
+	WALBase uint64          `json:"wal_base"`
+	Tables  []tableMetaJSON `json:"tables"`
+}
+
+const (
+	catalogFileName = "catalog.json"
+	walFileName     = "wal.log"
+)
+
+// Open opens (or creates) a store in dir, running crash recovery if the WAL
+// holds records from an unclean shutdown.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if opts.PoolPages == 0 {
+		opts.PoolPages = 64
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Store{
+		dir:    dir,
+		opts:   opts,
+		ctx:    ctx,
+		tables: make(map[string]*table),
+		byID:   make(map[uint64]*table),
+	}
+	s.pool = newPool(opts.PoolPages, s.readPageAt, s.writePageAt)
+
+	w, err := openWAL(filepath.Join(dir, walFileName))
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+
+	if err := s.loadCatalog(); err != nil {
+		w.close()
+		return nil, err
+	}
+	recs, err := w.scan()
+	if err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	if len(recs) > 0 {
+		if err := s.recover(recs); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) loadCatalog() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, catalogFileName))
+	if os.IsNotExist(err) {
+		s.nextID = 1
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var cat catalogJSON
+	if err := json.Unmarshal(data, &cat); err != nil {
+		return fmt.Errorf("store: corrupt catalog: %w", err)
+	}
+	s.nextID = cat.NextID
+	if s.nextID == 0 {
+		s.nextID = 1
+	}
+	s.lsnBase = cat.WALBase
+	for _, tm := range cat.Tables {
+		t := &table{name: tm.Name, id: tm.ID, pages: tm.Pages, rows: tm.Rows}
+		for _, c := range tm.Cols {
+			t.cols = append(t.cols, engine.Col{Name: c.Name, Type: typeFromName(c.Type)})
+		}
+		f, err := os.OpenFile(s.heapPath(t.id), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		t.file = f
+		t.diskPages = int(st.Size() / PageSize)
+		s.tables[strings.ToLower(t.name)] = t
+		s.byID[t.id] = t
+	}
+	return nil
+}
+
+func (s *Store) heapPath(id uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("t%04d.heap", id))
+}
+
+func typeFromName(name string) catalog.Type {
+	for _, t := range []catalog.Type{catalog.TypeInt, catalog.TypeFloat, catalog.TypeText, catalog.TypeBool} {
+		if t.String() == name {
+			return t
+		}
+	}
+	return catalog.TypeAny
+}
+
+// readPageAt and writePageAt are the pool's I/O callbacks. They run while
+// the store's RW discipline already excludes conflicting access.
+func (s *Store) readPageAt(key pageKey, buf []byte) error {
+	t, ok := s.byID[key.tid]
+	if !ok {
+		return fmt.Errorf("store: read of unknown table id %d", key.tid)
+	}
+	_, sp := obs.Start(s.ctx, "store.read")
+	if sp != nil {
+		sp.SetString("table", t.name)
+		sp.SetInt("page", int64(key.page))
+		defer sp.End()
+	}
+	_, err := t.file.ReadAt(buf, int64(key.page)*PageSize)
+	return err
+}
+
+func (s *Store) writePageAt(key pageKey, buf []byte) error {
+	t, ok := s.byID[key.tid]
+	if !ok {
+		return fmt.Errorf("store: write of unknown table id %d", key.tid)
+	}
+	_, sp := obs.Start(s.ctx, "store.write")
+	if sp != nil {
+		sp.SetString("table", t.name)
+		sp.SetInt("page", int64(key.page))
+		defer sp.End()
+	}
+	if _, err := t.file.WriteAt(buf, int64(key.page)*PageSize); err != nil {
+		return err
+	}
+	if key.page >= t.diskPages {
+		t.diskPages = key.page + 1
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() Stats {
+	s.pool.mu.Lock()
+	st := Stats{
+		PagesRead:    s.pool.reads,
+		PagesWritten: s.pool.writes,
+		PoolHits:     s.pool.hits,
+		PoolMisses:   s.pool.misses,
+	}
+	s.pool.mu.Unlock()
+	st.WALBytes = s.wal.bytes.Load()
+	st.WALRecords = s.wal.recs.Load()
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+// recover replays the committed transactions found in the WAL, then
+// checkpoints (flush, catalog rewrite, WAL truncate) so the next open is
+// clean. Row counts are recomputed from the heap pages: mid-run evictions
+// make the checkpointed counts stale.
+func (s *Store) recover(recs []walRec) error {
+	committed := make(map[uint64]uint64) // txn -> commit LSN (epoch-adjusted)
+	for _, r := range recs {
+		if r.typ == recCommit {
+			committed[r.txn] = s.lsnBase + r.lsn
+		}
+	}
+	// Transactions are contiguous in the log (single writer, written at
+	// commit), so replaying record order replays commit order. Pages are
+	// stamped per transaction after all its records applied.
+	touched := make(map[pageKey]*frame)
+	var curTxn uint64
+	stamp := func(lsn uint64) {
+		for _, f := range touched {
+			if pageLSN(f.buf) < lsn {
+				setPageLSN(f.buf, lsn)
+				f.dirty = true
+			}
+		}
+		touched = make(map[pageKey]*frame)
+	}
+	for _, r := range recs {
+		commitLSN, ok := committed[r.txn]
+		if !ok {
+			continue // uncommitted tail transaction: discard
+		}
+		if r.txn != curTxn {
+			curTxn = r.txn
+		}
+		switch r.typ {
+		case recCommit:
+			stamp(commitLSN)
+			continue
+		case recCreate:
+			if _, exists := s.tables[strings.ToLower(r.table)]; exists {
+				continue // crash after a checkpoint that captured the create
+			}
+			if _, err := s.createTableLocked(r.table, r.cols); err != nil {
+				return err
+			}
+			continue
+		case recDrop:
+			t, exists := s.tables[strings.ToLower(r.table)]
+			if !exists {
+				continue
+			}
+			s.dropTableLocked(t)
+			continue
+		}
+		t, exists := s.tables[strings.ToLower(r.table)]
+		if !exists {
+			return fmt.Errorf("store: WAL record for unknown table %q", r.table)
+		}
+		key := pageKey{tid: t.id, page: r.page}
+		f, err := s.pool.fetch(key, r.page >= t.diskPages)
+		if err != nil {
+			return err
+		}
+		if r.page >= t.pages {
+			t.pages = r.page + 1
+		}
+		if pageLSN(f.buf) >= commitLSN {
+			// The page was flushed after this transaction committed: its
+			// effects (and possibly later ones) are already present.
+			s.pool.unpin(f)
+			continue
+		}
+		switch r.typ {
+		case recInsert:
+			if _, occupied := pageRead(f.buf, r.slot); !occupied {
+				if !pageInsertAt(f.buf, r.slot, r.after) {
+					s.pool.unpin(f)
+					return fmt.Errorf("store: redo insert does not fit on %s page %d", t.name, r.page)
+				}
+			}
+		case recDelete:
+			pageDelete(f.buf, r.slot)
+		case recUpdate:
+			if !pageReplace(f.buf, r.slot, r.after) {
+				// Slot dead on a page flushed mid-epoch: restore then replace.
+				if !pageInsertAt(f.buf, r.slot, r.after) {
+					s.pool.unpin(f)
+					return fmt.Errorf("store: redo update does not fit on %s page %d", t.name, r.page)
+				}
+			}
+		}
+		f.dirty = true
+		touched[key] = f
+		s.pool.unpin(f)
+	}
+
+	// Recompute row counts by scanning the heap: the checkpointed counts
+	// predate any evicted-but-uncheckpointed writes.
+	for _, t := range s.tables {
+		n := 0
+		for pg := 0; pg < t.pages; pg++ {
+			f, err := s.pool.fetch(pageKey{tid: t.id, page: pg}, pg >= t.diskPages)
+			if err != nil {
+				return err
+			}
+			n += pageLiveSlots(f.buf)
+			s.pool.unpin(f)
+		}
+		t.rows = n
+	}
+	return s.checkpointLocked()
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / close
+
+// checkpointLocked flushes dirty pages, fsyncs heap files, atomically
+// rewrites the catalog (with the advanced LSN epoch base), and truncates the
+// WAL — in that order, so a crash at any point between steps recovers: until
+// the truncate, the WAL still replays idempotently over whatever subset of
+// pages reached disk.
+func (s *Store) checkpointLocked() error {
+	if err := s.pool.flushAll(); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(s.tables))
+	for k := range s.tables {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if err := s.tables[k].file.Sync(); err != nil {
+			return err
+		}
+	}
+	cat := catalogJSON{NextID: s.nextID, WALBase: s.lsnBase + uint64(s.wal.size)}
+	for _, k := range names {
+		t := s.tables[k]
+		tm := tableMetaJSON{Name: t.name, ID: t.id, Pages: t.pages, Rows: t.rows}
+		for _, c := range t.cols {
+			tm.Cols = append(tm.Cols, colMetaJSON{Name: c.Name, Type: c.Type.String()})
+		}
+		cat.Tables = append(cat.Tables, tm)
+	}
+	data, err := json.MarshalIndent(cat, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, catalogFileName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, catalogFileName)); err != nil {
+		return err
+	}
+	truncated, err := s.wal.reset()
+	if err != nil {
+		return err
+	}
+	s.lsnBase += uint64(truncated)
+	return nil
+}
+
+// Checkpoint flushes all committed state to the heap files and truncates the
+// WAL. Must not be called with a transaction open.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+// Close checkpoints and releases all files.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.checkpointLocked()
+	s.closeFiles()
+	return err
+}
+
+func (s *Store) closeFiles() {
+	for _, t := range s.byID {
+		if t.file != nil {
+			t.file.Close()
+		}
+	}
+	s.wal.close()
+}
+
+// ---------------------------------------------------------------------------
+// Internal (lock-free) table helpers, shared by Tx and recovery.
+
+func (s *Store) createTableLocked(name string, cols []engine.Col) (*table, error) {
+	key := strings.ToLower(name)
+	if _, ok := s.tables[key]; ok {
+		return nil, fmt.Errorf("store: table %q already exists", name)
+	}
+	own := make([]engine.Col, len(cols))
+	for i, c := range cols {
+		own[i] = engine.Col{Name: c.Name, Type: c.Type}
+	}
+	id := s.nextID
+	s.nextID++
+	f, err := os.OpenFile(s.heapPath(id), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	t := &table{name: name, id: id, cols: own, file: f}
+	s.tables[key] = t
+	s.byID[id] = t
+	return t, nil
+}
+
+// dropTableLocked unlinks the table immediately (recovery / commit path).
+func (s *Store) dropTableLocked(t *table) {
+	delete(s.tables, strings.ToLower(t.name))
+	delete(s.byID, t.id)
+	s.pool.invalidateTable(t.id)
+	t.file.Close()
+	os.Remove(s.heapPath(t.id))
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+
+// Cols reports a table's columns.
+func (s *Store) Cols(name string) ([]engine.Col, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[strings.ToLower(catalog.BareName(name))]
+	if !ok {
+		return nil, false
+	}
+	out := make([]engine.Col, len(t.cols))
+	copy(out, t.cols)
+	return out, true
+}
+
+// Rows reports a table's row count.
+func (s *Store) Rows(name string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[strings.ToLower(catalog.BareName(name))]
+	if !ok {
+		return 0, false
+	}
+	return t.rows, true
+}
+
+// Tables lists the store's table names, sorted.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, t.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// heapCursor streams one page's live tuples per Next call.
+type heapCursor struct {
+	s      *Store
+	t      *table
+	page   int
+	unlock bool // holds the store read lock until Close
+	closed bool
+}
+
+func (c *heapCursor) Next() ([][]engine.Value, error) {
+	for c.page < c.t.pages {
+		pg := c.page
+		c.page++
+		f, err := c.s.pool.fetch(pageKey{tid: c.t.id, page: pg}, pg >= c.t.diskPages)
+		if err != nil {
+			return nil, err
+		}
+		var rows [][]engine.Value
+		for slot, n := 0, slotCount(f.buf); slot < n; slot++ {
+			tb, ok := pageRead(f.buf, slot)
+			if !ok {
+				continue
+			}
+			row, err := decodeTuple(tb, len(c.t.cols))
+			if err != nil {
+				c.s.pool.unpin(f)
+				return nil, fmt.Errorf("store: %s page %d slot %d: %w", c.t.name, pg, slot, err)
+			}
+			rows = append(rows, row)
+		}
+		c.s.pool.unpin(f)
+		if len(rows) > 0 {
+			return rows, nil
+		}
+	}
+	return nil, nil
+}
+
+func (c *heapCursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.unlock {
+		c.s.mu.RUnlock()
+	}
+}
+
+// Scan opens a streaming cursor over a table. The cursor holds the store's
+// read lock until Close, so a scan never observes a concurrent transaction.
+func (s *Store) Scan(name string) (engine.ScanCursor, error) {
+	s.mu.RLock()
+	t, ok := s.tables[strings.ToLower(catalog.BareName(name))]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("store: table %q does not exist", name)
+	}
+	return &heapCursor{s: s, t: t, unlock: true}, nil
+}
+
+// ScanAll materializes a table's rows — convenience for tests and oracles.
+func (s *Store) ScanAll(name string) ([][]engine.Value, error) {
+	cur, err := s.Scan(name)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	var out [][]engine.Value
+	for {
+		batch, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			return out, nil
+		}
+		out = append(out, batch...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// engine.TableSource: a Store can directly back a read-only engine DB.
+
+// SourceCols implements engine.TableSource.
+func (s *Store) SourceCols(name string) ([]engine.Col, bool) { return s.Cols(name) }
+
+// SourceRows implements engine.TableSource.
+func (s *Store) SourceRows(name string) (int, bool) { return s.Rows(name) }
+
+// OpenScan implements engine.TableSource.
+func (s *Store) OpenScan(name string) (engine.ScanCursor, error) { return s.Scan(name) }

@@ -1,0 +1,271 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+)
+
+func intRow(vals ...int64) []engine.Value {
+	row := make([]engine.Value, len(vals))
+	for i, v := range vals {
+		row[i] = engine.IntVal(v)
+	}
+	return row
+}
+
+var testCols = []engine.Col{
+	{Name: "id", Type: catalog.TypeInt},
+	{Name: "name", Type: catalog.TypeText},
+	{Name: "score", Type: catalog.TypeFloat},
+}
+
+func mixedRow(id int64, name string, score float64) []engine.Value {
+	return []engine.Value{engine.IntVal(id), engine.TextVal(name), engine.FloatVal(score)}
+}
+
+func sortedRows(t *testing.T, s *Store, table string) []string {
+	t.Helper()
+	rows, err := s.ScanAll(table)
+	if err != nil {
+		t.Fatalf("ScanAll(%s): %v", table, err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = engine.FormatRow(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestStoreBasicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.CreateTable("users", testCols); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, 0, 100)
+	var rows [][]engine.Value
+	for i := 0; i < 100; i++ {
+		r := mixedRow(int64(i), fmt.Sprintf("user%03d", i), float64(i)/4)
+		rows = append(rows, r)
+		want = append(want, engine.FormatRow(r))
+	}
+	if err := tx.Append("users", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(want)
+	if got := sortedRows(t, s, "users"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch:\ngot  %v\nwant %v", got[:3], want[:3])
+	}
+	if n, _ := s.Rows("users"); n != 100 {
+		t.Fatalf("Rows = %d, want 100", n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean reopen: catalog-backed, no recovery.
+	s2, err := Open(dir, Options{PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := sortedRows(t, s2, "users"); !reflect.DeepEqual(got, want) {
+		t.Fatal("rows diverge after clean reopen")
+	}
+	if n, _ := s2.Rows("users"); n != 100 {
+		t.Fatalf("Rows after reopen = %d, want 100", n)
+	}
+}
+
+func TestStoreRollbackRestoresBeforeImages(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tx, _ := s.Begin()
+	if err := tx.CreateTable("t", testCols); err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]engine.Value
+	for i := 0; i < 50; i++ {
+		rows = append(rows, mixedRow(int64(i), fmt.Sprintf("n%02d", i), float64(i)))
+	}
+	if err := tx.Append("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	before := sortedRows(t, s, "t")
+
+	tx, _ = s.Begin()
+	if _, err := tx.Mutate("t", func(row []engine.Value) (engine.MutOp, []engine.Value, error) {
+		if row[0].I%2 == 0 {
+			return engine.MutDelete, nil, nil
+		}
+		next := append([]engine.Value(nil), row...)
+		next[1] = engine.TextVal("changed-to-a-much-longer-value-" + row[1].S)
+		return engine.MutUpdate, next, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Append("t", [][]engine.Value{mixedRow(999, "extra", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sortedRows(t, s, "t"); !reflect.DeepEqual(got, before) {
+		t.Fatalf("rollback did not restore state:\ngot  %d rows\nwant %d rows", len(got), len(before))
+	}
+	if n, _ := s.Rows("t"); n != 50 {
+		t.Fatalf("Rows after rollback = %d, want 50", n)
+	}
+}
+
+func TestStoreDropAndRecreate(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ses := NewSession(s)
+	if err := ses.CreateTable("t", testCols); err != nil {
+		t.Fatal(err)
+	}
+	if err := ses.Append("t", [][]engine.Value{mixedRow(1, "a", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ses.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Cols("t"); ok {
+		t.Fatal("table still visible after drop")
+	}
+	// Recreate under the same name: must not alias the old heap.
+	if err := ses.CreateTable("t", testCols[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ses.Append("t", [][]engine.Value{intRow(7)}); err != nil {
+		t.Fatal(err)
+	}
+	got := sortedRows(t, s, "t")
+	if len(got) != 1 || got[0] != "( 7 )" {
+		t.Fatalf("recreated table contents = %v", got)
+	}
+
+	// Rollback across drop restores the old table.
+	tx, _ := s.Begin()
+	if err := tx.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.CreateTable("t", testCols); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Append("t", [][]engine.Value{mixedRow(8, "b", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sortedRows(t, s, "t"); len(got) != 1 || got[0] != "( 7 )" {
+		t.Fatalf("rollback across drop/create: contents = %v", got)
+	}
+}
+
+func TestStoreEvictionBeyondPoolCapacity(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{PoolPages: 2}) // force heavy eviction
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := NewSession(s)
+	if err := ses.CreateTable("big", testCols); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, 0, 2000)
+	var rows [][]engine.Value
+	for i := 0; i < 2000; i++ {
+		r := mixedRow(int64(i), fmt.Sprintf("padding-padding-%06d", i), float64(i))
+		rows = append(rows, r)
+		want = append(want, engine.FormatRow(r))
+	}
+	// Several separate commits so committed-dirty pages cycle through
+	// eviction.
+	for i := 0; i < len(rows); i += 250 {
+		if err := ses.Append("big", rows[i:i+250]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(want)
+	if got := sortedRows(t, s, "big"); !reflect.DeepEqual(got, want) {
+		t.Fatal("contents diverge under forced eviction")
+	}
+	st := s.Stats()
+	if st.PagesWritten == 0 || st.PagesRead == 0 {
+		t.Fatalf("expected eviction I/O, got stats %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{PoolPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := sortedRows(t, s2, "big"); !reflect.DeepEqual(got, want) {
+		t.Fatal("contents diverge after reopen")
+	}
+}
+
+func TestStoreRecoveryAfterUncleanShutdown(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := NewSession(s)
+	if err := ses.CreateTable("t", testCols); err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]engine.Value
+	for i := 0; i < 120; i++ {
+		rows = append(rows, mixedRow(int64(i), fmt.Sprintf("r%03d", i), float64(i)))
+	}
+	if err := ses.Append("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	want := sortedRows(t, s, "t")
+	// Simulate kill -9: drop the store on the floor without Close — the WAL
+	// has the committed transactions, the heap may have any subset of pages.
+	s.closeFiles()
+
+	s2, err := Open(dir, Options{PoolPages: 4})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer s2.Close()
+	if got := sortedRows(t, s2, "t"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered contents diverge: got %d rows, want %d", len(got), len(want))
+	}
+	if n, _ := s2.Rows("t"); n != 120 {
+		t.Fatalf("recovered Rows = %d, want 120", n)
+	}
+}

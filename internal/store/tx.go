@@ -1,0 +1,538 @@
+package store
+
+// Transactions. A Tx holds the store's write lock from Begin to
+// Commit/Rollback (single writer, readers excluded for the duration).
+// Mutations apply to buffer-pool pages immediately and append redo records
+// to an in-memory buffer; COMMIT writes the buffered records plus a commit
+// marker to the WAL in one fsynced block, then stamps the touched pages with
+// the commit LSN. ROLLBACK applies the in-memory undo log (before-images) in
+// reverse and writes nothing — the WAL never sees uncommitted work.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+type undoKind int
+
+const (
+	undoInsert undoKind = iota // revert: delete the inserted tuple
+	undoDelete                 // revert: restore the before-image
+	undoUpdate                 // revert: restore the before-image
+	undoCreate                 // revert: unlink the created table
+	undoDrop                   // revert: restore the dropped table
+)
+
+type undoEntry struct {
+	kind   undoKind
+	t      *table
+	page   int
+	slot   int
+	before []byte
+}
+
+// Tx is an open transaction. All methods must be called from one goroutine.
+type Tx struct {
+	s       *Store
+	id      uint64
+	recs    []walRec
+	undo    []undoEntry
+	touched map[pageKey]*frame
+	dropped []*table // unlinked at commit; restored by rollback
+	done    bool
+}
+
+// Begin opens a transaction, blocking until concurrent readers and any
+// earlier writer finish.
+func (s *Store) Begin() (*Tx, error) {
+	s.mu.Lock()
+	s.txnSeq++
+	return &Tx{s: s, id: s.txnSeq, touched: make(map[pageKey]*frame)}, nil
+}
+
+func (tx *Tx) lookup(name string) (*table, bool) {
+	t, ok := tx.s.tables[strings.ToLower(catalog.BareName(name))]
+	return t, ok
+}
+
+// markTouched flags a frame as transaction-dirty: un-evictable until the
+// transaction resolves.
+func (tx *Tx) markTouched(key pageKey, f *frame) {
+	tx.s.pool.mu.Lock()
+	f.dirty = true
+	f.txn = true
+	tx.s.pool.mu.Unlock()
+	tx.touched[key] = f
+}
+
+// CreateTable implements the table half of engine.Mutable.
+func (tx *Tx) CreateTable(name string, cols []engine.Col) error {
+	if tx.done {
+		return fmt.Errorf("store: transaction already resolved")
+	}
+	t, err := tx.s.createTableLocked(name, cols)
+	if err != nil {
+		return err
+	}
+	tx.recs = append(tx.recs, walRec{typ: recCreate, txn: tx.id, table: t.name, cols: t.cols})
+	tx.undo = append(tx.undo, undoEntry{kind: undoCreate, t: t})
+	return nil
+}
+
+// DropTable removes a table. The heap file is unlinked only at commit so
+// rollback can restore it.
+func (tx *Tx) DropTable(name string) error {
+	if tx.done {
+		return fmt.Errorf("store: transaction already resolved")
+	}
+	t, ok := tx.lookup(name)
+	if !ok {
+		return fmt.Errorf("store: table %q does not exist", name)
+	}
+	delete(tx.s.tables, strings.ToLower(t.name))
+	tx.recs = append(tx.recs, walRec{typ: recDrop, txn: tx.id, table: t.name})
+	tx.undo = append(tx.undo, undoEntry{kind: undoDrop, t: t})
+	tx.dropped = append(tx.dropped, t)
+	return nil
+}
+
+// TableCols implements engine.Mutable.
+func (tx *Tx) TableCols(name string) ([]engine.Col, bool) {
+	t, ok := tx.lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return t.cols, true
+}
+
+// Append inserts rows at the tail of the heap (last page, then fresh pages).
+func (tx *Tx) Append(name string, rows [][]engine.Value) error {
+	if tx.done {
+		return fmt.Errorf("store: transaction already resolved")
+	}
+	t, ok := tx.lookup(name)
+	if !ok {
+		return fmt.Errorf("store: table %q does not exist", name)
+	}
+	for _, row := range rows {
+		if len(row) != len(t.cols) {
+			return fmt.Errorf("store: row arity %d does not match table %q (%d columns)",
+				len(row), t.name, len(t.cols))
+		}
+		if err := tx.insertTuple(t, encodeTuple(nil, row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tx *Tx) insertTuple(t *table, tuple []byte) error {
+	if len(tuple) > PageSize-pageHeaderSize-slotSize {
+		return fmt.Errorf("store: tuple of %d bytes exceeds page capacity", len(tuple))
+	}
+	pg := t.pages - 1
+	var (
+		f    *frame
+		slot int
+		err  error
+	)
+	if pg >= 0 {
+		key := pageKey{tid: t.id, page: pg}
+		if f, err = tx.s.pool.fetch(key, pg >= t.diskPages); err != nil {
+			return err
+		}
+		if slot = pageInsert(f.buf, tuple); slot >= 0 {
+			tx.markTouched(key, f)
+			tx.s.pool.unpin(f)
+			tx.logInsert(t, pg, slot, tuple)
+			return nil
+		}
+		tx.s.pool.unpin(f)
+	}
+	pg = t.pages
+	key := pageKey{tid: t.id, page: pg}
+	if f, err = tx.s.pool.fetch(key, true); err != nil {
+		return err
+	}
+	slot = pageInsert(f.buf, tuple)
+	t.pages = pg + 1
+	tx.markTouched(key, f)
+	tx.s.pool.unpin(f)
+	tx.logInsert(t, pg, slot, tuple)
+	return nil
+}
+
+func (tx *Tx) logInsert(t *table, pg, slot int, tuple []byte) {
+	t.rows++
+	tx.recs = append(tx.recs, walRec{typ: recInsert, txn: tx.id, table: t.name,
+		page: pg, slot: slot, after: tuple})
+	tx.undo = append(tx.undo, undoEntry{kind: undoInsert, t: t, page: pg, slot: slot})
+}
+
+// Mutate implements engine.Mutable: decisions are collected over a full scan
+// first, then applied, so relocated tuples are never revisited.
+func (tx *Tx) Mutate(name string, fn func(row []engine.Value) (engine.MutOp, []engine.Value, error)) (int, error) {
+	if tx.done {
+		return 0, fmt.Errorf("store: transaction already resolved")
+	}
+	t, ok := tx.lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("store: table %q does not exist", name)
+	}
+	type change struct {
+		page, slot int
+		op         engine.MutOp
+		tuple      []byte
+	}
+	var changes []change
+	for pg := 0; pg < t.pages; pg++ {
+		f, err := tx.s.pool.fetch(pageKey{tid: t.id, page: pg}, pg >= t.diskPages)
+		if err != nil {
+			return 0, err
+		}
+		for slot, n := 0, slotCount(f.buf); slot < n; slot++ {
+			tb, ok := pageRead(f.buf, slot)
+			if !ok {
+				continue
+			}
+			row, err := decodeTuple(tb, len(t.cols))
+			if err != nil {
+				tx.s.pool.unpin(f)
+				return 0, err
+			}
+			op, next, err := fn(row)
+			if err != nil {
+				tx.s.pool.unpin(f)
+				return 0, err
+			}
+			switch op {
+			case engine.MutDelete:
+				changes = append(changes, change{page: pg, slot: slot, op: op})
+			case engine.MutUpdate:
+				changes = append(changes, change{page: pg, slot: slot, op: op,
+					tuple: encodeTuple(nil, next)})
+			}
+		}
+		tx.s.pool.unpin(f)
+	}
+	for _, c := range changes {
+		key := pageKey{tid: t.id, page: c.page}
+		f, err := tx.s.pool.fetch(key, false)
+		if err != nil {
+			return 0, err
+		}
+		tb, ok := pageRead(f.buf, c.slot)
+		if !ok {
+			tx.s.pool.unpin(f)
+			return 0, fmt.Errorf("store: tuple %s:%d/%d vanished mid-mutate", t.name, c.page, c.slot)
+		}
+		before := append([]byte(nil), tb...)
+		if c.op == engine.MutDelete {
+			pageDelete(f.buf, c.slot)
+			t.rows--
+			tx.markTouched(key, f)
+			tx.s.pool.unpin(f)
+			tx.recs = append(tx.recs, walRec{typ: recDelete, txn: tx.id, table: t.name,
+				page: c.page, slot: c.slot, before: before})
+			tx.undo = append(tx.undo, undoEntry{kind: undoDelete, t: t,
+				page: c.page, slot: c.slot, before: before})
+			continue
+		}
+		if pageReplace(f.buf, c.slot, c.tuple) {
+			tx.markTouched(key, f)
+			tx.s.pool.unpin(f)
+			tx.recs = append(tx.recs, walRec{typ: recUpdate, txn: tx.id, table: t.name,
+				page: c.page, slot: c.slot, before: before, after: c.tuple})
+			tx.undo = append(tx.undo, undoEntry{kind: undoUpdate, t: t,
+				page: c.page, slot: c.slot, before: before})
+			continue
+		}
+		// The grown tuple no longer fits on its page: delete here, re-insert
+		// at the heap tail (scan order changes, which is why all store/memory
+		// comparisons are order-insensitive).
+		pageDelete(f.buf, c.slot)
+		tx.markTouched(key, f)
+		tx.s.pool.unpin(f)
+		tx.recs = append(tx.recs, walRec{typ: recDelete, txn: tx.id, table: t.name,
+			page: c.page, slot: c.slot, before: before})
+		tx.undo = append(tx.undo, undoEntry{kind: undoDelete, t: t,
+			page: c.page, slot: c.slot, before: before})
+		t.rows-- // insertTuple re-increments
+		if err := tx.insertTuple(t, c.tuple); err != nil {
+			return 0, err
+		}
+	}
+	return len(changes), nil
+}
+
+// Commit makes the transaction durable: records + commit marker in one
+// fsynced WAL append, pages stamped with the commit LSN, dropped tables
+// unlinked. A WAL write failure rolls the transaction back.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return fmt.Errorf("store: transaction already resolved")
+	}
+	s := tx.s
+	if len(tx.recs) == 0 {
+		tx.finish()
+		return nil
+	}
+	payloads := make([][]byte, 0, len(tx.recs)+1)
+	for _, r := range tx.recs {
+		payloads = append(payloads, encodeWalRec(r))
+	}
+	payloads = append(payloads, encodeWalRec(walRec{typ: recCommit, txn: tx.id}))
+	_, sp := obs.Start(s.ctx, "wal.append")
+	offsets, err := s.wal.appendAll(payloads)
+	if sp != nil {
+		sp.SetInt("records", int64(len(payloads)))
+		sp.EndErr(err)
+	}
+	if err != nil {
+		tx.rollbackLocked()
+		tx.finish()
+		return fmt.Errorf("store: commit failed, transaction rolled back: %w", err)
+	}
+	commitLSN := s.lsnBase + uint64(offsets[len(offsets)-1])
+	s.pool.mu.Lock()
+	for _, f := range tx.touched {
+		setPageLSN(f.buf, commitLSN)
+		f.txn = false
+		f.dirty = true
+	}
+	s.pool.mu.Unlock()
+	for _, t := range tx.dropped {
+		delete(s.byID, t.id)
+		s.pool.invalidateTable(t.id)
+		t.file.Close()
+		os.Remove(s.heapPath(t.id))
+	}
+	tx.finish()
+	return nil
+}
+
+// Rollback undoes every mutation from the in-memory before-images, in
+// reverse order. Nothing reaches the WAL.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return fmt.Errorf("store: transaction already resolved")
+	}
+	tx.rollbackLocked()
+	tx.finish()
+	return nil
+}
+
+func (tx *Tx) rollbackLocked() {
+	s := tx.s
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		switch u.kind {
+		case undoCreate:
+			delete(s.tables, strings.ToLower(u.t.name))
+			delete(s.byID, u.t.id)
+			s.pool.invalidateTable(u.t.id)
+			u.t.file.Close()
+			os.Remove(s.heapPath(u.t.id))
+			continue
+		case undoDrop:
+			s.tables[strings.ToLower(u.t.name)] = u.t
+			continue
+		}
+		key := pageKey{tid: u.t.id, page: u.page}
+		f, err := s.pool.fetch(key, false)
+		if err != nil {
+			// The frame is transaction-protected, so it cannot have been
+			// evicted; a fetch failure here means the table vanished, which
+			// undoCreate handles before we get here.
+			continue
+		}
+		switch u.kind {
+		case undoInsert:
+			pageDelete(f.buf, u.slot)
+			u.t.rows--
+		case undoDelete:
+			pageInsertAt(f.buf, u.slot, u.before)
+			u.t.rows++
+		case undoUpdate:
+			if !pageReplace(f.buf, u.slot, u.before) {
+				pageInsertAt(f.buf, u.slot, u.before)
+			}
+		}
+		s.pool.unpin(f)
+	}
+	// The pages now hold only committed state again; clear protection but
+	// leave them dirty (they may carry committed-but-unflushed changes).
+	s.pool.mu.Lock()
+	for _, f := range tx.touched {
+		f.txn = false
+	}
+	s.pool.mu.Unlock()
+}
+
+func (tx *Tx) finish() {
+	tx.done = true
+	tx.recs, tx.undo, tx.dropped = nil, nil, nil
+	tx.touched = nil
+	tx.s.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Tx as a table source: scans inside an open transaction reuse the held
+// write lock (taking the read lock would self-deadlock) and see the
+// transaction's own uncommitted changes, which INSERT ... SELECT needs.
+
+type txSource struct{ tx *Tx }
+
+func (ts txSource) SourceCols(name string) ([]engine.Col, bool) {
+	t, ok := ts.tx.lookup(name)
+	if !ok {
+		return nil, false
+	}
+	out := make([]engine.Col, len(t.cols))
+	copy(out, t.cols)
+	return out, true
+}
+
+func (ts txSource) SourceRows(name string) (int, bool) {
+	t, ok := ts.tx.lookup(name)
+	if !ok {
+		return 0, false
+	}
+	return t.rows, true
+}
+
+func (ts txSource) OpenScan(name string) (engine.ScanCursor, error) {
+	t, ok := ts.tx.lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("store: table %q does not exist", name)
+	}
+	return &heapCursor{s: ts.tx.s, t: t}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Session: the engine.Mutable + engine.TableSource adapter. Statements
+// issued outside BEGIN..COMMIT auto-commit; BEGIN/COMMIT/ROLLBACK map to
+// store transactions. A Session is single-goroutine like the Tx it wraps.
+
+// Session adapts a Store for the engine's DML executor.
+type Session struct {
+	s  *Store
+	tx *Tx
+}
+
+// NewSession returns a session in auto-commit mode.
+func NewSession(s *Store) *Session { return &Session{s: s} }
+
+// InTxn reports whether an explicit transaction is open.
+func (se *Session) InTxn() bool { return se.tx != nil }
+
+func (se *Session) auto(fn func(tx *Tx) error) error {
+	if se.tx != nil {
+		return fn(se.tx)
+	}
+	tx, err := se.s.Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// CreateTable implements engine.Mutable.
+func (se *Session) CreateTable(name string, cols []engine.Col) error {
+	return se.auto(func(tx *Tx) error { return tx.CreateTable(name, cols) })
+}
+
+// DropTable implements engine.Mutable.
+func (se *Session) DropTable(name string) error {
+	return se.auto(func(tx *Tx) error { return tx.DropTable(name) })
+}
+
+// TableCols implements engine.Mutable.
+func (se *Session) TableCols(name string) ([]engine.Col, bool) {
+	if se.tx != nil {
+		return se.tx.TableCols(name)
+	}
+	return se.s.Cols(name)
+}
+
+// Append implements engine.Mutable.
+func (se *Session) Append(name string, rows [][]engine.Value) error {
+	return se.auto(func(tx *Tx) error { return tx.Append(name, rows) })
+}
+
+// Mutate implements engine.Mutable.
+func (se *Session) Mutate(name string, fn func(row []engine.Value) (engine.MutOp, []engine.Value, error)) (int, error) {
+	var n int
+	err := se.auto(func(tx *Tx) error {
+		var err error
+		n, err = tx.Mutate(name, fn)
+		return err
+	})
+	return n, err
+}
+
+// Begin implements engine.Mutable.
+func (se *Session) Begin() error {
+	if se.tx != nil {
+		return fmt.Errorf("store: transaction already open")
+	}
+	tx, err := se.s.Begin()
+	if err != nil {
+		return err
+	}
+	se.tx = tx
+	return nil
+}
+
+// Commit implements engine.Mutable.
+func (se *Session) Commit() error {
+	if se.tx == nil {
+		return fmt.Errorf("store: no open transaction")
+	}
+	tx := se.tx
+	se.tx = nil
+	return tx.Commit()
+}
+
+// Rollback implements engine.Mutable.
+func (se *Session) Rollback() error {
+	if se.tx == nil {
+		return fmt.Errorf("store: no open transaction")
+	}
+	tx := se.tx
+	se.tx = nil
+	return tx.Rollback()
+}
+
+// SourceCols implements engine.TableSource.
+func (se *Session) SourceCols(name string) ([]engine.Col, bool) {
+	if se.tx != nil {
+		return txSource{se.tx}.SourceCols(name)
+	}
+	return se.s.Cols(name)
+}
+
+// SourceRows implements engine.TableSource.
+func (se *Session) SourceRows(name string) (int, bool) {
+	if se.tx != nil {
+		return txSource{se.tx}.SourceRows(name)
+	}
+	return se.s.Rows(name)
+}
+
+// OpenScan implements engine.TableSource.
+func (se *Session) OpenScan(name string) (engine.ScanCursor, error) {
+	if se.tx != nil {
+		return txSource{se.tx}.OpenScan(name)
+	}
+	return se.s.Scan(name)
+}

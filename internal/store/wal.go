@@ -1,0 +1,240 @@
+package store
+
+// Write-ahead log. Frames are [4B payload length][4B CRC32(payload)][payload]
+// — the same torn-tail-tolerant framing as the checkpoint store: a scan stops
+// at the first short or corrupt frame, so a crash mid-append loses at most
+// the unsynced tail, never earlier records.
+//
+// The log is redo-only and holds committed transactions exclusively: a
+// transaction's records are buffered in memory while it runs, written and
+// fsynced as one contiguous block (mutation records then a commit record) at
+// COMMIT, and never written at all on ROLLBACK. Recovery therefore has no
+// undo phase — every complete record sequence ending in a commit record
+// replays, anything after the last complete frame is discarded.
+//
+// LSNs are byte offsets of frame starts, plus a persistent epoch base that
+// advances by the truncated size at every checkpoint, so LSNs stay monotonic
+// across WAL truncations and page-LSN comparisons remain sound forever.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+)
+
+// WAL record types.
+const (
+	recCreate byte = 1 // create table: table + cols in payload
+	recDrop   byte = 2 // drop table
+	recInsert byte = 3 // tuple placed at page/slot
+	recDelete byte = 4 // tuple removed from page/slot (before-image kept)
+	recUpdate byte = 5 // tuple replaced in place at page/slot
+	recCommit byte = 6 // transaction commit marker
+)
+
+const walFrameHeader = 8
+
+type walRec struct {
+	lsn    uint64
+	typ    byte
+	txn    uint64
+	table  string
+	page   int
+	slot   int
+	before []byte
+	after  []byte
+	cols   []engine.Col // create only
+}
+
+type wal struct {
+	f     *os.File
+	size  int64
+	bytes atomic.Int64 // appended this process, for Stats
+	recs  atomic.Int64
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, size: st.Size()}, nil
+}
+
+// appendAll writes the payloads as one contiguous block and fsyncs. It
+// returns the file offset of each frame start.
+func (w *wal) appendAll(payloads [][]byte) ([]int64, error) {
+	total := 0
+	for _, p := range payloads {
+		total += walFrameHeader + len(p)
+	}
+	buf := make([]byte, 0, total)
+	offsets := make([]int64, len(payloads))
+	off := w.size
+	for i, p := range payloads {
+		offsets[i] = off
+		var hdr [walFrameHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(p))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p...)
+		off += int64(walFrameHeader + len(p))
+	}
+	if _, err := w.f.WriteAt(buf, w.size); err != nil {
+		return nil, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return nil, err
+	}
+	w.size = off
+	w.bytes.Add(int64(total))
+	w.recs.Add(int64(len(payloads)))
+	return offsets, nil
+}
+
+// scan decodes every complete frame, stopping silently at a torn tail.
+func (w *wal) scan() ([]walRec, error) {
+	data := make([]byte, w.size)
+	if w.size > 0 {
+		if _, err := w.f.ReadAt(data, 0); err != nil {
+			return nil, err
+		}
+	}
+	var recs []walRec
+	off := 0
+	for off+walFrameHeader <= len(data) {
+		ln := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if ln <= 0 || off+walFrameHeader+ln > len(data) {
+			break // torn tail
+		}
+		payload := data[off+walFrameHeader : off+walFrameHeader+ln]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn tail
+		}
+		rec, err := decodeWalRec(payload)
+		if err != nil {
+			return nil, fmt.Errorf("store: corrupt WAL record at offset %d: %w", off, err)
+		}
+		rec.lsn = uint64(off)
+		recs = append(recs, rec)
+		off += walFrameHeader + ln
+	}
+	return recs, nil
+}
+
+// reset truncates the log (checkpoint) and returns the truncated size so the
+// caller can advance the LSN epoch base.
+func (w *wal) reset() (int64, error) {
+	n := w.size
+	if err := w.f.Truncate(0); err != nil {
+		return 0, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return 0, err
+	}
+	w.size = 0
+	return n, nil
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+func encodeWalRec(r walRec) []byte {
+	b := []byte{r.typ}
+	b = binary.AppendUvarint(b, r.txn)
+	b = binary.AppendUvarint(b, uint64(len(r.table)))
+	b = append(b, r.table...)
+	b = binary.AppendUvarint(b, uint64(r.page))
+	b = binary.AppendUvarint(b, uint64(r.slot))
+	b = binary.AppendUvarint(b, uint64(len(r.before)))
+	b = append(b, r.before...)
+	b = binary.AppendUvarint(b, uint64(len(r.after)))
+	b = append(b, r.after...)
+	b = binary.AppendUvarint(b, uint64(len(r.cols)))
+	for _, c := range r.cols {
+		b = binary.AppendUvarint(b, uint64(len(c.Name)))
+		b = append(b, c.Name...)
+		b = append(b, byte(c.Type))
+	}
+	return b
+}
+
+func decodeWalRec(p []byte) (walRec, error) {
+	var r walRec
+	fail := func() (walRec, error) { return r, fmt.Errorf("short record") }
+	if len(p) < 1 {
+		return fail()
+	}
+	r.typ = p[0]
+	p = p[1:]
+	uv := func() (uint64, bool) {
+		n, sz := binary.Uvarint(p)
+		if sz <= 0 {
+			return 0, false
+		}
+		p = p[sz:]
+		return n, true
+	}
+	bytesField := func() ([]byte, bool) {
+		n, ok := uv()
+		if !ok || uint64(len(p)) < n {
+			return nil, false
+		}
+		out := append([]byte(nil), p[:n]...)
+		p = p[n:]
+		return out, true
+	}
+	var ok bool
+	if r.txn, ok = uv(); !ok {
+		return fail()
+	}
+	tb, ok := bytesField()
+	if !ok {
+		return fail()
+	}
+	r.table = string(tb)
+	pg, ok := uv()
+	if !ok {
+		return fail()
+	}
+	sl, ok := uv()
+	if !ok {
+		return fail()
+	}
+	r.page, r.slot = int(pg), int(sl)
+	if r.before, ok = bytesField(); !ok {
+		return fail()
+	}
+	if r.after, ok = bytesField(); !ok {
+		return fail()
+	}
+	nc, ok := uv()
+	if !ok {
+		return fail()
+	}
+	for i := uint64(0); i < nc; i++ {
+		nb, ok := bytesField()
+		if !ok {
+			return fail()
+		}
+		if len(p) < 1 {
+			return fail()
+		}
+		r.cols = append(r.cols, engine.Col{Name: string(nb), Type: catalog.Type(p[0])})
+		p = p[1:]
+	}
+	if len(p) != 0 {
+		return r, fmt.Errorf("%d trailing record bytes", len(p))
+	}
+	return r, nil
+}
