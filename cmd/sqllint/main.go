@@ -1,0 +1,121 @@
+// Command sqllint runs the repository's static-analysis suite: five
+// dependency-free analyzers that mechanize the determinism and
+// concurrency invariants every PR otherwise re-proves with expensive
+// differential tests (see internal/lint).
+//
+// Usage:
+//
+//	sqllint [-json] [-rules detsource,maporder,...] [packages]
+//
+// Packages default to ./... . Exit status is 0 when no finding remains
+// unsuppressed, 1 when findings need attention, 2 on tool failure.
+// Findings are suppressible only with an explicit
+// `//lint:allow <rule> <reason>` comment; suppressed findings are still
+// recorded (and shown in -json output) so the allowlist stays
+// auditable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON diagnostics (allowlisted findings included)")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list available rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sqllint [-json] [-rules r1,r2] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *rules != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*rules, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.AnalyzerByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "sqllint: unknown rule %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := lint.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sqllint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Analyze(pkgs, analyzers)
+	for i := range diags {
+		diags[i].File = relPath(diags[i].File)
+	}
+
+	active := 0
+	allowed := 0
+	for _, d := range diags {
+		if d.Allowed {
+			allowed++
+		} else {
+			active++
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "sqllint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			if d.Allowed {
+				continue
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Rule, d.Message)
+		}
+		if active > 0 || allowed > 0 {
+			fmt.Fprintf(os.Stderr, "sqllint: %d finding(s), %d allowlisted\n", active, allowed)
+		}
+	}
+
+	if active > 0 {
+		os.Exit(1)
+	}
+}
+
+// relPath prefers a path relative to the working directory; go list
+// hands the loader absolute paths, which are noisy in terminals and
+// useless in CI logs.
+func relPath(path string) string {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(cwd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

@@ -1,0 +1,78 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestAllowDirectives checks the suppression contract end to end: a
+// justified //lint:allow marks the finding allowed and records the
+// reason, a reason-less directive suppresses nothing and is itself
+// flagged, and untouched findings stay active.
+func TestAllowDirectives(t *testing.T) {
+	pkg := linttest.LoadPackage(t, "testdata/allow/src", "datagen")
+	diags := lint.Analyze([]*lint.Package{pkg}, []*lint.Analyzer{lint.DetSource})
+
+	var allowed, active, meta []lint.Diagnostic
+	for _, d := range diags {
+		switch {
+		case d.Rule == "lint":
+			meta = append(meta, d)
+		case d.Allowed:
+			allowed = append(allowed, d)
+		default:
+			active = append(active, d)
+		}
+	}
+
+	if len(allowed) != 1 {
+		t.Fatalf("want exactly one allowlisted finding, got %d: %+v", len(allowed), allowed)
+	}
+	if want := "goldens embed a fixed build epoch on purpose"; allowed[0].Reason != want {
+		t.Errorf("allowlisted reason = %q, want %q", allowed[0].Reason, want)
+	}
+	if allowed[0].Rule != "detsource" {
+		t.Errorf("allowlisted rule = %q, want detsource", allowed[0].Rule)
+	}
+
+	// The reason-less directive must not suppress its line's finding,
+	// so Bare() and Naked() both stay active.
+	if len(active) != 2 {
+		t.Fatalf("want two active findings, got %d: %+v", len(active), active)
+	}
+
+	if len(meta) != 1 {
+		t.Fatalf("want one malformed-directive finding, got %d: %+v", len(meta), meta)
+	}
+	if !strings.Contains(meta[0].Message, "no reason") {
+		t.Errorf("malformed-directive message = %q, want it to demand a reason", meta[0].Message)
+	}
+}
+
+// TestAllowWrongRule checks that a directive only suppresses its own
+// rule: the Analyze pass below runs detsource against a file whose only
+// directive names a different rule, so nothing may be suppressed.
+func TestAllowScoping(t *testing.T) {
+	pkg := linttest.LoadPackage(t, "testdata/allow/src", "datagen")
+	diags := lint.Analyze([]*lint.Package{pkg}, []*lint.Analyzer{lint.MapOrder})
+	for _, d := range diags {
+		if d.Rule == "maporder" {
+			t.Fatalf("maporder should find nothing in the allow fixture, got %+v", d)
+		}
+	}
+}
+
+// TestDiagnosticsSorted checks Analyze's output ordering contract.
+func TestDiagnosticsSorted(t *testing.T) {
+	pkg := linttest.LoadPackage(t, "testdata/allow/src", "datagen")
+	diags := lint.Analyze([]*lint.Package{pkg}, lint.Analyzers())
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Fatalf("diagnostics out of order: %+v before %+v", a, b)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer runs over a positive/negative testdata tree: the
+// flagged shapes carry // want comments, the sanctioned idioms carry
+// none, and the harness fails on a mismatch in either direction.
+
+func TestDetSource(t *testing.T) {
+	linttest.Run(t, lint.DetSource, "testdata/detsource/src", "datagen", "app")
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "testdata/maporder/src", "engine")
+}
+
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, lint.AtomicMix, "testdata/atomicmix/src", "counter")
+}
+
+func TestSpanEnd(t *testing.T) {
+	linttest.Run(t, lint.SpanEnd, "testdata/spanend/src", "svc")
+}
+
+func TestErrClass(t *testing.T) {
+	linttest.Run(t, lint.ErrClass, "testdata/errclass/src", "llm")
+}
+
+func TestAnalyzerRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if names[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+		if lint.AnalyzerByName(a.Name) != a {
+			t.Fatalf("AnalyzerByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if lint.AnalyzerByName("no-such-rule") != nil {
+		t.Fatal("AnalyzerByName of an unknown rule should be nil")
+	}
+	if len(names) != 5 {
+		t.Fatalf("expected the five-rule suite, got %d", len(names))
+	}
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags variables that are accessed through the sync/atomic
+// function API in one place and plainly read or written in another.
+// Mixing the two is a data race even when it "works": the plain access
+// can tear, be reordered, or read a stale value. The repo's metrics,
+// breaker, pool, and engine-ops counters all rely on every access going
+// through the atomic API (or on the typed atomic.Int64-style wrappers,
+// which make mixing impossible and are the preferred fix).
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "forbid plain reads/writes of any variable that is elsewhere " +
+		"accessed via sync/atomic functions",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	// Pass 1: collect every variable whose address is taken inside a
+	// sync/atomic call, remembering one representative call site, and
+	// the exact identifier nodes that constitute those sanctioned
+	// atomic accesses.
+	atomicVars := map[*types.Var]token.Pos{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(p.Info, call)
+			if callee == nil || pkgPathOf(callee) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				id := targetIdent(ast.Unparen(unary.X))
+				if id == nil {
+					continue
+				}
+				v, ok := p.Info.Uses[id].(*types.Var)
+				if !ok {
+					continue
+				}
+				if _, seen := atomicVars[v]; !seen {
+					atomicVars[v] = call.Pos()
+				}
+				sanctioned[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: any other mention of those variables is a plain access.
+	report := func(id *ast.Ident) {
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || sanctioned[id] {
+			return
+		}
+		site, hot := atomicVars[v]
+		if !hot {
+			return
+		}
+		at := p.Fset.Position(site)
+		p.Reportf(id.Pos(),
+			"%s is accessed with sync/atomic at %s:%d but plainly here: this races; use the atomic API everywhere or migrate the field to a typed atomic (atomic.Int64 etc.)",
+			describeVar(v), shortPath(at.Filename), at.Line)
+	}
+	var check func(n ast.Node) bool
+	check = func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			// Visit Sel exactly once here, then walk X on its own so
+			// the embedded identifier is not reported twice.
+			report(e.Sel)
+			ast.Inspect(e.X, check)
+			return false
+		case *ast.Ident:
+			report(e)
+		}
+		return true
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, check)
+	}
+}
+
+// targetIdent extracts the identifier naming the variable in an
+// addressable expression: `x` or `s.f` (possibly chained selectors).
+func targetIdent(e ast.Expr) *ast.Ident {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+func describeVar(v *types.Var) string {
+	if v.IsField() {
+		return fmt.Sprintf("field %q", v.Name())
+	}
+	return fmt.Sprintf("variable %q", v.Name())
+}

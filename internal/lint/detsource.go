@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetSource flags nondeterminism sources in determinism-critical
+// packages: wall-clock reads, the globally-seeded math/rand functions,
+// and environment lookups. Benchmark artifacts must be a pure function
+// of the seed; any of these would make two builds of the same seed
+// diverge (or make them diverge across machines), breaking the
+// byte-identical-artifacts guarantee that the differential tests and
+// the sharded-build roadmap item depend on.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc: "forbid time.Now, global math/rand, and env reads in " +
+		"determinism-critical packages (datagen, sqlast, workload, " +
+		"nlgen, mutate, engine, equiv, core)",
+	Run: runDetSource,
+}
+
+// randConstructors are the math/rand names that build an explicitly
+// seeded generator rather than consuming the global one; those are the
+// sanctioned way to get randomness in build paths.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// detTimeFuncs are the wall-clock reads; time.Date etc. construct fixed
+// values and are fine.
+var detTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// detEnvFuncs are the environment reads that make output depend on the
+// process environment.
+var detEnvFuncs = map[string]bool{
+	"Getenv":    true,
+	"LookupEnv": true,
+	"Environ":   true,
+}
+
+func runDetSource(p *Pass) {
+	if !isDeterminismCritical(p.Pkg.Path()) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil {
+				return true
+			}
+			// Methods (r.Intn on an explicitly seeded *rand.Rand, say)
+			// also belong to their defining package; only package-level
+			// functions consume ambient state.
+			if fn, ok := obj.(*types.Func); ok {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true
+				}
+			}
+			name := obj.Name()
+			switch pkgPathOf(obj) {
+			case "time":
+				if detTimeFuncs[name] {
+					p.Reportf(sel.Pos(),
+						"time.%s in determinism-critical package %s: artifacts must be a pure function of the seed; take timestamps outside the build path",
+						name, p.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if _, isFunc := obj.(*types.Func); isFunc && !randConstructors[name] {
+					p.Reportf(sel.Pos(),
+						"global math/rand.%s in determinism-critical package %s: use an explicitly seeded *rand.Rand plumbed from the caller",
+						name, p.Pkg.Path())
+				}
+			case "os":
+				if detEnvFuncs[name] {
+					p.Reportf(sel.Pos(),
+						"os.%s in determinism-critical package %s: environment-dependent branches break reproducible builds; thread configuration through explicit parameters",
+						name, p.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+}

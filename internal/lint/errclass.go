@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrClass checks that llm completion paths — any function or closure
+// under an llm package whose signature returns (llm.Response, error) or
+// (*llm.Response, error) — never return a bare fmt.Errorf / errors.New
+// error. Everything above the provider boundary classifies failures
+// through *llm.Error (Retryable(), Retry-After hints, breaker evidence,
+// serve's status mapping); an untyped error defeats all of it: Retry
+// treats the attempt as non-retryable-unknown, the breaker records
+// generic evidence, and the server has no status to surface. Wrapping
+// an existing error (return resp, err) is fine — only direct bare
+// construction on the completion path is flagged.
+var ErrClass = &Analyzer{
+	Name: "errclass",
+	Doc: "require llm completion paths (functions returning " +
+		"(llm.Response, error)) to return typed *llm.Error, not bare " +
+		"fmt.Errorf / errors.New",
+	Run: runErrClass,
+}
+
+func runErrClass(p *Pass) {
+	if !pathHasSegment(p.Pkg.Path(), "llm") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var (
+				body *ast.BlockStmt
+				sig  *types.Signature
+			)
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+				if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+					sig, _ = obj.Type().(*types.Signature)
+				}
+			case *ast.FuncLit:
+				body = fn.Body
+				if tv, ok := p.Info.Types[fn]; ok {
+					sig, _ = tv.Type.(*types.Signature)
+				}
+			default:
+				return true
+			}
+			if body == nil || sig == nil || !isCompletionSignature(sig) {
+				return true
+			}
+			checkCompletionReturns(p, body, sig)
+			return true
+		})
+	}
+}
+
+// isCompletionSignature reports whether sig is a completion path:
+// results include an llm Response (by value or pointer) and end with
+// error.
+func isCompletionSignature(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() < 2 {
+		return false
+	}
+	last := res.At(res.Len() - 1)
+	if !types.Identical(last.Type(), types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	for i := 0; i < res.Len()-1; i++ {
+		t := res.At(i).Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Response" && pathHasSegment(pkgPathOf(obj), "llm") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCompletionReturns flags return statements in body (nested
+// function literals excluded — they are checked against their own
+// signatures) whose error result is constructed bare.
+func checkCompletionReturns(p *Pass, body *ast.BlockStmt, sig *types.Signature) {
+	nres := sig.Results().Len()
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != nres {
+			return true
+		}
+		errExpr := ast.Unparen(ret.Results[nres-1])
+		call, ok := errExpr.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(p.Info, call)
+		if callee == nil {
+			return true
+		}
+		var bare string
+		switch {
+		case pkgPathOf(callee) == "fmt" && callee.Name() == "Errorf":
+			bare = "fmt.Errorf"
+		case pkgPathOf(callee) == "errors" && callee.Name() == "New":
+			bare = "errors.New"
+		default:
+			return true
+		}
+		p.Reportf(ret.Pos(),
+			"completion path returns a bare %s error: wrap it in a typed *llm.Error (status/code/Err) so Retry, the breaker, and serve can classify it",
+			bare)
+		return true
+	})
+}

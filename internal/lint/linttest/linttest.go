@@ -1,0 +1,198 @@
+// Package linttest is a stdlib-only golden-file harness for the lint
+// analyzers, in the style of golang.org/x/tools' analysistest: testdata
+// packages annotate the lines where findings are expected with
+//
+//	code() // want "regexp" "another regexp"
+//
+// comments, and Run fails the test when expectations and diagnostics
+// disagree in either direction.
+//
+// Testdata lives under a GOPATH-like layout, root/<import path>/*.go,
+// so a rule that keys off import paths (detsource's critical-package
+// list, spanend's obs match, errclass's llm match) can be exercised
+// with small self-contained stub packages; imports between testdata
+// packages resolve within root, and everything else falls back to the
+// standard library's source importer.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run analyzes each listed package under root with the single analyzer
+// a and checks the diagnostics against the packages' want comments.
+func Run(t *testing.T, a *lint.Analyzer, root string, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	im := newImporter(fset, root)
+	for _, path := range pkgPaths {
+		pkg, err := im.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags := lint.Analyze([]*lint.Package{pkg}, []*lint.Analyzer{a})
+		checkWants(t, fset, pkg, diags)
+	}
+}
+
+// LoadPackage loads one testdata package for tests that assert on raw
+// diagnostics (allow-directive behavior, JSON fields) rather than want
+// comments.
+func LoadPackage(t *testing.T, root, path string) *lint.Package {
+	t.Helper()
+	pkg, err := newImporter(token.NewFileSet(), root).load(path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", path, err)
+	}
+	return pkg
+}
+
+// srcImporter resolves import paths against the testdata root first and
+// the real standard library second.
+type srcImporter struct {
+	fset *token.FileSet
+	root string
+	std  types.Importer
+	pkgs map[string]*lint.Package
+}
+
+func newImporter(fset *token.FileSet, root string) *srcImporter {
+	return &srcImporter{
+		fset: fset,
+		root: root,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*lint.Package{},
+	}
+}
+
+func (im *srcImporter) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(im.root, path); isDir(dir) {
+		pkg, err := im.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return im.std.Import(path)
+}
+
+func (im *srcImporter) load(path string) (*lint.Package, error) {
+	if pkg, ok := im.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(im.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	pkg, err := lint.Check(path, im.fset, files, im)
+	if err != nil {
+		return nil, err
+	}
+	im.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// wantRx is one expectation: a regexp at a file:line.
+type wantRx struct {
+	rx      *regexp.Regexp
+	text    string
+	matched bool
+}
+
+var wantComment = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// checkWants cross-checks diagnostics against want comments: every want
+// must be matched by a diagnostic on its line, and every diagnostic
+// must be anticipated by a want.
+func checkWants(t *testing.T, fset *token.FileSet, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*wantRx{} // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				at := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", at.Filename, at.Line)
+				for _, quoted := range wantComment.FindAllString(text, -1) {
+					pattern := strings.Trim(quoted, "`")
+					if strings.HasPrefix(quoted, `"`) {
+						var err error
+						pattern, err = strconv.Unquote(quoted)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", key, quoted, err)
+						}
+					}
+					rx, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pattern, err)
+					}
+					wants[key] = append(wants[key], &wantRx{rx: rx, text: pattern})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.File, d.Line)
+		found := false
+		for _, w := range wants[key] {
+			if w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", d.File, d.Line, d.Rule, d.Message)
+		}
+	}
+
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.text)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs. Test files are deliberately excluded: the analyzers guard
+// production invariants, and test helpers legitimately use wall clocks
+// and environment variables.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// Load expands the given `go list` patterns (e.g. "./..."), parses each
+// matched package's non-test Go files, and type-checks them with the
+// stdlib source importer. It is the only place the framework shells
+// out; everything downstream is pure go/ast + go/types.
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if len(p.GoFiles) > 0 {
+			listed = append(listed, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	// One shared source importer: it memoizes type-checked dependencies
+	// (stdlib included) across all packages in the run.
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			path := filepath.Join(lp.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %v", err)
+			}
+			files = append(files, f)
+		}
+		pkg, err := Check(lp.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Check type-checks one parsed package and wraps it as a *Package. The
+// module always compiles, so any type error is a tool failure, not a
+// finding.
+func Check(importPath string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*Package, error) {
+	var terrs []error
+	conf := &types.Config{
+		Importer: imp,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tpkg, _ := conf.Check(importPath, fset, files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v (and %d more)", importPath, terrs[0], len(terrs)-1)
+	}
+	return &Package{
+		Path:  importPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

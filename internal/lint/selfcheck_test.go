@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestModuleIsClean runs the full suite over the whole module — the
+// same gate CI's lint job enforces through the sqllint binary — so a
+// regression is caught by plain `go test ./...` even before CI.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is slow; run without -short")
+	}
+	pkgs, err := lint.Load("repro/...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	diags := lint.Analyze(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		if !d.Allowed {
+			t.Errorf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd checks, lostcancel-style, that every span returned by
+// obs.Start / obs.StartTrace reaches End or EndErr on all return paths
+// of the function that created it. A span that is never ended is never
+// delivered to the tracer's sink: the trace silently loses the whole
+// subtree, and with the ring sink the leak is invisible until someone
+// needs the missing span. The nil-tracer idiom is understood: End on a
+// nil *Span is a no-op, so `if sp == nil { return ... }` early exits
+// and `if sp != nil { sp.EndErr(err) }` guards both count as properly
+// ended, as does handing the span to a deferred call, a closure, or
+// any other owner (struct field, function argument, return value).
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc: "require every obs.Start/StartTrace span to reach End/EndErr " +
+		"on all return paths (or be handed off to another owner)",
+	Run: runSpanEnd,
+}
+
+func runSpanEnd(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFuncSpans(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// isObsStart resolves call to obs.Start / obs.StartTrace.
+func isObsStart(info *types.Info, call *ast.CallExpr) (string, bool) {
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return "", false
+	}
+	if name := callee.Name(); name == "Start" || name == "StartTrace" {
+		if path := pkgPathOf(callee); pathHasSegment(path, "obs") {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// checkFuncSpans finds spans created directly in this function body
+// (spans created inside nested literals are those literals' problem)
+// and verifies each one ends.
+func checkFuncSpans(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+				if name, ok := isObsStart(p.Info, call); ok {
+					p.Reportf(call.Pos(),
+						"result of obs.%s is discarded: the span can never End and its subtree is lost from the trace", name)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(stmt.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := isObsStart(p.Info, call)
+			if !ok || len(stmt.Lhs) != 2 {
+				return true
+			}
+			id, ok := stmt.Lhs[1].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				p.Reportf(call.Pos(),
+					"span from obs.%s is assigned to _: it can never End and its subtree is lost from the trace", name)
+				return true
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj != nil {
+				checkSpanVar(p, body, stmt, call, name, id, obj)
+			}
+		}
+		return true
+	})
+}
+
+// checkSpanVar verifies one named span variable.
+func checkSpanVar(p *Pass, body *ast.BlockStmt, assign *ast.AssignStmt, call *ast.CallExpr, startName string, def *ast.Ident, obj types.Object) {
+	var (
+		deferred   bool // defer sp.End()/EndErr(...) anywhere in the function
+		escaped    bool // span handed to a closure, field, call, ... — new owner
+		hasEndCall bool
+	)
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def {
+			return true
+		}
+		if p.Info.Uses[id] != obj && p.Info.Defs[id] != obj {
+			return true
+		}
+		for _, anc := range stack {
+			if _, ok := anc.(*ast.FuncLit); ok {
+				// Captured by a closure (deferred cleanup funcs, range
+				// callbacks, goroutines): ownership is out of this
+				// function's hands.
+				escaped = true
+				return true
+			}
+		}
+		if len(stack) == 0 {
+			return true
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.SelectorExpr:
+			// sp.Method(...): benign attribute setters, or the End
+			// itself (possibly deferred).
+			if isEndName(parent.Sel.Name) {
+				hasEndCall = true
+				if len(stack) >= 3 {
+					if _, ok := stack[len(stack)-3].(*ast.DeferStmt); ok {
+						deferred = true
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			// sp == nil / sp != nil guards.
+			if parent.Op != token.EQL && parent.Op != token.NEQ {
+				escaped = true
+			}
+		case *ast.AssignStmt:
+			isLHS := false
+			for _, l := range parent.Lhs {
+				if l == ast.Node(id) {
+					isLHS = true
+				}
+			}
+			if isLHS && parent != assign {
+				// Reassigned: give up rather than guess.
+				escaped = true
+			} else if !isLHS {
+				// Span value stored somewhere else.
+				escaped = true
+			}
+		default:
+			// Call argument, composite literal, return value, channel
+			// send, map/slice element, ...: the span has a new owner
+			// that is responsible for ending it.
+			escaped = true
+		}
+		return true
+	})
+
+	if deferred || escaped {
+		return
+	}
+	if !hasEndCall {
+		p.Reportf(call.Pos(),
+			"span %q from obs.%s is never ended: call %s.End() or %s.EndErr(err) (deferring it is simplest)",
+			def.Name, startName, def.Name, def.Name)
+		return
+	}
+
+	// The span is ended somewhere, inline. Verify every path from the
+	// creation site reaches an End before returning or leaving the
+	// declaring block.
+	block, idx := enclosingBlock(body, assign)
+	if block == nil || !declaredWithin(obj, block) {
+		// Unusual shape (if-init declaration, or the variable outlives
+		// the block): the End call we found is the best we can verify.
+		return
+	}
+	w := &spanFlow{p: p, obj: obj}
+	ended := w.walkList(block.List[idx+1:], false, false)
+	if !w.hasViolation && !ended {
+		w.hasViolation = true
+		w.violationPos = block.End()
+	}
+	if w.hasViolation {
+		at := p.Fset.Position(w.violationPos)
+		p.Reportf(call.Pos(),
+			"span %q from obs.%s does not reach End/EndErr on all paths: the path through line %d drops it",
+			def.Name, startName, at.Line)
+	}
+}
+
+func isEndName(name string) bool { return name == "End" || name == "EndErr" }
+
+// enclosingBlock finds the innermost block that directly contains stmt
+// and stmt's index within it.
+func enclosingBlock(body *ast.BlockStmt, stmt ast.Stmt) (*ast.BlockStmt, int) {
+	var foundBlock *ast.BlockStmt
+	foundIdx := -1
+	ast.Inspect(body, func(n ast.Node) bool {
+		if foundBlock != nil {
+			return false
+		}
+		b, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, s := range b.List {
+			if s == ast.Stmt(stmt) {
+				foundBlock, foundIdx = b, i
+				return false
+			}
+		}
+		return true
+	})
+	return foundBlock, foundIdx
+}
+
+// spanFlow is a small abstract interpreter over statement lists
+// tracking one bit — "has the span been ended on this path" — with one
+// refinement: inside a branch where the span is known nil, End is not
+// required (End on a nil span is a no-op, so there is nothing to lose).
+type spanFlow struct {
+	p            *Pass
+	obj          types.Object
+	hasViolation bool
+	violationPos token.Pos
+}
+
+// walkList interprets stmts sequentially. ended is the incoming state;
+// knownNil means the span is provably nil on this path. The return
+// value is the state at fall-through.
+func (w *spanFlow) walkList(stmts []ast.Stmt, ended, knownNil bool) bool {
+	for _, s := range stmts {
+		ended = w.walkStmt(s, ended, knownNil)
+	}
+	return ended
+}
+
+func (w *spanFlow) walkStmt(s ast.Stmt, ended, knownNil bool) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if w.isEndCall(s.X) || isPanicCall(w.p.Info, s.X) {
+			return true
+		}
+	case *ast.ReturnStmt:
+		if !ended && !knownNil {
+			w.violate(s.Pos())
+		}
+		// Unreachable code follows; the state no longer matters.
+		return ended
+	case *ast.BlockStmt:
+		return w.walkList(s.List, ended, knownNil)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, ended, knownNil)
+	case *ast.IfStmt:
+		if w.isNilCheck(s.Cond, token.EQL) {
+			// if sp == nil { ... }: body runs with a nil span.
+			w.walkList(s.Body.List, ended, true)
+			if s.Else != nil {
+				return w.walkStmt(s.Else, ended, knownNil)
+			}
+			return ended
+		}
+		if w.isNilCheck(s.Cond, token.NEQ) {
+			// if sp != nil { ... }: an End inside the guard fully ends
+			// the span — on the else path it is nil and needs none.
+			bodyEnded := w.walkList(s.Body.List, ended, knownNil)
+			if s.Else != nil {
+				w.walkStmt(s.Else, ended, true)
+			}
+			return bodyEnded
+		}
+		bodyEnded := w.walkList(s.Body.List, ended, knownNil)
+		elseEnded := ended
+		if s.Else != nil {
+			elseEnded = w.walkStmt(s.Else, ended, knownNil)
+		}
+		return bodyEnded && elseEnded
+	case *ast.ForStmt:
+		if s.Body != nil {
+			w.walkList(s.Body.List, ended, knownNil)
+		}
+		return ended
+	case *ast.RangeStmt:
+		if s.Body != nil {
+			w.walkList(s.Body.List, ended, knownNil)
+		}
+		return ended
+	case *ast.SwitchStmt:
+		return w.walkCases(s.Body, ended, knownNil)
+	case *ast.TypeSwitchStmt:
+		return w.walkCases(s.Body, ended, knownNil)
+	case *ast.SelectStmt:
+		return w.walkCases(s.Body, ended, knownNil)
+	}
+	return ended
+}
+
+// walkCases interprets switch/select clause bodies. The merged state is
+// the conjunction over clauses when the statement is exhaustive (has a
+// default, or is a select, which always runs one clause), else the
+// incoming state.
+func (w *spanFlow) walkCases(body *ast.BlockStmt, ended, knownNil bool) bool {
+	if body == nil {
+		return ended
+	}
+	all := true
+	exhaustive := false
+	for _, cs := range body.List {
+		var clause []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			clause = cs.Body
+			if cs.List == nil {
+				exhaustive = true
+			}
+		case *ast.CommClause:
+			clause = cs.Body
+			exhaustive = true
+		default:
+			continue
+		}
+		if !w.walkList(clause, ended, knownNil) {
+			all = false
+		}
+	}
+	if exhaustive {
+		return all
+	}
+	return ended
+}
+
+func (w *spanFlow) violate(pos token.Pos) {
+	if !w.hasViolation {
+		w.hasViolation = true
+		w.violationPos = pos
+	}
+}
+
+// isEndCall reports whether e is sp.End(...) or sp.EndErr(...) on the
+// tracked span variable.
+func (w *spanFlow) isEndCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !isEndName(sel.Sel.Name) {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && w.p.Info.Uses[id] == w.obj
+}
+
+// isNilCheck reports whether cond is `sp <op> nil` for the tracked span.
+func (w *spanFlow) isNilCheck(cond ast.Expr, op token.Token) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != op {
+		return false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	return w.sideIsSpan(x) && isNilIdent(w.p.Info, y) ||
+		w.sideIsSpan(y) && isNilIdent(w.p.Info, x)
+}
+
+func (w *spanFlow) sideIsSpan(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && w.p.Info.Uses[id] == w.obj
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// isPanicCall reports whether e is a call to the panic builtin; a
+// panicking path unwinds the whole trace anyway, so a span lost to it
+// is not a leak the analyzer should charge to the author.
+func isPanicCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

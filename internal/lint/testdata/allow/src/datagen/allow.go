@@ -1,0 +1,16 @@
+// Package datagen (allow-directive fixture): one properly justified
+// suppression, one directive with no reason, one unsuppressed finding.
+package datagen
+
+import "time"
+
+//lint:allow detsource goldens embed a fixed build epoch on purpose
+func Epoch() int64 { return time.Now().Unix() }
+
+func Bare() int64 {
+	return time.Now().Unix() //lint:allow detsource
+}
+
+func Naked() int64 {
+	return time.Now().Unix()
+}

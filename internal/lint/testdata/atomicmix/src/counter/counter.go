@@ -1,0 +1,35 @@
+// Package counter exercises the atomicmix rule: once any access to a
+// variable goes through sync/atomic, every access must.
+package counter
+
+import "sync/atomic"
+
+type Hits struct {
+	n     int64
+	total int64
+}
+
+func (h *Hits) Inc() { atomic.AddInt64(&h.n, 1) }
+
+// Load uses the atomic API consistently: fine.
+func (h *Hits) Load() int64 { return atomic.LoadInt64(&h.n) }
+
+func (h *Hits) Racy() int64 { return h.n } // want `field "n" is accessed with sync/atomic`
+
+func (h *Hits) Reset() { h.n = 0 } // want `field "n" is accessed with sync/atomic`
+
+// Total is only ever accessed plainly: fine.
+func (h *Hits) Total() int64 { return h.total }
+
+var ops uint64
+
+func IncOps() { atomic.AddUint64(&ops, 1) }
+
+func RacyOps() uint64 { return ops } // want `variable "ops" is accessed with sync/atomic`
+
+// Typed wrappers make mixing impossible; nothing to flag.
+type Typed struct{ n atomic.Int64 }
+
+func (t *Typed) Inc() { t.n.Add(1) }
+
+func (t *Typed) Load() int64 { return t.n.Load() }

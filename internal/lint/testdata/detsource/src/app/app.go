@@ -1,0 +1,15 @@
+// Package app is not determinism-critical: wall clocks, the global
+// rand, and env reads are all legitimate here and must not be flagged.
+package app
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+
+func Jitter() int { return rand.Intn(100) }
+
+func Home() string { return os.Getenv("HOME") }

@@ -1,0 +1,26 @@
+// Package datagen stands in for a determinism-critical build package:
+// its import path ends in a critical segment, so ambient entropy is
+// forbidden.
+package datagen
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Build mixes sanctioned and forbidden entropy sources.
+func Build(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))            // explicit seeded constructor: fine
+	n := int64(r.Intn(10))                         // method on the seeded generator: fine
+	n += time.Now().Unix()                         // want `time\.Now in determinism-critical`
+	n += time.Since(time.Unix(0, 0)).Nanoseconds() // want `time\.Since in determinism-critical`
+	n += int64(rand.Intn(3))                       // want `global math/rand\.Intn`
+	if os.Getenv("REPRO_MODE") != "" {             // want `os\.Getenv in determinism-critical`
+		n++
+	}
+	return n
+}
+
+// Elapsed only manipulates time values deterministically: fine.
+func Elapsed(d time.Duration) time.Duration { return d * 2 }

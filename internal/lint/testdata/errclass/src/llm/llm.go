@@ -1,0 +1,73 @@
+// Package llm stubs the provider layer: errclass applies to any
+// function under an llm package whose signature returns
+// (Response, error) — the completion path all middleware composes over.
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+type Response struct{ Text string }
+
+type Error struct {
+	Status  int
+	Code    string
+	Message string
+	Err     error
+}
+
+func (e *Error) Error() string { return e.Message }
+
+type Client interface {
+	Do(ctx context.Context, prompt string) (Response, error)
+}
+
+func BareErrorf(ctx context.Context, prompt string) (Response, error) {
+	if prompt == "" {
+		return Response{}, fmt.Errorf("empty prompt") // want `bare fmt\.Errorf`
+	}
+	return Response{Text: prompt}, nil
+}
+
+func BareNewPtr(ctx context.Context, prompt string) (*Response, error) {
+	if prompt == "" {
+		return nil, errors.New("empty prompt") // want `bare errors\.New`
+	}
+	return &Response{Text: prompt}, nil
+}
+
+// Typed construction is the sanctioned form.
+func Typed(ctx context.Context, prompt string) (Response, error) {
+	if prompt == "" {
+		return Response{}, &Error{Status: 400, Code: "invalid_request", Message: "empty prompt"}
+	}
+	return Response{Text: prompt}, nil
+}
+
+// Passing an upstream error through unchanged is fine; it was
+// classified (or not) where it was created.
+func Passthrough(ctx context.Context, c Client, prompt string) (Response, error) {
+	resp, err := c.Do(ctx, prompt)
+	if err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// Middleware closures are completion paths too, checked against their
+// own literal signatures.
+func Middleware() func(context.Context, string) (Response, error) {
+	return func(ctx context.Context, prompt string) (Response, error) {
+		return Response{}, fmt.Errorf("boom") // want `bare fmt\.Errorf`
+	}
+}
+
+// Config/validation paths return no Response and are exempt.
+func ParseSpec(raw string) (int, error) {
+	if raw == "" {
+		return 0, fmt.Errorf("empty spec")
+	}
+	return len(raw), nil
+}

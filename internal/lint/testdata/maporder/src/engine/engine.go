@@ -1,0 +1,82 @@
+// Package engine stands in for a determinism-critical package with map
+// iteration in its build paths.
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Keys leaks randomized map order into its result.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration appends to "keys" without a deterministic sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SelectedKeys sorts through sort.Slice, which also counts.
+func SelectedKeys(m map[string]int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Dump emits during iteration: no later sort can fix the output order.
+func Dump(m map[string]int) {
+	for k, v := range m { // want `map iteration writes to a sink via fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Stream sends entries onward in randomized order.
+func Stream(m map[string]int, out chan<- string) {
+	for k := range m { // want `map iteration sends on a channel`
+		out <- k
+	}
+}
+
+// Sum is order-insensitive aggregation: fine.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes into another map, which has no order to corrupt: fine.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// PerEntry appends to a slice scoped to one iteration: fine.
+func PerEntry(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,22 @@
+// Package obs is a minimal stub of the real tracing package: spanend
+// matches obs.Start/StartTrace by package-path segment and name, so the
+// testdata packages can exercise it without importing internal/obs.
+package obs
+
+import "context"
+
+type Span struct{ name string }
+
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{name: name}
+}
+
+func StartTrace(ctx context.Context, name, traceID string) (context.Context, *Span) {
+	return ctx, &Span{name: name}
+}
+
+func (s *Span) End() {}
+
+func (s *Span) EndErr(err error) {}
+
+func (s *Span) SetString(k, v string) {}

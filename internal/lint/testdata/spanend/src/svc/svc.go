@@ -1,0 +1,109 @@
+// Package svc exercises the spanend rule against the idioms the real
+// codebase uses: deferred ends, nil-tracer guards, handoffs, and the
+// leaky shapes the rule exists to catch.
+package svc
+
+import (
+	"context"
+	"errors"
+
+	"obs"
+)
+
+func leakEarlyReturn(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "op") // want `does not reach End/EndErr on all paths`
+	if fail {
+		return errors.New("fail")
+	}
+	sp.End()
+	return nil
+}
+
+func leakOneBranch(ctx context.Context, fail bool) {
+	_, sp := obs.Start(ctx, "op") // want `does not reach End/EndErr on all paths`
+	if fail {
+		sp.End()
+	}
+}
+
+func discarded(ctx context.Context) {
+	obs.Start(ctx, "op") // want `result of obs\.Start is discarded`
+}
+
+func blank(ctx context.Context) {
+	_, _ = obs.StartTrace(ctx, "op", "trace") // want `span from obs\.StartTrace is assigned to _`
+}
+
+func neverEnded(ctx context.Context) {
+	_, sp := obs.Start(ctx, "op") // want `never ended`
+	sp.SetString("k", "v")
+}
+
+func deferredEnd(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "op")
+	defer sp.End()
+	if fail {
+		return errors.New("fail")
+	}
+	return nil
+}
+
+func deferredClosure(ctx context.Context) {
+	_, sp := obs.Start(ctx, "op")
+	defer func() { sp.End() }()
+}
+
+func nilGuardEarlyReturn(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "op")
+	if sp == nil {
+		// A nil span (no tracer) needs no End.
+		return work()
+	}
+	if fail {
+		err := errors.New("fail")
+		sp.EndErr(err)
+		return err
+	}
+	sp.End()
+	return nil
+}
+
+func nilGuardedEnd(ctx context.Context) {
+	_, sp := obs.Start(ctx, "op")
+	_ = work()
+	if sp != nil {
+		sp.SetString("k", "v")
+		sp.EndErr(nil)
+	}
+}
+
+func errBranches(ctx context.Context) error {
+	_, sp := obs.Start(ctx, "op")
+	if err := work(); err != nil {
+		sp.EndErr(err)
+		return err
+	}
+	sp.End()
+	return nil
+}
+
+func escapeToClosure(ctx context.Context) func() {
+	_, sp := obs.Start(ctx, "op")
+	return func() { sp.End() }
+}
+
+func handedOff(ctx context.Context) {
+	_, sp := obs.Start(ctx, "op")
+	finish(sp)
+}
+
+func storedInStruct(ctx context.Context) *holder {
+	_, sp := obs.Start(ctx, "op")
+	return &holder{sp: sp}
+}
+
+type holder struct{ sp *obs.Span }
+
+func finish(sp *obs.Span) { sp.End() }
+
+func work() error { return nil }

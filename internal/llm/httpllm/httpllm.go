@@ -153,14 +153,23 @@ func (c *Client) Do(ctx context.Context, req llm.Request) (llm.Response, error) 
 	}
 	payload, err := json.Marshal(body)
 	if err != nil {
-		return llm.Response{}, fmt.Errorf("httpllm: encoding request: %w", err)
+		// Typed, non-retryable: a request that cannot be encoded fails
+		// identically on every attempt, and the 400 gives serve and the
+		// breaker an honest classification instead of a generic failure.
+		return llm.Response{}, &llm.Error{
+			Status: http.StatusBadRequest, Code: "invalid_request",
+			Message: "encoding request", Err: err,
+		}
 	}
 
 	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
 	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, c.url, bytes.NewReader(payload))
 	if err != nil {
-		return llm.Response{}, fmt.Errorf("httpllm: building request: %w", err)
+		return llm.Response{}, &llm.Error{
+			Status: http.StatusBadRequest, Code: "invalid_request",
+			Message: "building request for " + c.url, Err: err,
+		}
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	if c.key != "" {

@@ -24,11 +24,11 @@ func TestParseSpecs(t *testing.T) {
 	}
 
 	bad := []string{
-		`[]`,                               // empty
-		`[{"provider": "sim"}]`,            // no name
-		`[{"name": "a"}]`,                  // no provider
+		`[]`,                    // empty
+		`[{"provider": "sim"}]`, // no name
+		`[{"name": "a"}]`,       // no provider
 		`[{"name":"a","provider":"sim"},{"name":"a","provider":"sim"}]`, // dup
-		`{"name":"a"}`,                     // not an array
+		`{"name":"a"}`, // not an array
 	}
 	for _, in := range bad {
 		if _, err := ParseSpecs([]byte(in)); err == nil {

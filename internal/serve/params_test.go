@@ -49,8 +49,8 @@ func TestEvalParamsAccepted(t *testing.T) {
 	temp := 0.0
 	seed := int64(7)
 	lines := decodeNDJSON(t, postEval(t, url, "perf", EvalRequest{
-		Model: "GPT4",
-		SQL:   []string{"SELECT TOP 10 objid FROM PhotoObj"},
+		Model:  "GPT4",
+		SQL:    []string{"SELECT TOP 10 objid FROM PhotoObj"},
 		Params: &EvalParams{Temperature: &temp, Seed: &seed},
 	}))
 	if len(lines) != 1 || lines[0].PredCostly == nil {

@@ -25,13 +25,13 @@ const (
 	slotSize       = 4
 )
 
-func pageLSN(b []byte) uint64     { return binary.LittleEndian.Uint64(b[0:8]) }
+func pageLSN(b []byte) uint64         { return binary.LittleEndian.Uint64(b[0:8]) }
 func setPageLSN(b []byte, lsn uint64) { binary.LittleEndian.PutUint64(b[0:8], lsn) }
 
-func slotCount(b []byte) int { return int(binary.LittleEndian.Uint16(b[8:10])) }
+func slotCount(b []byte) int       { return int(binary.LittleEndian.Uint16(b[8:10])) }
 func setSlotCount(b []byte, n int) { binary.LittleEndian.PutUint16(b[8:10], uint16(n)) }
 
-func freeEnd(b []byte) int { return int(binary.LittleEndian.Uint16(b[10:12])) }
+func freeEnd(b []byte) int       { return int(binary.LittleEndian.Uint16(b[10:12])) }
 func setFreeEnd(b []byte, n int) { binary.LittleEndian.PutUint16(b[10:12], uint16(n)) }
 
 // initPage formats b as an empty page. PageSize is an exact u16 overflow
@@ -124,7 +124,7 @@ func pageCanFit(b []byte, ln int) bool {
 	if firstDeadSlot(b) < 0 {
 		slots++
 	}
-	return PageSize - pageLiveBytes(b) - pageHeaderSize - slots*slotSize >= ln
+	return PageSize-pageLiveBytes(b)-pageHeaderSize-slots*slotSize >= ln
 }
 
 func firstDeadSlot(b []byte) int {

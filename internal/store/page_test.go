@@ -107,7 +107,7 @@ func TestTupleCodecFuzzLengths(t *testing.T) {
 	for n := 0; n < 40; n++ {
 		row := intRow()
 		for i := 0; i < n%5; i++ {
-			row = append(row, intRow(int64(i*7))[0])
+			row = append(row, intRow(int64(i * 7))[0])
 		}
 		enc := encodeTuple(nil, row)
 		dec, err := decodeTuple(enc, len(row))
